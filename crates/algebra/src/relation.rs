@@ -1,0 +1,271 @@
+//! Generalized multiset relations: finite maps from tuples to multiplicities.
+//!
+//! This is the reference, hash-map-backed representation used by the
+//! from-scratch evaluator, by tests, and as the exchange format between the
+//! driver and the workers of the simulated cluster.  The execution engine
+//! stores materialized views in the specialized record pools of
+//! `hotdog-storage` instead.
+
+use crate::ring::{Mult, MULT_EPSILON};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A generalized multiset relation: unique tuples with non-zero multiplicity.
+#[derive(Clone, Default)]
+pub struct Relation {
+    schema: Schema,
+    data: HashMap<Tuple, Mult>,
+}
+
+impl Relation {
+    /// Empty relation over the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            data: HashMap::new(),
+        }
+    }
+
+    /// Build from (tuple, multiplicity) pairs, merging duplicates.
+    pub fn from_pairs(
+        schema: Schema,
+        pairs: impl IntoIterator<Item = (Tuple, Mult)>,
+    ) -> Self {
+        let mut rel = Relation::new(schema);
+        for (t, m) in pairs {
+            rel.add(t, m);
+        }
+        rel
+    }
+
+    /// A scalar (0-ary) relation holding a single aggregate value.
+    pub fn scalar(value: Mult) -> Self {
+        let mut rel = Relation::new(Schema::empty());
+        rel.add(Tuple::empty(), value);
+        rel
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples with non-zero multiplicity.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Multiplicity of a tuple (0 if absent).
+    pub fn get(&self, tuple: &Tuple) -> Mult {
+        self.data.get(tuple).copied().unwrap_or(0.0)
+    }
+
+    /// Add `mult` to the multiplicity of `tuple`, removing the entry if the
+    /// result is (numerically) zero.
+    pub fn add(&mut self, tuple: Tuple, mult: Mult) {
+        if mult == 0.0 {
+            return;
+        }
+        use std::collections::hash_map::Entry;
+        match self.data.entry(tuple) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() += mult;
+                if e.get().abs() < MULT_EPSILON {
+                    e.remove();
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(mult);
+            }
+        }
+    }
+
+    /// Merge another relation into this one (bag union `+=`).
+    pub fn merge(&mut self, other: &Relation) {
+        for (t, m) in other.iter() {
+            self.add(t.clone(), m);
+        }
+    }
+
+    /// Bag union producing a new relation.
+    pub fn union(&self, other: &Relation) -> Relation {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Negate all multiplicities.
+    pub fn negate(&self) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            data: self.data.iter().map(|(t, m)| (t.clone(), -m)).collect(),
+        }
+    }
+
+    /// Multiplicity-preserving projection (the `Sum` operator): group by the
+    /// given columns and sum multiplicities.
+    pub fn project_sum(&self, group_by: &Schema) -> Relation {
+        let positions: Vec<usize> = group_by
+            .iter()
+            .map(|c| {
+                self.schema
+                    .position(c)
+                    .unwrap_or_else(|| panic!("column {c} not in schema {:?}", self.schema))
+            })
+            .collect();
+        let mut out = Relation::new(group_by.clone());
+        for (t, m) in &self.data {
+            out.add(t.project(&positions), *m);
+        }
+        out
+    }
+
+    /// Iterate over (tuple, multiplicity) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, Mult)> {
+        self.data.iter().map(|(t, m)| (t, *m))
+    }
+
+    /// Deterministically ordered contents, for stable test assertions and
+    /// printing.
+    pub fn sorted(&self) -> Vec<(Tuple, Mult)> {
+        let mut v: Vec<_> = self.data.iter().map(|(t, m)| (t.clone(), *m)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// The single aggregate value of a scalar relation (0 if empty).
+    pub fn scalar_value(&self) -> Mult {
+        self.get(&Tuple::empty())
+    }
+
+    /// Total serialized size in bytes (tuples + 8-byte multiplicities); used
+    /// for shuffle accounting in the distributed runtime.
+    pub fn serialized_size(&self) -> usize {
+        self.data
+            .iter()
+            .map(|(t, _)| t.serialized_size() + 8)
+            .sum()
+    }
+
+    /// Two relations are equivalent if they contain the same tuples with
+    /// multiplicities equal up to a small tolerance.
+    pub fn approx_eq(&self, other: &Relation) -> bool {
+        self.approx_eq_eps(other, 1e-6)
+    }
+
+    /// Like [`Relation::approx_eq`] but with an explicit absolute/relative
+    /// tolerance (useful for large floating-point aggregates).
+    pub fn approx_eq_eps(&self, other: &Relation, eps: f64) -> bool {
+        let close = |a: f64, b: f64| {
+            let diff = (a - b).abs();
+            diff <= eps || diff <= eps * a.abs().max(b.abs())
+        };
+        for (t, m) in &self.data {
+            if !close(*m, other.get(t)) {
+                return false;
+            }
+        }
+        for (t, m) in &other.data {
+            if !close(*m, self.get(t)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Relation{:?} {{", self.schema)?;
+        for (t, m) in self.sorted() {
+            writeln!(f, "  {t} -> {m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn add_merges_and_removes_zeros() {
+        let mut r = Relation::new(Schema::new(["a"]));
+        r.add(tuple![1], 2.0);
+        r.add(tuple![1], 3.0);
+        assert_eq!(r.get(&tuple![1]), 5.0);
+        r.add(tuple![1], -5.0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn union_and_negate_cancel() {
+        let r = Relation::from_pairs(
+            Schema::new(["a"]),
+            vec![(tuple![1], 2.0), (tuple![2], -1.0)],
+        );
+        let z = r.union(&r.negate());
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn project_sum_groups() {
+        let r = Relation::from_pairs(
+            Schema::new(["a", "b"]),
+            vec![
+                (tuple![1, 10], 2.0),
+                (tuple![1, 20], 3.0),
+                (tuple![2, 10], 4.0),
+            ],
+        );
+        let p = r.project_sum(&Schema::new(["a"]));
+        assert_eq!(p.get(&tuple![1]), 5.0);
+        assert_eq!(p.get(&tuple![2]), 4.0);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn scalar_relation_round_trips() {
+        let s = Relation::scalar(42.0);
+        assert_eq!(s.scalar_value(), 42.0);
+        assert_eq!(Relation::new(Schema::empty()).scalar_value(), 0.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_rounding() {
+        let a = Relation::from_pairs(Schema::new(["a"]), vec![(tuple![1], 1.0)]);
+        let b = Relation::from_pairs(Schema::new(["a"]), vec![(tuple![1], 1.0 + 1e-9)]);
+        assert!(a.approx_eq(&b));
+        let c = Relation::from_pairs(Schema::new(["a"]), vec![(tuple![1], 1.1)]);
+        assert!(!a.approx_eq(&c));
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let r = Relation::from_pairs(
+            Schema::new(["a"]),
+            vec![(tuple![3], 1.0), (tuple![1], 1.0), (tuple![2], 1.0)],
+        );
+        let keys: Vec<i64> = r
+            .sorted()
+            .iter()
+            .map(|(t, _)| match t.get(0) {
+                crate::value::Value::Long(v) => *v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn serialized_size_counts_bytes() {
+        let r = Relation::from_pairs(Schema::new(["a"]), vec![(tuple![1i64], 1.0)]);
+        assert_eq!(r.serialized_size(), 8 + 2 + 8);
+    }
+}

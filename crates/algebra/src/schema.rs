@@ -1,0 +1,173 @@
+//! Schemas: ordered lists of named columns.
+//!
+//! The algebra is name-based (natural joins match on column names), so a
+//! schema is simply an ordered, duplicate-free list of column names plus
+//! helpers for the set operations used by schema inference and domain
+//! extraction.
+
+use std::fmt;
+
+/// Ordered, duplicate-free list of column names.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schema {
+    cols: Vec<String>,
+}
+
+impl Schema {
+    pub fn empty() -> Self {
+        Schema { cols: Vec::new() }
+    }
+
+    /// Build a schema from column names, keeping the first occurrence of each
+    /// name and dropping later duplicates.
+    pub fn new<I, S>(cols: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Schema::empty();
+        for c in cols {
+            out.push(c.into());
+        }
+        out
+    }
+
+    /// Append a column if not already present.
+    pub fn push(&mut self, col: String) {
+        if !self.cols.iter().any(|c| *c == col) {
+            self.cols.push(col);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    pub fn contains(&self, col: &str) -> bool {
+        self.cols.iter().any(|c| c == col)
+    }
+
+    /// Position of a column, if present.
+    pub fn position(&self, col: &str) -> Option<usize> {
+        self.cols.iter().position(|c| c == col)
+    }
+
+    pub fn columns(&self) -> &[String] {
+        &self.cols
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.cols.iter().map(|s| s.as_str())
+    }
+
+    /// Union preserving the order of `self` then new columns of `other`.
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut out = self.clone();
+        for c in &other.cols {
+            out.push(c.clone());
+        }
+        out
+    }
+
+    /// Intersection preserving the order of `self`.
+    pub fn intersect(&self, other: &Schema) -> Schema {
+        Schema {
+            cols: self
+                .cols
+                .iter()
+                .filter(|c| other.contains(c))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Columns of `self` not present in `other`.
+    pub fn difference(&self, other: &Schema) -> Schema {
+        Schema {
+            cols: self
+                .cols
+                .iter()
+                .filter(|c| !other.contains(c))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Set equality (ignores ordering).
+    pub fn same_columns(&self, other: &Schema) -> bool {
+        self.len() == other.len() && self.cols.iter().all(|c| other.contains(c))
+    }
+
+    /// Whether every column of `self` appears in `other`.
+    pub fn subset_of(&self, other: &Schema) -> bool {
+        self.cols.iter().all(|c| other.contains(c))
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.cols.join(", "))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for Schema {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> Self {
+        Schema::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_drops_duplicates() {
+        let s = Schema::new(["a", "b", "a", "c"]);
+        assert_eq!(s.columns(), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn union_preserves_order() {
+        let a = Schema::new(["x", "y"]);
+        let b = Schema::new(["y", "z"]);
+        assert_eq!(a.union(&b).columns(), ["x", "y", "z"]);
+    }
+
+    #[test]
+    fn intersect_and_difference() {
+        let a = Schema::new(["x", "y", "z"]);
+        let b = Schema::new(["z", "x"]);
+        assert_eq!(a.intersect(&b).columns(), ["x", "z"]);
+        assert_eq!(a.difference(&b).columns(), ["y"]);
+    }
+
+    #[test]
+    fn same_columns_ignores_order() {
+        assert!(Schema::new(["a", "b"]).same_columns(&Schema::new(["b", "a"])));
+        assert!(!Schema::new(["a"]).same_columns(&Schema::new(["b", "a"])));
+    }
+
+    #[test]
+    fn subset_of_checks_containment() {
+        assert!(Schema::new(["a"]).subset_of(&Schema::new(["b", "a"])));
+        assert!(!Schema::new(["a", "c"]).subset_of(&Schema::new(["b", "a"])));
+        assert!(Schema::empty().subset_of(&Schema::empty()));
+    }
+
+    #[test]
+    fn position_finds_column() {
+        let s = Schema::new(["a", "b"]);
+        assert_eq!(s.position("b"), Some(1));
+        assert_eq!(s.position("zz"), None);
+    }
+}

@@ -1,0 +1,296 @@
+//! Scalar values stored inside tuples of generalized multiset relations.
+//!
+//! The paper's data model (Section 3.1 and Appendix A) keeps *aggregates* in
+//! tuple multiplicities, while the tuple itself carries plain SQL scalars:
+//! integers, floating point numbers, strings and dates.  `Value` is that
+//! scalar type.  Doubles are wrapped so that `Value` can implement `Eq`,
+//! `Ord` and `Hash` (required for hash-index keys); NaNs are normalized to a
+//! single bit pattern.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A scalar value appearing in a tuple (the key part of a generalized
+/// multiset relation record).
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// 64-bit signed integer; also used for surrogate keys and dates
+    /// (encoded as `yyyymmdd`).
+    Long(i64),
+    /// 64-bit IEEE float.  Compared and hashed by normalized bit pattern.
+    Double(f64),
+    /// Interned UTF-8 string.  `Arc` keeps cloning cheap: tuples are copied
+    /// into record pools, shuffle buffers and columnar batches constantly.
+    Str(Arc<str>),
+    /// Boolean flag (e.g. precomputed predicate results).
+    Bool(bool),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Numeric view of the value used by arithmetic value terms.
+    ///
+    /// Strings have no numeric interpretation and evaluate to 0, mirroring
+    /// the paper's treatment of value terms as functions over *bound numeric
+    /// variables* only.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Long(v) => *v as f64,
+            Value::Double(v) => *v,
+            Value::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::Str(_) => 0.0,
+        }
+    }
+
+    /// Integer view (truncating); used by partitioning functions.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::Long(v) => *v,
+            Value::Double(v) => *v as i64,
+            Value::Bool(b) => *b as i64,
+            Value::Str(s) => {
+                // Stable, cheap string hash so string keys can partition too.
+                let mut h: i64 = 1469598103934665603u64 as i64;
+                for b in s.as_bytes() {
+                    h ^= *b as i64;
+                    h = h.wrapping_mul(1099511628211);
+                }
+                h
+            }
+        }
+    }
+
+    /// Approximate serialized size in bytes; used by the distributed runtime
+    /// to account for shuffled data volume.
+    pub fn serialized_size(&self) -> usize {
+        match self {
+            Value::Long(_) => 8,
+            Value::Double(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => 4 + s.len(),
+        }
+    }
+
+    fn normalized_double_bits(v: f64) -> u64 {
+        if v.is_nan() {
+            f64::NAN.to_bits()
+        } else if v == 0.0 {
+            0u64 // collapse -0.0 and +0.0
+        } else {
+            v.to_bits()
+        }
+    }
+
+    /// Total order over values of *any* variant: variants are ordered by a
+    /// discriminant rank first, then by value.  This gives `Value` a lawful
+    /// `Ord`, which index structures and deterministic test output rely on.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Long(_) => 0,
+            Value::Double(_) => 1,
+            Value::Str(_) => 2,
+            Value::Bool(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Long(a), Value::Long(b)) => a == b,
+            (Value::Double(a), Value::Double(b)) => {
+                Self::normalized_double_bits(*a) == Self::normalized_double_bits(*b)
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            // Cross-variant numeric equality: Long(3) == Double(3.0).  The
+            // workload generators mix integer and double columns, and join
+            // keys must match across them.
+            (Value::Long(a), Value::Double(b)) | (Value::Double(b), Value::Long(a)) => {
+                (*a as f64) == *b
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Long(a), Value::Long(b)) => a.cmp(b),
+            (Value::Double(a), Value::Double(b)) => {
+                a.partial_cmp(b).unwrap_or_else(|| {
+                    Self::normalized_double_bits(*a).cmp(&Self::normalized_double_bits(*b))
+                })
+            }
+            (Value::Long(a), Value::Double(b)) => (*a as f64)
+                .partial_cmp(b)
+                .unwrap_or(Ordering::Less),
+            (Value::Double(a), Value::Long(b)) => a
+                .partial_cmp(&(*b as f64))
+                .unwrap_or(Ordering::Greater),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            // Longs and equal-valued Doubles must hash identically because
+            // they compare equal (see PartialEq above).
+            Value::Long(v) => Self::normalized_double_bits(*v as f64).hash(state),
+            Value::Double(v) => Self::normalized_double_bits(*v).hash(state),
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                3u8.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Long(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Long(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Long(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn long_and_double_numeric_equality() {
+        assert_eq!(Value::Long(3), Value::Double(3.0));
+        assert_ne!(Value::Long(3), Value::Double(3.5));
+        assert_eq!(hash_of(&Value::Long(3)), hash_of(&Value::Double(3.0)));
+    }
+
+    #[test]
+    fn negative_zero_collapses() {
+        assert_eq!(Value::Double(0.0), Value::Double(-0.0));
+        assert_eq!(hash_of(&Value::Double(0.0)), hash_of(&Value::Double(-0.0)));
+    }
+
+    #[test]
+    fn nan_is_self_equal_for_hashing() {
+        assert_eq!(
+            hash_of(&Value::Double(f64::NAN)),
+            hash_of(&Value::Double(f64::NAN))
+        );
+    }
+
+    #[test]
+    fn ordering_is_total_across_variants() {
+        let mut vals = vec![
+            Value::str("b"),
+            Value::Long(2),
+            Value::Double(1.5),
+            Value::Bool(true),
+            Value::str("a"),
+            Value::Long(-1),
+        ];
+        vals.sort();
+        // Must not panic and must be deterministic.
+        let again = {
+            let mut v = vals.clone();
+            v.sort();
+            v
+        };
+        assert_eq!(vals, again);
+    }
+
+    #[test]
+    fn string_values_display_quoted() {
+        assert_eq!(Value::str("abc").to_string(), "'abc'");
+        assert_eq!(Value::Long(7).to_string(), "7");
+    }
+
+    #[test]
+    fn serialized_sizes() {
+        assert_eq!(Value::Long(1).serialized_size(), 8);
+        assert_eq!(Value::str("abcd").serialized_size(), 8);
+        assert_eq!(Value::Bool(true).serialized_size(), 1);
+    }
+
+    #[test]
+    fn as_f64_conversions() {
+        assert_eq!(Value::Long(4).as_f64(), 4.0);
+        assert_eq!(Value::Bool(true).as_f64(), 1.0);
+        assert_eq!(Value::str("x").as_f64(), 0.0);
+    }
+
+    #[test]
+    fn as_i64_is_stable_for_strings() {
+        assert_eq!(Value::str("abc").as_i64(), Value::str("abc").as_i64());
+        assert_ne!(Value::str("abc").as_i64(), Value::str("abd").as_i64());
+    }
+}

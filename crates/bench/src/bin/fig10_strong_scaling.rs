@@ -1,0 +1,36 @@
+//! Figures 10 & 11: strong scalability — fixed batch sizes, growing worker
+//! counts, including the re-evaluation-on-cluster comparison point.
+
+use hotdog::prelude::*;
+use hotdog_bench::*;
+
+fn main() {
+    let base: usize = std::env::var("HOTDOG_STRONG_BATCH")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let batch_sizes = [base / 4, base / 2, base];
+    let workers_axis = [2usize, 4, 8, 16, 32, 64];
+    let mut rows = Vec::new();
+    for id in ["Q6", "Q17", "Q3", "Q7", "Q1", "Q12", "Q14", "Q22"] {
+        let q = query(id).unwrap();
+        for &batch in &batch_sizes {
+            let stream = stream_for(&q, batch * 2, 10);
+            for workers in workers_axis {
+                let run = run_distributed(&q, &stream, workers, batch, OptLevel::O3);
+                rows.push(vec![
+                    id.into(),
+                    batch.to_string(),
+                    workers.to_string(),
+                    f(run.median_latency_secs * 1e3),
+                    f(run.throughput / 1e3),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &format!("Figures 10/11 — strong scaling (modelled latency, batches up to {base} tuples)"),
+        &["query", "batch", "workers", "median latency (ms)", "throughput (Ktup/s)"],
+        &rows,
+    );
+}

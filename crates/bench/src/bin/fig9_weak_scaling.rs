@@ -1,0 +1,35 @@
+//! Figure 9: weak scalability of distributed IVM — every worker processes a
+//! fixed batch partition, the worker count grows.
+
+use hotdog::prelude::*;
+use hotdog_bench::*;
+
+fn main() {
+    let per_worker: usize = std::env::var("HOTDOG_PER_WORKER")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    let workers_axis = [2usize, 4, 8, 16, 32, 64];
+    let mut rows = Vec::new();
+    for id in ["Q6", "Q17", "Q3", "Q7"] {
+        let q = query(id).unwrap();
+        for workers in workers_axis {
+            let batch = per_worker * workers;
+            let stream = stream_for(&q, batch * 2, 9);
+            let run = run_distributed(&q, &stream, workers, batch, OptLevel::O3);
+            rows.push(vec![
+                id.into(),
+                workers.to_string(),
+                (per_worker * workers).to_string(),
+                f(run.median_latency_secs * 1e3),
+                f(run.throughput / 1e3),
+                f(run.mb_shuffled_per_worker),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Figure 9 — weak scaling ({per_worker} tuples/worker/batch, modelled)"),
+        &["query", "workers", "batch", "median latency (ms)", "throughput (Ktup/s)", "MB shuffled/worker"],
+        &rows,
+    );
+}

@@ -1,0 +1,227 @@
+//! # hotdog-bench
+//!
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation section on the laptop-scale simulator.  Each binary under
+//! `src/bin/` regenerates one artifact (see `EXPERIMENTS.md` at the
+//! repository root for the mapping and recorded outputs); this library holds
+//! the shared experiment drivers and plain-text table printing.
+//!
+//! Absolute numbers differ from the paper (interpreter vs. generated C++,
+//! simulated cluster vs. 100 Spark servers); the harness is built to
+//! reproduce the *shapes*: which strategy wins, how throughput moves with
+//! batch size, and how latency scales with workers.
+
+use hotdog::ivm::Strategy;
+use hotdog::prelude::*;
+use std::time::Instant;
+
+/// How many stream tuples the local experiments process by default.  Can be
+/// overridden with the `HOTDOG_TUPLES` environment variable.
+pub fn default_local_tuples() -> usize {
+    std::env::var("HOTDOG_TUPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000)
+}
+
+/// Default stream size for the distributed experiments
+/// (`HOTDOG_DIST_TUPLES`).
+pub fn default_dist_tuples() -> usize {
+    std::env::var("HOTDOG_DIST_TUPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000)
+}
+
+/// Generate the stream matching a catalog query's workload family.
+pub fn stream_for(q: &CatalogQuery, tuples: usize, seed: u64) -> UpdateStream {
+    match q.workload {
+        hotdog::workload::Workload::TpcH => generate_tpch(seed, tuples),
+        hotdog::workload::Workload::TpcDs => generate_tpcds(seed, tuples),
+    }
+}
+
+/// Result of one local maintenance run.
+#[derive(Clone, Debug)]
+pub struct LocalRun {
+    pub query: String,
+    pub strategy: Strategy,
+    pub mode: &'static str,
+    pub batch_size: usize,
+    pub tuples: usize,
+    pub elapsed_secs: f64,
+    pub throughput: f64,
+    pub result_size: usize,
+    pub instructions: u64,
+    pub probes: u64,
+}
+
+/// Run one query over a stream with the given strategy/mode/batch size and
+/// measure wall-clock throughput plus engine counters.
+pub fn run_local(
+    q: &CatalogQuery,
+    stream: &UpdateStream,
+    strategy: Strategy,
+    mode: ExecMode,
+    batch_size: usize,
+) -> LocalRun {
+    let plan = compile(q.id, &q.expr, strategy);
+    let mut engine = LocalEngine::new(plan, mode);
+    let start = Instant::now();
+    for batch in stream.batches(batch_size) {
+        for (rel, delta) in batch {
+            engine.apply_batch(rel, &delta);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    LocalRun {
+        query: q.id.to_string(),
+        strategy,
+        mode: mode.label(),
+        batch_size,
+        tuples: stream.len(),
+        elapsed_secs: elapsed,
+        throughput: stream.len() as f64 / elapsed,
+        result_size: engine.query_result().len(),
+        instructions: engine.totals.eval.instructions(),
+        probes: engine.database().counters().probes(),
+    }
+}
+
+/// Throughput of specialized single-tuple processing, used as the
+/// normalization baseline of Figures 7 and 12.
+pub fn single_tuple_baseline(q: &CatalogQuery, stream: &UpdateStream) -> LocalRun {
+    run_local(q, stream, Strategy::RecursiveIvm, ExecMode::SingleTuple, 1)
+}
+
+/// Result of one distributed run.
+#[derive(Clone, Debug)]
+pub struct DistRun {
+    pub query: String,
+    pub workers: usize,
+    pub batch_tuples: usize,
+    pub opt: OptLevel,
+    pub median_latency_secs: f64,
+    pub throughput: f64,
+    pub mb_shuffled_per_worker: f64,
+    pub jobs: usize,
+    pub stages: usize,
+}
+
+/// Run a query on the simulated cluster, chunking the stream into batches of
+/// `batch_tuples`, and report modelled latency/throughput.
+pub fn run_distributed(
+    q: &CatalogQuery,
+    stream: &UpdateStream,
+    workers: usize,
+    batch_tuples: usize,
+    opt: OptLevel,
+) -> DistRun {
+    let plan = compile_recursive(q.id, &q.expr);
+    let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
+    let dplan = compile_distributed(&plan, &spec, opt);
+    let (jobs, stages) = dplan.complexity();
+    let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(workers));
+    for batch in stream.batches(batch_tuples) {
+        for (rel, delta) in batch {
+            cluster.apply_batch(rel, &delta);
+        }
+    }
+    DistRun {
+        query: q.id.to_string(),
+        workers,
+        batch_tuples,
+        opt,
+        median_latency_secs: cluster.totals.median_latency(),
+        throughput: cluster.totals.throughput(),
+        mb_shuffled_per_worker: cluster.totals.bytes_shuffled as f64
+            / 1e6
+            / workers as f64
+            / cluster.totals.batches.max(1) as f64,
+        jobs,
+        stages,
+    }
+}
+
+/// Print a plain-text table: header row then rows, columns padded.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format a float with limited precision for table output.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_run_produces_sane_metrics() {
+        let q = query("Q6").unwrap();
+        let stream = stream_for(&q, 2_000, 1);
+        let run = run_local(
+            &q,
+            &stream,
+            Strategy::RecursiveIvm,
+            ExecMode::Batched { preaggregate: true },
+            500,
+        );
+        assert!(run.throughput > 0.0);
+        assert!(run.instructions > 0);
+        assert_eq!(run.tuples, stream.len());
+    }
+
+    #[test]
+    fn distributed_run_produces_sane_metrics() {
+        let q = query("Q3").unwrap();
+        let stream = stream_for(&q, 2_000, 1);
+        let run = run_distributed(&q, &stream, 4, 1_000, OptLevel::O3);
+        assert!(run.median_latency_secs > 0.0);
+        assert!(run.jobs >= 1);
+        assert!(run.stages >= 1);
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            "test",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(123.4), "123");
+    }
+}

@@ -1,0 +1,722 @@
+//! The simulated synchronous cluster (the Spark substitute of the paper's
+//! distributed experiments).
+//!
+//! A [`Cluster`] holds one driver node and `N` worker nodes.  Distributed
+//! views are hash-partitioned over the workers, local views live on the
+//! driver.  Every statement of a compiled [`DistributedPlan`] is *actually
+//! executed* against the partitioned state (no result is faked); only the
+//! *time* is modelled: per-stage synchronization overhead that grows with
+//! the number of workers, shuffle time proportional to the bytes moved, a
+//! seeded straggler factor, and compute time proportional to the measured
+//! interpreter work of the slowest worker.
+
+use crate::partition::{LocTag, PartitionFn};
+use crate::program::{
+    DistStmtKind, DistStatement, DistributedPlan, StmtMode, Transform, TriggerProgram,
+};
+use hotdog_algebra::eval::{Catalog, EvalCounters, Evaluator};
+use hotdog_algebra::expr::RelKind;
+use hotdog_algebra::relation::Relation;
+use hotdog_algebra::ring::Mult;
+use hotdog_algebra::tuple::Tuple;
+use hotdog_algebra::value::Value;
+use hotdog_exec::{relabel, Database};
+use hotdog_ivm::StmtOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Cluster and cost-model configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub workers: usize,
+    /// Aggregate network bandwidth per worker link, bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed overhead of launching one distributed stage (task serialization
+    /// and shipping), in seconds.
+    pub stage_overhead_secs: f64,
+    /// Additional synchronization cost per worker per stage, in seconds
+    /// (scheduling, task dispatch and completion handling on the driver).
+    pub sync_per_worker_secs: f64,
+    /// Modelled cost of one interpreter "instruction", in seconds.
+    pub secs_per_instruction: f64,
+    /// Maximum multiplicative straggler slowdown of a stage (a uniformly
+    /// drawn factor in `[1, 1 + straggler]` is applied to each stage).
+    pub straggler: f64,
+    /// Pre-aggregate update batches on the driver before scattering them.
+    pub preaggregate: bool,
+    /// RNG seed for the straggler model.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 4,
+            bandwidth_bytes_per_sec: 1.0e9,
+            stage_overhead_secs: 0.020,
+            sync_per_worker_secs: 0.000_35,
+            secs_per_instruction: 2.0e-9,
+            straggler: 0.5,
+            preaggregate: true,
+            seed: 0xD15C0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    pub fn with_workers(workers: usize) -> Self {
+        ClusterConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+}
+
+/// Statistics of processing one batch on the cluster.
+#[derive(Clone, Debug, Default)]
+pub struct BatchExecution {
+    pub input_tuples: usize,
+    /// Modelled end-to-end latency of the batch (seconds).
+    pub latency_secs: f64,
+    /// Total bytes moved over the network.
+    pub bytes_shuffled: usize,
+    /// Bytes moved per worker (average).
+    pub bytes_per_worker: f64,
+    /// Distributed stages executed.
+    pub stages: usize,
+    /// Jobs launched.
+    pub jobs: usize,
+    /// Interpreter work of the slowest worker (instruction count).
+    pub max_worker_instructions: u64,
+    /// Interpreter work performed on the driver.
+    pub driver_instructions: u64,
+    /// Real wall-clock time spent simulating the batch.
+    pub wall_secs: f64,
+}
+
+/// Accumulated totals over a cluster's lifetime.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterTotals {
+    pub batches: usize,
+    pub tuples: usize,
+    pub latency_secs: f64,
+    pub bytes_shuffled: usize,
+    pub latencies: Vec<f64>,
+}
+
+impl ClusterTotals {
+    /// Modelled throughput (tuples per modelled second).
+    pub fn throughput(&self) -> f64 {
+        if self.latency_secs == 0.0 {
+            0.0
+        } else {
+            self.tuples as f64 / self.latency_secs
+        }
+    }
+
+    /// Median batch latency in seconds.
+    pub fn median_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.latencies.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+}
+
+/// One node's transient exchange buffers.
+type Temps = HashMap<String, Relation>;
+
+struct NodeCatalog<'a> {
+    db: &'a Database,
+    temps: &'a Temps,
+    deltas: &'a HashMap<String, Relation>,
+}
+
+impl Catalog for NodeCatalog<'_> {
+    fn scan(&self, name: &str, kind: RelKind, f: &mut dyn FnMut(&Tuple, Mult)) {
+        match kind {
+            RelKind::Delta => {
+                if let Some(rel) = self.deltas.get(name) {
+                    for (t, m) in rel.iter() {
+                        f(t, m);
+                    }
+                }
+            }
+            _ => {
+                if let Some(rel) = self.temps.get(name) {
+                    for (t, m) in rel.iter() {
+                        f(t, m);
+                    }
+                } else if let Some(pool) = self.db.pool(name) {
+                    pool.foreach(f);
+                }
+            }
+        }
+    }
+
+    fn lookup(&self, name: &str, kind: RelKind, key: &Tuple) -> Mult {
+        match kind {
+            RelKind::Delta => self.deltas.get(name).map(|r| r.get(key)).unwrap_or(0.0),
+            _ => {
+                if let Some(rel) = self.temps.get(name) {
+                    rel.get(key)
+                } else {
+                    self.db.pool(name).map(|p| p.get(key)).unwrap_or(0.0)
+                }
+            }
+        }
+    }
+
+    fn slice(
+        &self,
+        name: &str,
+        kind: RelKind,
+        positions: &[usize],
+        key_vals: &[Value],
+        f: &mut dyn FnMut(&Tuple, Mult),
+    ) {
+        match kind {
+            RelKind::Delta => {
+                if let Some(rel) = self.deltas.get(name) {
+                    for (t, m) in rel.iter() {
+                        if positions.iter().zip(key_vals).all(|(&p, v)| t.get(p) == v) {
+                            f(t, m);
+                        }
+                    }
+                }
+            }
+            _ => {
+                if let Some(rel) = self.temps.get(name) {
+                    for (t, m) in rel.iter() {
+                        if positions.iter().zip(key_vals).all(|(&p, v)| t.get(p) == v) {
+                            f(t, m);
+                        }
+                    }
+                } else if let Some(pool) = self.db.pool(name) {
+                    pool.slice(positions, key_vals, f);
+                }
+            }
+        }
+    }
+}
+
+/// The simulated cluster running one distributed plan.
+pub struct Cluster {
+    pub config: ClusterConfig,
+    dplan: DistributedPlan,
+    driver: Database,
+    driver_temps: Temps,
+    workers: Vec<Database>,
+    worker_temps: Vec<Temps>,
+    rng: StdRng,
+    pub totals: ClusterTotals,
+}
+
+impl Cluster {
+    /// Create a cluster with empty views.
+    pub fn new(dplan: DistributedPlan, config: ClusterConfig) -> Self {
+        assert!(config.workers > 0);
+        let driver = Database::for_plan(&dplan.plan);
+        let workers = (0..config.workers)
+            .map(|_| Database::for_plan(&dplan.plan))
+            .collect::<Vec<_>>();
+        let worker_temps = (0..config.workers).map(|_| Temps::new()).collect();
+        let rng = StdRng::seed_from_u64(config.seed);
+        Cluster {
+            config,
+            dplan,
+            driver,
+            driver_temps: Temps::new(),
+            workers,
+            worker_temps,
+            rng,
+            totals: ClusterTotals::default(),
+        }
+    }
+
+    /// The compiled distributed plan this cluster runs.
+    pub fn plan(&self) -> &DistributedPlan {
+        &self.dplan
+    }
+
+    /// Full contents of a view, merged across all nodes that hold a piece of
+    /// it (used for result extraction and for checking equivalence with the
+    /// local engine).
+    pub fn view_contents(&self, name: &str) -> Relation {
+        let schema = self
+            .dplan
+            .schema_of(name)
+            .unwrap_or_default();
+        let mut out = Relation::new(schema);
+        match self.dplan.location(name) {
+            LocTag::Local => out.merge(&self.driver.snapshot(name)),
+            LocTag::Replicated => {
+                // Every worker holds an identical copy; read one.
+                if let Some(w) = self.workers.first() {
+                    out.merge(&w.snapshot(name));
+                }
+            }
+            _ => {
+                for w in &self.workers {
+                    out.merge(&w.snapshot(name));
+                }
+            }
+        }
+        out
+    }
+
+    /// Current contents of the top-level query view.
+    pub fn query_result(&self) -> Relation {
+        self.view_contents(&self.dplan.plan.top_view)
+    }
+
+    /// Process one batch of updates to `relation`, returning the modelled
+    /// execution statistics.
+    pub fn apply_batch(&mut self, relation: &str, batch: &Relation) -> BatchExecution {
+        let wall_start = Instant::now();
+        let mut stats = BatchExecution {
+            input_tuples: batch.len(),
+            ..Default::default()
+        };
+        let program = match self.dplan.program(relation) {
+            Some(p) => p.clone(),
+            None => return stats,
+        };
+
+        // The batch arrives at the driver; optionally pre-aggregate it onto
+        // the columns the trigger actually needs before any scatter.
+        let canonical = relabel(batch, &program.relation_schema);
+        let delta = if self.config.preaggregate {
+            let trig = self
+                .dplan
+                .plan
+                .trigger(relation)
+                .expect("trigger missing for program");
+            let used = hotdog_exec::used_delta_columns(&self.dplan.plan, trig);
+            if used.len() < program.relation_schema.len() && !used.is_empty() {
+                // Keep the canonical schema order but only used columns; the
+                // compiled statements still reference the full column list,
+                // so we only merge duplicates here (column projection is a
+                // wire-size optimization applied to the scattered copy).
+                canonical.clone()
+            } else {
+                canonical.clone()
+            }
+        } else {
+            canonical.clone()
+        };
+        let mut deltas = HashMap::new();
+        deltas.insert(relation.to_string(), delta);
+        let delta_name = format!("Δ{relation}");
+
+        let mut latency = 0.0f64;
+        self.run_program(&program, &delta_name, &deltas, &mut stats, &mut latency);
+
+        stats.latency_secs = latency;
+        stats.stages = program.stages();
+        stats.jobs = program.jobs();
+        stats.bytes_per_worker = stats.bytes_shuffled as f64 / self.config.workers as f64;
+        stats.wall_secs = wall_start.elapsed().as_secs_f64();
+
+        self.totals.batches += 1;
+        self.totals.tuples += stats.input_tuples;
+        self.totals.latency_secs += stats.latency_secs;
+        self.totals.bytes_shuffled += stats.bytes_shuffled;
+        self.totals.latencies.push(stats.latency_secs);
+        stats
+    }
+
+    fn run_program(
+        &mut self,
+        program: &TriggerProgram,
+        delta_name: &str,
+        deltas: &HashMap<String, Relation>,
+        stats: &mut BatchExecution,
+        latency: &mut f64,
+    ) {
+        for block in &program.blocks {
+            match block.mode {
+                StmtMode::Local => {
+                    let mut counters = EvalCounters::default();
+                    for stmt in &block.statements {
+                        self.run_local_statement(stmt, delta_name, deltas, stats, &mut counters, latency);
+                    }
+                    stats.driver_instructions += counters.instructions();
+                    *latency += counters.instructions() as f64 * self.config.secs_per_instruction;
+                }
+                StmtMode::Distributed => {
+                    // One parallel stage: every worker runs the block over
+                    // its partitions.
+                    let mut max_instr = 0u64;
+                    for w in 0..self.config.workers {
+                        let mut counters = EvalCounters::default();
+                        for stmt in &block.statements {
+                            self.run_worker_statement(w, stmt, deltas, &mut counters);
+                        }
+                        max_instr = max_instr.max(counters.instructions());
+                    }
+                    stats.max_worker_instructions = stats.max_worker_instructions.max(max_instr);
+                    let straggler = 1.0 + self.rng.gen_range(0.0..self.config.straggler);
+                    *latency += self.config.stage_overhead_secs
+                        + self.config.sync_per_worker_secs * self.config.workers as f64
+                        + max_instr as f64 * self.config.secs_per_instruction * straggler;
+                }
+            }
+        }
+    }
+
+    fn run_local_statement(
+        &mut self,
+        stmt: &DistStatement,
+        delta_name: &str,
+        deltas: &HashMap<String, Relation>,
+        stats: &mut BatchExecution,
+        counters: &mut EvalCounters,
+        latency: &mut f64,
+    ) {
+        match &stmt.kind {
+            DistStmtKind::Compute(expr) => {
+                let result = {
+                    let cat = NodeCatalog {
+                        db: &self.driver,
+                        temps: &self.driver_temps,
+                        deltas,
+                    };
+                    let mut ev = Evaluator::new(&cat);
+                    let r = ev.eval(expr);
+                    counters.add(&ev.counters);
+                    r
+                };
+                self.apply_driver(stmt, result);
+            }
+            DistStmtKind::Transform { kind, source } => {
+                let bytes = self.run_transform(stmt, kind, source, delta_name, deltas);
+                stats.bytes_shuffled += bytes;
+                // Shuffle time: data moves in parallel across worker links.
+                let per_link = bytes as f64 / self.config.workers as f64;
+                *latency += per_link / self.config.bandwidth_bytes_per_sec
+                    + self.config.stage_overhead_secs * 0.25;
+            }
+        }
+    }
+
+    fn run_worker_statement(
+        &mut self,
+        worker: usize,
+        stmt: &DistStatement,
+        deltas: &HashMap<String, Relation>,
+        counters: &mut EvalCounters,
+    ) {
+        if let DistStmtKind::Compute(expr) = &stmt.kind {
+            let result = {
+                let cat = NodeCatalog {
+                    db: &self.workers[worker],
+                    temps: &self.worker_temps[worker],
+                    deltas,
+                };
+                let mut ev = Evaluator::new(&cat);
+                let r = ev.eval(expr);
+                counters.add(&ev.counters);
+                r
+            };
+            self.apply_worker(worker, stmt, result);
+        }
+    }
+
+    fn apply_driver(&mut self, stmt: &DistStatement, result: Relation) {
+        if self.dplan.plan.view(&stmt.target).is_some() {
+            match stmt.op {
+                StmtOp::AddTo => self.driver.merge(&stmt.target, &result),
+                StmtOp::SetTo => self.driver.replace(&stmt.target, &result),
+            }
+        } else {
+            let entry = self
+                .driver_temps
+                .entry(stmt.target.clone())
+                .or_insert_with(|| Relation::new(stmt.target_schema.clone()));
+            match stmt.op {
+                StmtOp::AddTo => entry.merge(&result),
+                StmtOp::SetTo => *entry = result,
+            }
+        }
+    }
+
+    fn apply_worker(&mut self, worker: usize, stmt: &DistStatement, result: Relation) {
+        if self.dplan.plan.view(&stmt.target).is_some() {
+            match stmt.op {
+                StmtOp::AddTo => self.workers[worker].merge(&stmt.target, &result),
+                StmtOp::SetTo => self.workers[worker].replace(&stmt.target, &result),
+            }
+        } else {
+            let entry = self.worker_temps[worker]
+                .entry(stmt.target.clone())
+                .or_insert_with(|| Relation::new(stmt.target_schema.clone()));
+            match stmt.op {
+                StmtOp::AddTo => entry.merge(&result),
+                StmtOp::SetTo => *entry = result,
+            }
+        }
+    }
+
+    /// Execute a transformer statement; returns the number of bytes moved.
+    fn run_transform(
+        &mut self,
+        stmt: &DistStatement,
+        kind: &Transform,
+        source: &str,
+        delta_name: &str,
+        deltas: &HashMap<String, Relation>,
+    ) -> usize {
+        match kind {
+            Transform::Scatter(pf) => {
+                // Driver-resident source: the batch, a local view or a local temp.
+                let src: Relation = if source == delta_name {
+                    deltas.values().next().cloned().unwrap_or_default()
+                } else if let Some(r) = self.driver_temps.get(source) {
+                    r.clone()
+                } else {
+                    self.driver.snapshot(source)
+                };
+                let src = relabel(&src, &stmt.target_schema);
+                self.scatter(pf, &src, stmt)
+            }
+            Transform::Repart(pf) => {
+                // Collect from all workers, then redistribute.
+                let mut collected = Relation::new(stmt.target_schema.clone());
+                for w in 0..self.config.workers {
+                    let part = if let Some(r) = self.worker_temps[w].get(source) {
+                        r.clone()
+                    } else {
+                        self.workers[w].snapshot(source)
+                    };
+                    collected.merge(&relabel(&part, &stmt.target_schema));
+                }
+                let moved = collected.serialized_size();
+                self.scatter(pf, &collected, stmt);
+                moved + collected.serialized_size()
+            }
+            Transform::Gather => {
+                let mut collected = Relation::new(stmt.target_schema.clone());
+                for w in 0..self.config.workers {
+                    let part = if let Some(r) = self.worker_temps[w].get(source) {
+                        r.clone()
+                    } else {
+                        self.workers[w].snapshot(source)
+                    };
+                    collected.merge(&relabel(&part, &stmt.target_schema));
+                }
+                let bytes = collected.serialized_size();
+                self.apply_driver(stmt, collected);
+                bytes
+            }
+        }
+    }
+
+    /// Route rows of a driver-held relation to the workers under the given
+    /// partition function, writing them into each worker's copy of the
+    /// target.  Returns the bytes moved.
+    fn scatter(&mut self, pf: &PartitionFn, src: &Relation, stmt: &DistStatement) -> usize {
+        let schema = stmt.target_schema.clone();
+        let workers = self.config.workers;
+        let mut shards: Vec<Relation> = (0..workers).map(|_| Relation::new(schema.clone())).collect();
+        let mut bytes = 0usize;
+        for (t, m) in src.iter() {
+            for w in pf.route(&schema, t, workers) {
+                shards[w].add(t.clone(), m);
+                bytes += t.serialized_size() + 8;
+            }
+        }
+        for (w, shard) in shards.into_iter().enumerate() {
+            let fake = DistStatement {
+                target: stmt.target.clone(),
+                target_schema: schema.clone(),
+                op: stmt.op,
+                kind: stmt.kind.clone(),
+                mode: stmt.mode,
+            };
+            // Scatter targets are exchange buffers refreshed per batch.
+            self.apply_worker(w, &fake, shard);
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hotdog_algebra::schema::Schema;
+    use super::*;
+    use crate::partition::PartitioningSpec;
+    use crate::program::{compile_distributed, OptLevel};
+    use hotdog_algebra::expr::*;
+    use hotdog_algebra::tuple;
+    use hotdog_exec::{ExecMode, LocalEngine};
+    use hotdog_ivm::compile_recursive;
+
+    fn example_query() -> Expr {
+        sum(
+            ["B"],
+            join_all([
+                rel("R", ["OK", "B"]),
+                rel("S", ["B", "CK"]),
+                rel("T", ["CK", "D"]),
+            ]),
+        )
+    }
+
+    fn batches() -> Vec<(&'static str, Relation)> {
+        vec![
+            (
+                "R",
+                Relation::from_pairs(
+                    Schema::new(["OK", "B"]),
+                    (0..40i64).map(|i| (tuple![i, i % 5], 1.0)),
+                ),
+            ),
+            (
+                "S",
+                Relation::from_pairs(
+                    Schema::new(["B", "CK"]),
+                    (0..20i64).map(|i| (tuple![i % 5, i], 1.0)),
+                ),
+            ),
+            (
+                "T",
+                Relation::from_pairs(
+                    Schema::new(["CK", "D"]),
+                    (0..20i64).map(|i| (tuple![i, i * 10], 1.0)),
+                ),
+            ),
+            (
+                "R",
+                Relation::from_pairs(
+                    Schema::new(["OK", "B"]),
+                    vec![(tuple![1, 1], -1.0), (tuple![100, 2], 1.0)],
+                ),
+            ),
+        ]
+    }
+
+    fn run_cluster(opt: OptLevel, workers: usize) -> (Relation, ClusterTotals) {
+        let plan = compile_recursive("Q", &example_query());
+        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
+        let dplan = compile_distributed(&plan, &spec, opt);
+        let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(workers));
+        for (rel, batch) in batches() {
+            cluster.apply_batch(rel, &batch);
+        }
+        (cluster.query_result(), cluster.totals.clone())
+    }
+
+    fn local_reference() -> Relation {
+        let plan = compile_recursive("Q", &example_query());
+        let mut engine = LocalEngine::new(plan, ExecMode::Batched { preaggregate: false });
+        for (rel, batch) in batches() {
+            engine.apply_batch(rel, &batch);
+        }
+        engine.query_result()
+    }
+
+    #[test]
+    fn cluster_matches_local_engine_at_every_opt_level() {
+        let expected = local_reference();
+        for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+            for workers in [1, 3, 8] {
+                let (got, _) = run_cluster(opt, workers);
+                assert!(
+                    got.approx_eq(&expected),
+                    "cluster diverged at {opt:?} with {workers} workers:\nexpected {expected:?}\ngot {got:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latency_model_produces_positive_latencies_and_shuffle_bytes() {
+        let (_, totals) = run_cluster(OptLevel::O3, 4);
+        assert!(totals.latency_secs > 0.0);
+        assert!(totals.bytes_shuffled > 0);
+        assert!(totals.median_latency() > 0.0);
+        assert!(totals.throughput() > 0.0);
+    }
+
+    #[test]
+    fn more_workers_increase_sync_overhead_for_tiny_batches() {
+        // With tiny batches the latency is dominated by synchronization, so
+        // adding workers must not make it cheaper (weak-scaling left edge of
+        // Figure 9a).
+        let (_, small) = run_cluster(OptLevel::O3, 2);
+        let (_, big) = run_cluster(OptLevel::O3, 64);
+        assert!(
+            big.median_latency() > small.median_latency(),
+            "sync overhead should grow with workers: {} vs {}",
+            big.median_latency(),
+            small.median_latency()
+        );
+    }
+
+    #[test]
+    fn optimization_reduces_modelled_latency() {
+        let (_, naive) = run_cluster(OptLevel::O0, 4);
+        let (_, opt) = run_cluster(OptLevel::O3, 4);
+        assert!(
+            opt.latency_secs <= naive.latency_secs * 1.05,
+            "O3 {} should not exceed O0 {}",
+            opt.latency_secs,
+            naive.latency_secs
+        );
+    }
+
+    #[test]
+    fn nested_aggregate_query_is_correct_on_cluster() {
+        // Q17-style query distributed by the correlated key.
+        let nested = sum_total(join(rel("S", ["PK", "C2"]), val_var("C2")));
+        let q = sum_total(join_all([
+            rel("R", ["PK", "A"]),
+            assign_query("X", nested),
+            cmp_vars("A", CmpOp::Lt, "X"),
+        ]));
+        let plan = compile_recursive("Q17ish", &q);
+        let spec = PartitioningSpec::heuristic(&plan, &["PK"]);
+        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(5));
+
+        let plan2 = compile_recursive("Q17ish", &q);
+        let mut engine = LocalEngine::new(plan2, ExecMode::Batched { preaggregate: false });
+
+        let data = vec![
+            (
+                "R",
+                Relation::from_pairs(
+                    Schema::new(["PK", "A"]),
+                    (0..30i64).map(|i| (tuple![i % 7, i], 1.0)),
+                ),
+            ),
+            (
+                "S",
+                Relation::from_pairs(
+                    Schema::new(["PK", "C2"]),
+                    (0..40i64).map(|i| (tuple![i % 7, i], 1.0)),
+                ),
+            ),
+            (
+                "R",
+                Relation::from_pairs(Schema::new(["PK", "A"]), vec![(tuple![2, 3], -1.0)]),
+            ),
+        ];
+        for (r, b) in data {
+            cluster.apply_batch(r, &b);
+            engine.apply_batch(r, &b);
+        }
+        assert!(
+            cluster.query_result().approx_eq(&engine.query_result()),
+            "cluster {:?} vs local {:?}",
+            cluster.query_result(),
+            engine.query_result()
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # hotdog-distributed
+//!
+//! Distributed incremental view maintenance (Section 4 of the paper):
+//!
+//! * [`partition`] — location tags (`Local`, `Dist(P)`, `Random`,
+//!   `Replicated`), partitioning functions and the per-view partitioning
+//!   specification (including the paper's key-based heuristic);
+//! * [`program`] — the compiler that turns a local maintenance plan into a
+//!   distributed program: location annotation, transformer insertion
+//!   (`Scatter`/`Repart`/`Gather`), intra-statement optimization, CSE/DCE
+//!   and the block-fusion algorithm, staged behind [`program::OptLevel`]
+//!   (O0–O3, matching Figure 13);
+//! * [`cluster`] — the simulated synchronous driver/worker cluster that
+//!   executes the distributed programs over real partitioned state and
+//!   models latency (per-stage synchronization, shuffle bandwidth,
+//!   stragglers).
+
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod partition;
+pub mod program;
+
+pub use cluster::{BatchExecution, Cluster, ClusterConfig, ClusterTotals};
+pub use partition::{LocTag, PartitionFn, PartitioningSpec};
+pub use program::{
+    compile_distributed, Block, DistStatement, DistStmtKind, DistributedPlan, OptLevel,
+    StmtMode, Transform, TriggerProgram,
+};

@@ -1,0 +1,884 @@
+//! Compilation of local maintenance programs into distributed programs
+//! (Section 4): location annotation, insertion of location transformers
+//! (`Scatter`, `Repart`, `Gather`), intra-statement optimization (choosing
+//! the execution partitioning that minimizes communication rounds),
+//! single-transformer form, CSE/DCE of transformer statements, and the
+//! block fusion algorithm of Appendix C.3.
+
+use crate::partition::{LocTag, PartitionFn, PartitioningSpec};
+use hotdog_algebra::expr::{Expr, RelKind, RelRef};
+use hotdog_algebra::schema::Schema;
+use hotdog_ivm::{MaintenancePlan, StmtOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Optimization levels of the distributed compiler, matching the staged
+/// evaluation of Figure 13.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum OptLevel {
+    /// Naive well-formed program: no simplifications, one block per
+    /// statement, no sharing of transformer outputs.
+    O0,
+    /// + transformer simplification rules (choose the execution partitioning
+    /// that avoids redundant Repart/Gather rounds).
+    O1,
+    /// + block fusion (merge commuting statements into compound blocks).
+    O2,
+    /// + common subexpression and dead code elimination across transformer
+    /// statements.
+    O3,
+}
+
+impl OptLevel {
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptLevel::O0 => "O0 (naive)",
+            OptLevel::O1 => "O1 (+simplifications)",
+            OptLevel::O2 => "O2 (+block fusion)",
+            OptLevel::O3 => "O3 (+CSE/DCE)",
+        }
+    }
+}
+
+/// Where a statement executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StmtMode {
+    /// On the driver.
+    Local,
+    /// On every worker, over its partitions.
+    Distributed,
+}
+
+/// A network transformer (the only mechanism for moving data).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Transform {
+    /// Partition driver-resident data over the workers.
+    Scatter(PartitionFn),
+    /// Re-partition worker-resident data.
+    Repart(PartitionFn),
+    /// Collect worker-resident data at the driver.
+    Gather,
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transform::Scatter(p) => write!(f, "SCATTER<{p}>"),
+            Transform::Repart(p) => write!(f, "REPARTITION<{p}>"),
+            Transform::Gather => write!(f, "GATHER"),
+        }
+    }
+}
+
+/// The body of a distributed statement.
+#[derive(Clone, Debug)]
+pub enum DistStmtKind {
+    /// Evaluate an algebra expression (locally or on every worker).
+    Compute(Expr),
+    /// Move the named relation across the network.
+    Transform { kind: Transform, source: String },
+}
+
+/// One statement of a distributed maintenance program.
+#[derive(Clone, Debug)]
+pub struct DistStatement {
+    pub target: String,
+    pub target_schema: Schema,
+    pub op: StmtOp,
+    pub kind: DistStmtKind,
+    pub mode: StmtMode,
+}
+
+impl DistStatement {
+    /// Relation names this statement reads.
+    pub fn reads(&self) -> Vec<String> {
+        match &self.kind {
+            DistStmtKind::Compute(e) => e
+                .relations()
+                .into_iter()
+                .map(|r| r.name)
+                .collect(),
+            DistStmtKind::Transform { source, .. } => vec![source.clone()],
+        }
+    }
+
+    /// Whether this statement is a location transformer.
+    pub fn is_transformer(&self) -> bool {
+        matches!(self.kind, DistStmtKind::Transform { .. })
+    }
+}
+
+impl fmt::Display for DistStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mode = match self.mode {
+            StmtMode::Local => "LOCAL",
+            StmtMode::Distributed => "DISTRIBUTED",
+        };
+        let op = match self.op {
+            StmtOp::AddTo => "+=",
+            StmtOp::SetTo => ":=",
+        };
+        match &self.kind {
+            DistStmtKind::Compute(e) => write!(f, "{mode} {} {op} {e}", self.target),
+            DistStmtKind::Transform { kind, source } => {
+                write!(f, "{mode} {} {op} {kind}{{ {source} }}", self.target)
+            }
+        }
+    }
+}
+
+/// A block of statements with a common execution mode (the unit the driver
+/// ships to the workers — one Spark stage per distributed block).
+#[derive(Clone, Debug)]
+pub struct Block {
+    pub mode: StmtMode,
+    pub statements: Vec<DistStatement>,
+}
+
+/// The distributed program of one trigger.
+#[derive(Clone, Debug)]
+pub struct TriggerProgram {
+    pub relation: String,
+    pub relation_schema: Schema,
+    /// Fused statement blocks, in execution order.
+    pub blocks: Vec<Block>,
+}
+
+impl TriggerProgram {
+    pub fn statements(&self) -> impl Iterator<Item = &DistStatement> {
+        self.blocks.iter().flat_map(|b| b.statements.iter())
+    }
+
+    /// Number of stages needed to process one batch: every distributed block
+    /// is one parallel stage, and every worker-side shuffle (`Repart`) or
+    /// collection (`Gather`) ends a stage as well — transformers are the
+    /// pipeline breakers of Section 4.3.2.
+    pub fn stages(&self) -> usize {
+        let dist_blocks = self
+            .blocks
+            .iter()
+            .filter(|b| b.mode == StmtMode::Distributed)
+            .count();
+        let shuffles = self
+            .statements()
+            .filter(|s| {
+                matches!(
+                    &s.kind,
+                    DistStmtKind::Transform { kind: Transform::Repart(_), .. }
+                        | DistStmtKind::Transform { kind: Transform::Gather, .. }
+                )
+            })
+            .count();
+        dist_blocks + shuffles
+    }
+
+    /// Number of jobs = number of local→distributed transitions (the driver
+    /// launches one job per maximal run of distributed work).
+    pub fn jobs(&self) -> usize {
+        let mut jobs = 0;
+        let mut prev_local = true;
+        for b in &self.blocks {
+            match b.mode {
+                StmtMode::Distributed => {
+                    if prev_local {
+                        jobs += 1;
+                    }
+                    prev_local = false;
+                }
+                StmtMode::Local => prev_local = true,
+            }
+        }
+        jobs.max(1)
+    }
+
+    pub fn pretty(&self) -> String {
+        let mut out = format!("-- ON UPDATE {} ({} blocks)\n", self.relation, self.blocks.len());
+        for (i, b) in self.blocks.iter().enumerate() {
+            out.push_str(&format!(
+                "block {} [{}]\n",
+                i,
+                if b.mode == StmtMode::Local { "local" } else { "distributed" }
+            ));
+            for s in &b.statements {
+                out.push_str(&format!("  {s}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// A fully compiled distributed plan: the local plan, the partitioning
+/// specification, the per-trigger programs, and the schemas/locations of the
+/// temporary exchange views the programs introduce.
+#[derive(Clone, Debug)]
+pub struct DistributedPlan {
+    pub plan: MaintenancePlan,
+    pub spec: PartitioningSpec,
+    pub opt: OptLevel,
+    pub programs: Vec<TriggerProgram>,
+    /// Temporary views created by the compiler: name -> (schema, location).
+    pub temps: HashMap<String, (Schema, LocTag)>,
+}
+
+impl DistributedPlan {
+    pub fn program(&self, relation: &str) -> Option<&TriggerProgram> {
+        self.programs.iter().find(|p| p.relation == relation)
+    }
+
+    /// Location of any view or temp.
+    pub fn location(&self, name: &str) -> LocTag {
+        if let Some((_, tag)) = self.temps.get(name) {
+            tag.clone()
+        } else {
+            self.spec.tag(name)
+        }
+    }
+
+    /// Schema of any view or temp.
+    pub fn schema_of(&self, name: &str) -> Option<Schema> {
+        if let Some((s, _)) = self.temps.get(name) {
+            Some(s.clone())
+        } else {
+            self.plan.view(name).map(|v| v.schema.clone())
+        }
+    }
+
+    /// Total jobs and stages needed to process one batch touching every
+    /// relation once (the per-query complexity of Table 3).
+    pub fn complexity(&self) -> (usize, usize) {
+        let jobs = self.programs.iter().map(|p| p.jobs()).max().unwrap_or(0);
+        let stages = self.programs.iter().map(|p| p.stages()).max().unwrap_or(0);
+        (jobs, stages)
+    }
+
+    pub fn pretty(&self) -> String {
+        let mut out = format!(
+            "-- distributed plan `{}` [{}], {} programs\n",
+            self.plan.query_name,
+            self.opt.label(),
+            self.programs.len()
+        );
+        for p in &self.programs {
+            out.push_str(&p.pretty());
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+struct Lowering<'a> {
+    plan: &'a MaintenancePlan,
+    spec: &'a PartitioningSpec,
+    opt: OptLevel,
+    temps: HashMap<String, (Schema, LocTag)>,
+    temp_counter: usize,
+}
+
+/// Compile a local maintenance plan into a distributed program for the given
+/// partitioning specification and optimization level.
+pub fn compile_distributed(
+    plan: &MaintenancePlan,
+    spec: &PartitioningSpec,
+    opt: OptLevel,
+) -> DistributedPlan {
+    let mut lowering = Lowering {
+        plan,
+        spec,
+        opt,
+        temps: HashMap::new(),
+        temp_counter: 0,
+    };
+    let mut programs = Vec::new();
+    for trigger in &plan.triggers {
+        programs.push(lowering.lower_trigger(trigger));
+    }
+    DistributedPlan {
+        plan: plan.clone(),
+        spec: spec.clone(),
+        opt,
+        programs,
+        temps: lowering.temps,
+    }
+}
+
+impl Lowering<'_> {
+    fn fresh_temp(&mut self, prefix: &str, schema: Schema, tag: LocTag) -> String {
+        self.temp_counter += 1;
+        let name = format!("{prefix}_{}", self.temp_counter);
+        self.temps.insert(name.clone(), (schema, tag));
+        name
+    }
+
+    fn lower_trigger(&mut self, trigger: &hotdog_ivm::Trigger) -> TriggerProgram {
+        let mut statements: Vec<DistStatement> = Vec::new();
+        // Cache of scatter/broadcast/repart temps created for this trigger
+        // (used for CSE at O3; at lower levels every use gets its own copy).
+        let mut scatter_cache: HashMap<String, String> = HashMap::new();
+
+        for stmt in &trigger.statements {
+            self.lower_statement(trigger, stmt, &mut statements, &mut scatter_cache);
+        }
+
+        if self.opt >= OptLevel::O3 {
+            dead_code_elimination(&mut statements, self.plan);
+        }
+
+        // Promote every statement into its own block, then fuse.
+        let mut blocks: Vec<Block> = statements
+            .into_iter()
+            .map(|s| Block {
+                mode: s.mode,
+                statements: vec![s],
+            })
+            .collect();
+        if self.opt >= OptLevel::O2 {
+            blocks = fuse_blocks(blocks);
+        }
+        TriggerProgram {
+            relation: trigger.relation.clone(),
+            relation_schema: trigger.relation_schema.clone(),
+            blocks,
+        }
+    }
+
+    /// Lower one maintenance statement into local/distributed statements and
+    /// the transformer statements they need.
+    fn lower_statement(
+        &mut self,
+        trigger: &hotdog_ivm::Trigger,
+        stmt: &hotdog_ivm::Statement,
+        out: &mut Vec<DistStatement>,
+        scatter_cache: &mut HashMap<String, String>,
+    ) {
+        let target_tag = self.spec.tag(&stmt.target);
+        let view_refs: Vec<RelRef> = stmt
+            .expr
+            .relations()
+            .into_iter()
+            .filter(|r| r.kind == RelKind::View)
+            .collect();
+        let uses_delta = stmt.expr.has_delta_relations();
+        let dist_refs: Vec<(&RelRef, Vec<String>)> = view_refs
+            .iter()
+            .filter_map(|r| match self.spec.tag(&r.name) {
+                LocTag::Dist(p) => Some((r, p.columns().to_vec())),
+                _ => None,
+            })
+            .collect();
+
+        // Purely local statement: local target, no distributed inputs and no
+        // batch involvement.  Statements that consume the update batch are
+        // always distributed — in the paper's setting the batch partitions
+        // live on the workers, so even single-aggregate queries like Q6 run
+        // one parallel stage of partial aggregation followed by a gather.
+        if !target_tag.is_distributed() && dist_refs.is_empty() && !uses_delta {
+            out.push(DistStatement {
+                target: stmt.target.clone(),
+                target_schema: stmt.target_schema.clone(),
+                op: stmt.op,
+                kind: DistStmtKind::Compute(stmt.expr.clone()),
+                mode: StmtMode::Local,
+            });
+            return;
+        }
+
+        // Choose the execution partitioning.  The intra-statement
+        // optimization (O1+) prefers the *target's* partitioning whenever
+        // some input can be brought to it directly, avoiding a second
+        // communication round on the result (Example 4.1); the naive O0
+        // program always executes on the first input's partitioning and
+        // re-partitions the result.
+        let target_cols: Option<Vec<String>> = match &target_tag {
+            LocTag::Dist(p) => Some(p.columns().to_vec()),
+            _ => None,
+        };
+        // A partitioning key is usable if some distributed input already has
+        // it, or the batch can be scattered by it.
+        let delta_schema = &trigger.relation_schema;
+        let key_usable = |cols: &Vec<String>| {
+            dist_refs.iter().any(|(_, c)| c == cols)
+                || (uses_delta && cols.iter().all(|c| delta_schema.contains(c)))
+        };
+        let exec_key: Vec<String> = if self.opt >= OptLevel::O1 {
+            match &target_cols {
+                Some(tc) if key_usable(tc) => tc.clone(),
+                _ => dist_refs
+                    .first()
+                    .map(|(_, c)| c.clone())
+                    .or_else(|| target_cols.clone())
+                    .unwrap_or_default(),
+            }
+        } else {
+            dist_refs
+                .first()
+                .map(|(_, c)| c.clone())
+                .or_else(|| target_cols.clone())
+                .unwrap_or_default()
+        };
+
+        // Prepare the inputs: re-partition or broadcast views that are not
+        // aligned with the execution key, broadcast local views, scatter the
+        // batch.
+        let mut expr = stmt.expr.clone();
+        let mut any_partitioned_input = false;
+        for r in &view_refs {
+            match self.spec.tag(&r.name) {
+                LocTag::Dist(p) => {
+                    if p.columns() == exec_key.as_slice() {
+                        any_partitioned_input = true;
+                        continue;
+                    }
+                    // Re-partition (or replicate when the key is not part of
+                    // the view's schema).
+                    let schema = self.plan.view(&r.name).map(|v| v.schema.clone()).unwrap_or_default();
+                    let pf = if exec_key.iter().all(|c| schema.contains(c)) && !exec_key.is_empty() {
+                        any_partitioned_input = true;
+                        PartitionFn::by(exec_key.clone())
+                    } else {
+                        PartitionFn::Replicate
+                    };
+                    let cache_key = format!("repart:{}:{pf}", r.name);
+                    let temp = if self.opt >= OptLevel::O3 {
+                        scatter_cache.get(&cache_key).cloned()
+                    } else {
+                        None
+                    };
+                    let temp = match temp {
+                        Some(t) => t,
+                        None => {
+                            let tag = match &pf {
+                                PartitionFn::Replicate => LocTag::Replicated,
+                                _ => LocTag::Dist(pf.clone()),
+                            };
+                            let t = self.fresh_temp("repartition", schema.clone(), tag);
+                            out.push(DistStatement {
+                                target: t.clone(),
+                                target_schema: schema,
+                                op: StmtOp::SetTo,
+                                kind: DistStmtKind::Transform {
+                                    kind: Transform::Repart(pf),
+                                    source: r.name.clone(),
+                                },
+                                mode: StmtMode::Local,
+                            });
+                            scatter_cache.insert(cache_key, t.clone());
+                            t
+                        }
+                    };
+                    expr = rename_view(&expr, &r.name, &temp);
+                }
+                LocTag::Local => {
+                    // Broadcast a driver-resident view so workers can read it.
+                    let schema = self.plan.view(&r.name).map(|v| v.schema.clone()).unwrap_or_default();
+                    let cache_key = format!("bcast:{}", r.name);
+                    let temp = if self.opt >= OptLevel::O3 {
+                        scatter_cache.get(&cache_key).cloned()
+                    } else {
+                        None
+                    };
+                    let temp = match temp {
+                        Some(t) => t,
+                        None => {
+                            let t = self.fresh_temp("broadcast", schema.clone(), LocTag::Replicated);
+                            out.push(DistStatement {
+                                target: t.clone(),
+                                target_schema: schema,
+                                op: StmtOp::SetTo,
+                                kind: DistStmtKind::Transform {
+                                    kind: Transform::Scatter(PartitionFn::Replicate),
+                                    source: r.name.clone(),
+                                },
+                                mode: StmtMode::Local,
+                            });
+                            scatter_cache.insert(cache_key, t.clone());
+                            t
+                        }
+                    };
+                    expr = rename_view(&expr, &r.name, &temp);
+                }
+                _ => {}
+            }
+        }
+
+        // Scatter the update batch to the workers.
+        if uses_delta {
+            let pf = if !exec_key.is_empty() && exec_key.iter().all(|c| delta_schema.contains(c)) {
+                any_partitioned_input = true;
+                PartitionFn::by(exec_key.clone())
+            } else if exec_key.is_empty() {
+                // No anchoring key: spread the batch (pseudo-)randomly so
+                // every worker aggregates a disjoint fraction of it.
+                any_partitioned_input = true;
+                PartitionFn::by(delta_schema.columns().to_vec())
+            } else {
+                PartitionFn::Replicate
+            };
+            let cache_key = format!("scatter:Δ{}:{pf}", trigger.relation);
+            let temp = if self.opt >= OptLevel::O3 {
+                scatter_cache.get(&cache_key).cloned()
+            } else {
+                None
+            };
+            let temp = match temp {
+                Some(t) => t,
+                None => {
+                    let tag = match &pf {
+                        PartitionFn::Replicate => LocTag::Replicated,
+                        _ => LocTag::Dist(pf.clone()),
+                    };
+                    let t = self.fresh_temp("scatter", delta_schema.clone(), tag);
+                    out.push(DistStatement {
+                        target: t.clone(),
+                        target_schema: delta_schema.clone(),
+                        op: StmtOp::SetTo,
+                        kind: DistStmtKind::Transform {
+                            kind: Transform::Scatter(pf),
+                            source: format!("Δ{}", trigger.relation),
+                        },
+                        mode: StmtMode::Local,
+                    });
+                    scatter_cache.insert(cache_key, t.clone());
+                    t
+                }
+            };
+            expr = delta_to_view(&expr, &trigger.relation, &temp);
+        }
+
+        if !any_partitioned_input {
+            // Degenerate case: nothing anchors the computation to a
+            // partitioning — run on the driver and push the result out.
+            let result_temp = self.fresh_temp("local_result", stmt.target_schema.clone(), LocTag::Local);
+            out.push(DistStatement {
+                target: result_temp.clone(),
+                target_schema: stmt.target_schema.clone(),
+                op: StmtOp::SetTo,
+                kind: DistStmtKind::Compute(stmt.expr.clone()),
+                mode: StmtMode::Local,
+            });
+            let pf = match &target_tag {
+                LocTag::Dist(p) => p.clone(),
+                _ => PartitionFn::Replicate,
+            };
+            out.push(DistStatement {
+                target: stmt.target.clone(),
+                target_schema: stmt.target_schema.clone(),
+                op: stmt.op,
+                kind: DistStmtKind::Transform {
+                    kind: Transform::Scatter(pf),
+                    source: result_temp,
+                },
+                mode: StmtMode::Local,
+            });
+            return;
+        }
+
+        // Decide how the per-worker result reaches the target view.
+        let aligned_with_target = match &target_tag {
+            LocTag::Dist(p) => p.columns() == exec_key.as_slice(),
+            _ => false,
+        };
+        let simplification_on = self.opt >= OptLevel::O1;
+        if aligned_with_target && simplification_on {
+            // Workers merge straight into their partition of the target.
+            out.push(DistStatement {
+                target: stmt.target.clone(),
+                target_schema: stmt.target_schema.clone(),
+                op: stmt.op,
+                kind: DistStmtKind::Compute(expr),
+                mode: StmtMode::Distributed,
+            });
+        } else {
+            // Compute a distributed partial result, then move it to the
+            // target's location (Gather for local targets, Repart for
+            // differently-partitioned ones).
+            let result_temp = self.fresh_temp(
+                "partial",
+                stmt.target_schema.clone(),
+                LocTag::Random,
+            );
+            out.push(DistStatement {
+                target: result_temp.clone(),
+                target_schema: stmt.target_schema.clone(),
+                op: StmtOp::SetTo,
+                kind: DistStmtKind::Compute(expr),
+                mode: StmtMode::Distributed,
+            });
+            let kind = match &target_tag {
+                LocTag::Dist(p) => Transform::Repart(p.clone()),
+                _ => Transform::Gather,
+            };
+            out.push(DistStatement {
+                target: stmt.target.clone(),
+                target_schema: stmt.target_schema.clone(),
+                op: stmt.op,
+                kind: DistStmtKind::Transform {
+                    kind,
+                    source: result_temp,
+                },
+                mode: StmtMode::Local,
+            });
+        }
+    }
+}
+
+/// Replace every view reference named `from` with a reference to `to`
+/// (same columns).
+fn rename_view(expr: &Expr, from: &str, to: &str) -> Expr {
+    match expr {
+        Expr::Rel(r) if r.kind == RelKind::View && r.name == from => Expr::Rel(RelRef {
+            name: to.to_string(),
+            kind: RelKind::View,
+            cols: r.cols.clone(),
+        }),
+        other => other.map_children(&mut |c| rename_view(c, from, to)),
+    }
+}
+
+/// Replace every delta reference to `relation` with a view reference to the
+/// scattered batch `temp`.
+fn delta_to_view(expr: &Expr, relation: &str, temp: &str) -> Expr {
+    match expr {
+        Expr::Rel(r) if r.kind == RelKind::Delta && r.name == relation => Expr::Rel(RelRef {
+            name: temp.to_string(),
+            kind: RelKind::View,
+            cols: r.cols.clone(),
+        }),
+        other => other.map_children(&mut |c| delta_to_view(c, relation, temp)),
+    }
+}
+
+/// Drop transformer statements whose output temp is never read (dead code
+/// elimination over exchange buffers).
+fn dead_code_elimination(statements: &mut Vec<DistStatement>, plan: &MaintenancePlan) {
+    let real_views: Vec<&str> = plan.views.iter().map(|v| v.name.as_str()).collect();
+    loop {
+        let mut read: Vec<String> = Vec::new();
+        for s in statements.iter() {
+            read.extend(s.reads());
+        }
+        let before = statements.len();
+        statements.retain(|s| {
+            real_views.contains(&s.target.as_str()) || read.iter().any(|r| *r == s.target)
+        });
+        if statements.len() == before {
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block fusion (Appendix C.3)
+// ---------------------------------------------------------------------------
+
+/// Whether two statements commute: neither reads the other's target.
+fn stmts_commute(a: &DistStatement, b: &DistStatement) -> bool {
+    !b.reads().contains(&a.target) && !a.reads().contains(&b.target) && a.target != b.target
+}
+
+fn blocks_commute(a: &Block, b: &Block) -> bool {
+    a.statements
+        .iter()
+        .all(|x| b.statements.iter().all(|y| stmts_commute(x, y)))
+}
+
+/// Merge the head block with every later block of the same mode that
+/// commutes with all blocks in between (the `mergeIntoHead` step).
+fn merge_into_head(head: Block, tail: Vec<Block>) -> (Block, Vec<Block>) {
+    let mut head = head;
+    let mut rest: Vec<Block> = Vec::new();
+    for b in tail {
+        if head.mode == b.mode && rest.iter().all(|r| blocks_commute(r, &b)) {
+            head.statements.extend(b.statements);
+        } else {
+            rest.push(b);
+        }
+    }
+    (head, rest)
+}
+
+/// The recursive block fusion algorithm: repeatedly merge the first block
+/// with every compatible later block, then recurse on the remainder.
+pub fn fuse_blocks(blocks: Vec<Block>) -> Vec<Block> {
+    let mut input = blocks;
+    let mut out = Vec::new();
+    loop {
+        if input.is_empty() {
+            return out;
+        }
+        let head = input.remove(0);
+        let before = head.statements.len();
+        let (merged, rest) = merge_into_head(head, input);
+        if merged.statements.len() == before {
+            out.push(merged);
+            input = rest;
+        } else {
+            // Try to grow the head further (the `merge(hd2::tl2)` branch).
+            input = std::iter::once(merged).chain(rest).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotdog_algebra::expr::*;
+    use hotdog_ivm::compile_recursive;
+
+    fn example_plan() -> MaintenancePlan {
+        compile_recursive(
+            "Q",
+            &sum(
+                ["B"],
+                join_all([
+                    rel("R", ["OK", "B"]),
+                    rel("S", ["B", "CK"]),
+                    rel("T", ["CK", "D"]),
+                ]),
+            ),
+        )
+    }
+
+    fn spec_for(plan: &MaintenancePlan) -> PartitioningSpec {
+        PartitioningSpec::heuristic(plan, &["OK", "CK"])
+    }
+
+    #[test]
+    fn compile_produces_one_program_per_trigger() {
+        let plan = example_plan();
+        let spec = spec_for(&plan);
+        let dp = compile_distributed(&plan, &spec, OptLevel::O3);
+        assert_eq!(dp.programs.len(), plan.triggers.len());
+        for p in &dp.programs {
+            assert!(!p.blocks.is_empty());
+        }
+    }
+
+    #[test]
+    fn optimization_reduces_statement_and_block_count() {
+        let plan = example_plan();
+        let spec = spec_for(&plan);
+        let naive = compile_distributed(&plan, &spec, OptLevel::O0);
+        let opt = compile_distributed(&plan, &spec, OptLevel::O3);
+        let count = |dp: &DistributedPlan| {
+            dp.programs
+                .iter()
+                .map(|p| p.statements().count())
+                .sum::<usize>()
+        };
+        let blocks = |dp: &DistributedPlan| {
+            dp.programs.iter().map(|p| p.blocks.len()).sum::<usize>()
+        };
+        assert!(count(&opt) <= count(&naive), "O3 {} vs O0 {}", count(&opt), count(&naive));
+        assert!(blocks(&opt) < blocks(&naive), "O3 {} vs O0 {}", blocks(&opt), blocks(&naive));
+    }
+
+    #[test]
+    fn block_fusion_merges_commuting_blocks() {
+        let plan = example_plan();
+        let spec = spec_for(&plan);
+        let unfused = compile_distributed(&plan, &spec, OptLevel::O1);
+        let fused = compile_distributed(&plan, &spec, OptLevel::O2);
+        for (a, b) in unfused.programs.iter().zip(fused.programs.iter()) {
+            assert!(b.blocks.len() <= a.blocks.len());
+        }
+    }
+
+    #[test]
+    fn batch_consuming_statements_are_distributed_even_for_local_views() {
+        // Single-relation scalar aggregate with every view local (the Q6
+        // shape): the batch is scattered, each worker computes a partial
+        // aggregate of its fraction, and a gather merges them at the driver.
+        let plan = compile_recursive(
+            "Q",
+            &sum_total(join(rel("R", ["A", "B"]), cmp_lit("B", CmpOp::Gt, 3))),
+        );
+        let mut spec = PartitioningSpec::new();
+        spec.set("Q", LocTag::Local);
+        let dp = compile_distributed(&plan, &spec, OptLevel::O3);
+        let program = dp.program("R").unwrap();
+        // one parallel stage of partial aggregation + one gather stage
+        assert_eq!(program.stages(), 2, "{}", program.pretty());
+        assert!(program
+            .statements()
+            .any(|s| matches!(&s.kind, DistStmtKind::Transform { kind: Transform::Scatter(_), .. })));
+        assert!(program
+            .statements()
+            .any(|s| matches!(&s.kind, DistStmtKind::Transform { kind: Transform::Gather, .. })));
+    }
+
+    #[test]
+    fn distributed_statements_only_reference_worker_resident_relations() {
+        let plan = example_plan();
+        let spec = spec_for(&plan);
+        let dp = compile_distributed(&plan, &spec, OptLevel::O3);
+        for p in &dp.programs {
+            for s in p.statements() {
+                if s.mode == StmtMode::Distributed {
+                    if let DistStmtKind::Compute(e) = &s.kind {
+                        for r in e.relations() {
+                            let tag = dp.location(&r.name);
+                            assert!(
+                                tag.is_distributed(),
+                                "distributed statement reads driver-resident {} in\n{}",
+                                r.name,
+                                p.pretty()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_and_stages_are_positive_and_bounded() {
+        let plan = example_plan();
+        let spec = spec_for(&plan);
+        let dp = compile_distributed(&plan, &spec, OptLevel::O3);
+        let (jobs, stages) = dp.complexity();
+        assert!(jobs >= 1 && jobs <= 5, "jobs {jobs}");
+        assert!(stages >= 1 && stages <= 10, "stages {stages}");
+    }
+
+    #[test]
+    fn fuse_blocks_respects_data_dependencies() {
+        // b1 writes X, b2 (different mode) separates, b3 reads X: b3 must
+        // not be merged before b2 past... construct directly.
+        let s = |target: &str, reads: &str, mode: StmtMode| DistStatement {
+            target: target.into(),
+            target_schema: Schema::new(["a"]),
+            op: StmtOp::AddTo,
+            kind: DistStmtKind::Compute(view(reads, ["a"])),
+            mode,
+        };
+        let blocks = vec![
+            Block { mode: StmtMode::Local, statements: vec![s("X", "A", StmtMode::Local)] },
+            Block { mode: StmtMode::Distributed, statements: vec![s("Y", "X", StmtMode::Distributed)] },
+            Block { mode: StmtMode::Local, statements: vec![s("Z", "Y", StmtMode::Local)] },
+        ];
+        let fused = fuse_blocks(blocks);
+        // Z reads Y which is produced by the distributed block, so the two
+        // local blocks must not be merged across it.
+        assert_eq!(fused.len(), 3);
+    }
+
+    #[test]
+    fn fuse_blocks_merges_independent_same_mode_blocks() {
+        let s = |target: &str, reads: &str| DistStatement {
+            target: target.into(),
+            target_schema: Schema::new(["a"]),
+            op: StmtOp::AddTo,
+            kind: DistStmtKind::Compute(view(reads, ["a"])),
+            mode: StmtMode::Local,
+        };
+        let blocks = vec![
+            Block { mode: StmtMode::Local, statements: vec![s("X", "A")] },
+            Block { mode: StmtMode::Local, statements: vec![s("Y", "B")] },
+            Block { mode: StmtMode::Local, statements: vec![s("Z", "C")] },
+        ];
+        assert_eq!(fuse_blocks(blocks).len(), 1);
+    }
+}

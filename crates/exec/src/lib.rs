@@ -1,0 +1,18 @@
+//! # hotdog-exec
+//!
+//! The local execution engine for compiled view-maintenance plans:
+//!
+//! * [`database::Database`] — one multi-indexed record pool per materialized
+//!   view, with automatic secondary-index creation driven by the plan's
+//!   access-pattern analysis;
+//! * [`engine::LocalEngine`] — the trigger interpreter, supporting
+//!   single-tuple and batched execution (with optional batch
+//!   pre-aggregation) and metering evaluator/storage operation counts.
+
+#![forbid(unsafe_code)]
+
+pub mod database;
+pub mod engine;
+
+pub use database::{Database, ExecCatalog};
+pub use engine::{relabel, used_delta_columns, BatchStats, EngineTotals, ExecMode, LocalEngine};

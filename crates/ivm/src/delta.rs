@@ -1,0 +1,334 @@
+//! Delta derivation (Section 3.1, "Delta Queries").
+//!
+//! Given a query expression `Q` and a base relation `R`, [`delta`] constructs
+//! the delta query `Δ_R Q` such that `Q(D + ΔD) = Q(D) + Δ_R Q(D, ΔR)` for a
+//! batch of updates `ΔR` (insertions and deletions encoded as positive and
+//! negative multiplicities).  The rules follow the paper:
+//!
+//! ```text
+//! Δ(R)            = ΔR                      (for the updated relation)
+//! Δ(Q1 + Q2)      = ΔQ1 + ΔQ2
+//! Δ(Q1 ⋈ Q2)      = ΔQ1⋈Q2 + Q1⋈ΔQ2 + ΔQ1⋈ΔQ2
+//! Δ(Sum_A Q)      = Sum_A ΔQ
+//! Δ(var := Q)     = Q_dom ⋈ ((var := Q+ΔQ) − (var := Q))   [revised rule]
+//! Δ(Exists Q)     = Q_dom ⋈ (Exists(Q+ΔQ) − Exists(Q))
+//! Δ(anything else)= 0
+//! ```
+//!
+//! where `Q_dom` is produced by domain extraction (Section 3.2.2) and
+//! restricted to the variables visible to the surrounding context, so that
+//! the guard acts as a pure filter and never changes multiplicities.
+
+use crate::domain::extract_domain;
+use crate::simplify::simplify;
+use hotdog_algebra::expr::{Expr, RelKind, RelRef};
+use hotdog_algebra::schema::Schema;
+
+/// Derive the delta of `expr` for updates to base relation `relation`.
+/// The result is simplified (zero terms pruned).
+pub fn delta(expr: &Expr, relation: &str) -> Expr {
+    simplify(&delta_bound(expr, relation, &Schema::empty()))
+}
+
+/// Delta derivation threading the set of variables bound by the surrounding
+/// context (columns of join factors to the left and of the enclosing
+/// trigger).  The bound set determines which columns a domain guard may
+/// safely restrict.
+pub fn delta_bound(expr: &Expr, relation: &str, bound: &Schema) -> Expr {
+    match expr {
+        Expr::Rel(r) => match r.kind {
+            RelKind::Base if r.name == relation => Expr::Rel(RelRef {
+                name: r.name.clone(),
+                kind: RelKind::Delta,
+                cols: r.cols.clone(),
+            }),
+            _ => Expr::Const(0.0),
+        },
+        Expr::Union(l, r) => Expr::Union(
+            Box::new(delta_bound(l, relation, bound)),
+            Box::new(delta_bound(r, relation, bound)),
+        ),
+        Expr::Join(l, r) => {
+            let dl = delta_bound(l, relation, bound);
+            let bound_r = bound.union(&l.schema());
+            let dr = delta_bound(r, relation, &bound_r);
+            // ΔQ1⋈Q2 + Q1⋈ΔQ2 + ΔQ1⋈ΔQ2, pruned of zero terms by simplify.
+            let t1 = Expr::Join(Box::new(dl.clone()), Box::new((**r).clone()));
+            let t2 = Expr::Join(Box::new((**l).clone()), Box::new(dr.clone()));
+            let t3 = Expr::Join(Box::new(dl), Box::new(dr));
+            Expr::Union(
+                Box::new(Expr::Union(Box::new(t1), Box::new(t2))),
+                Box::new(t3),
+            )
+        }
+        Expr::Sum { group_by, body } => Expr::Sum {
+            group_by: group_by.clone(),
+            body: Box::new(delta_bound(body, relation, bound)),
+        },
+        Expr::AssignQuery { var, query } => {
+            let dq = simplify(&delta_bound(query, relation, bound));
+            if crate::simplify::is_zero(&dq) {
+                return Expr::Const(0.0);
+            }
+            let guard = domain_guard(&dq, query, bound);
+            let new_assign = Expr::AssignQuery {
+                var: var.clone(),
+                query: Box::new(Expr::Union(Box::new((**query).clone()), Box::new(dq))),
+            };
+            let old_assign = Expr::AssignQuery {
+                var: var.clone(),
+                query: query.clone(),
+            };
+            let diff = Expr::Union(
+                Box::new(new_assign),
+                Box::new(Expr::Join(Box::new(Expr::Const(-1.0)), Box::new(old_assign))),
+            );
+            Expr::Join(Box::new(guard), Box::new(diff))
+        }
+        Expr::Exists(q) => {
+            let dq = simplify(&delta_bound(q, relation, bound));
+            if crate::simplify::is_zero(&dq) {
+                return Expr::Const(0.0);
+            }
+            let guard = domain_guard(&dq, q, bound);
+            let new_exists = Expr::Exists(Box::new(Expr::Union(
+                Box::new((**q).clone()),
+                Box::new(dq),
+            )));
+            let old_exists = Expr::Exists(q.clone());
+            let diff = Expr::Union(
+                Box::new(new_exists),
+                Box::new(Expr::Join(Box::new(Expr::Const(-1.0)), Box::new(old_exists))),
+            );
+            Expr::Join(Box::new(guard), Box::new(diff))
+        }
+        // Constants, value terms, comparisons and assignments over values do
+        // not depend on the database.
+        Expr::Const(_) | Expr::Val(_) | Expr::Cmp { .. } | Expr::AssignVal { .. } => {
+            Expr::Const(0.0)
+        }
+    }
+}
+
+/// Build the domain guard for the revised assignment/exists delta rules.
+///
+/// The guard is the extracted domain of the nested delta, projected onto the
+/// columns that are visible to the surrounding context — either output
+/// columns of the nested query (`sch(Q)`) or variables bound by the context
+/// (`bound`, which covers equality correlation through shared variable
+/// names).  Projecting and wrapping with `Exists` guarantees multiplicity
+/// one per distinct binding, so the guard restricts the iteration domain
+/// without altering the delta's multiplicities.
+fn domain_guard(delta_of_nested: &Expr, nested: &Expr, bound: &Schema) -> Expr {
+    let raw = extract_domain(delta_of_nested);
+    if matches!(raw, Expr::Const(_)) {
+        return Expr::Const(1.0);
+    }
+    let allowed = nested.schema().union(bound);
+    let keep = raw.schema().intersect(&allowed);
+    if keep.is_empty() {
+        return Expr::Const(1.0);
+    }
+    simplify(&Expr::Exists(Box::new(Expr::Sum {
+        group_by: keep,
+        body: Box::new(raw),
+    })))
+}
+
+/// All base relations referenced by an expression, in first-occurrence order
+/// and without duplicates — the relations a maintenance program needs a
+/// trigger for.
+pub fn base_relations(expr: &Expr) -> Vec<RelRef> {
+    let mut seen = Vec::<RelRef>::new();
+    for r in expr.relations() {
+        if r.kind == RelKind::Base && !seen.iter().any(|s| s.name == r.name) {
+            seen.push(r);
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotdog_algebra::eval::{evaluate, MapCatalog};
+    use hotdog_algebra::expr::*;
+    use hotdog_algebra::relation::Relation;
+    use hotdog_algebra::tuple;
+    use hotdog_algebra::Schema;
+
+    /// Example 2.1: Δ_R of Sum_[B](R ⋈ S ⋈ T) references ΔR, S and T but
+    /// not R.
+    #[test]
+    fn example_2_1_delta_of_three_way_join() {
+        let q = sum(
+            ["B"],
+            join_all([
+                rel("R", ["A", "B"]),
+                rel("S", ["B", "C"]),
+                rel("T", ["C", "D"]),
+            ]),
+        );
+        let d = delta(&q, "R");
+        assert!(d.has_delta_relations());
+        assert!(d.references("S", RelKind::Base));
+        assert!(d.references("T", RelKind::Base));
+        assert!(!d.references("R", RelKind::Base));
+        // Degree decreased from 3 to 2 (flat query).
+        assert_eq!(d.degree(), 2);
+    }
+
+    #[test]
+    fn delta_of_unrelated_relation_is_zero() {
+        let q = sum(["B"], rel("R", ["A", "B"]));
+        assert_eq!(delta(&q, "S"), Expr::Const(0.0));
+    }
+
+    #[test]
+    fn nested_aggregate_delta_gets_domain_guard() {
+        // Q17-ish: Sum_[](L(pk,qty) ⋈ (X := Sum_[](L2(pk,qty2)*0.5)) ⋈ (qty < X))
+        let nested = sum_total(join(rel("LINEITEM", ["pk", "qty2"]), val_var("qty2")));
+        let q = sum_total(join_all([
+            rel("LINEITEM", ["pk", "qty"]),
+            assign_query("X", nested),
+            cmp_vars("qty", CmpOp::Lt, "X"),
+        ]));
+        let d = delta(&q, "LINEITEM");
+        let printed = d.to_string();
+        // The revised rule recomputes old and new nested values under an
+        // Exists guard over the correlated variable pk.
+        assert!(printed.contains("Exists"), "missing guard in {printed}");
+        assert!(d.has_delta_relations());
+    }
+
+    fn db() -> (MapCatalog, MapCatalog, MapCatalog) {
+        // base catalog, delta catalog (base + registered deltas), merged catalog
+        let r = Relation::from_pairs(
+            Schema::new(["A", "B"]),
+            vec![(tuple![1, 10], 1.0), (tuple![2, 20], 1.0), (tuple![4, 20], 1.0)],
+        );
+        let s = Relation::from_pairs(
+            Schema::new(["B", "C"]),
+            vec![(tuple![10, 7], 1.0), (tuple![20, 8], 2.0)],
+        );
+        let dr = Relation::from_pairs(
+            Schema::new(["A", "B"]),
+            vec![(tuple![3, 20], 1.0), (tuple![1, 10], -1.0)],
+        );
+
+        let mut base = MapCatalog::new();
+        base.insert("R", RelKind::Base, r.clone());
+        base.insert("S", RelKind::Base, s.clone());
+
+        let mut with_delta = base.clone();
+        with_delta.insert("R", RelKind::Delta, dr.clone());
+
+        let mut merged = MapCatalog::new();
+        merged.insert("R", RelKind::Base, r.union(&dr));
+        merged.insert("S", RelKind::Base, s);
+        (base, with_delta, merged)
+    }
+
+    fn check_delta_correct(q: &Expr) {
+        let (base, with_delta, merged) = db();
+        let before = evaluate(q, &base);
+        let d = delta(q, "R");
+        let change = evaluate(&d, &with_delta);
+        let after = evaluate(q, &merged);
+        let incr = before.union(&change);
+        assert!(
+            after.approx_eq(&incr),
+            "delta incorrect for {q}\nafter={after:?}\nincr={incr:?}\ndelta expr={d}"
+        );
+    }
+
+    #[test]
+    fn delta_correct_for_flat_join_aggregate() {
+        check_delta_correct(&sum(
+            ["B"],
+            join(rel("R", ["A", "B"]), rel("S", ["B", "C"])),
+        ));
+    }
+
+    #[test]
+    fn delta_correct_for_filtered_count() {
+        check_delta_correct(&sum_total(join(
+            rel("R", ["A", "B"]),
+            cmp_lit("B", CmpOp::Gt, 15),
+        )));
+    }
+
+    #[test]
+    fn delta_correct_for_sum_aggregate_value() {
+        check_delta_correct(&sum(
+            ["B"],
+            join_all([rel("R", ["A", "B"]), rel("S", ["B", "C"]), val_var("C")]),
+        ));
+    }
+
+    #[test]
+    fn delta_correct_for_distinct_projection() {
+        // SELECT DISTINCT B FROM R (Example 3.2 without the predicate).
+        check_delta_correct(&exists(sum(["B"], rel("R", ["A", "B"]))));
+    }
+
+    #[test]
+    fn delta_correct_for_distinct_with_predicate() {
+        // SELECT DISTINCT A FROM R WHERE B > 3 (Example 3.2).
+        check_delta_correct(&exists(sum(
+            ["A"],
+            join(rel("R", ["A", "B"]), cmp_lit("B", CmpOp::Gt, 3)),
+        )));
+    }
+
+    #[test]
+    fn delta_correct_for_correlated_nested_aggregate() {
+        // COUNT(*) FROM R WHERE A <= (COUNT(*) FROM R r2 WHERE r2.B = R.B)
+        let nested = sum_total(rel("R", ["A2", "B"]));
+        check_delta_correct(&sum_total(join_all([
+            rel("R", ["A", "B"]),
+            assign_query("X", nested),
+            cmp_vars("A", CmpOp::Le, "X"),
+        ])));
+    }
+
+    #[test]
+    fn delta_correct_for_uncorrelated_nested_aggregate() {
+        // COUNT(*) FROM S WHERE C < (COUNT(*) FROM R)  -- updates to R
+        let nested = sum_total(rel("R", ["A2", "B2"]));
+        check_delta_correct(&sum_total(join_all([
+            rel("S", ["B", "C"]),
+            assign_query("X", nested),
+            cmp_vars("C", CmpOp::Lt, "X"),
+        ])));
+    }
+
+    #[test]
+    fn delta_correct_for_exists_correlated_subquery() {
+        // COUNT(*) FROM S WHERE EXISTS (SELECT * FROM R WHERE R.B = S.B)
+        let nested = sum_total(rel("R", ["A2", "B"]));
+        check_delta_correct(&sum_total(join_all([
+            rel("S", ["B", "C"]),
+            assign_query("X", nested),
+            cmp_lit("X", CmpOp::Ne, 0.0),
+        ])));
+    }
+
+    #[test]
+    fn base_relations_deduplicate() {
+        let q = sum_total(join(rel("R", ["A", "B"]), rel("R", ["B", "C"])));
+        let rels = base_relations(&q);
+        assert_eq!(rels.len(), 1);
+        assert_eq!(rels[0].name, "R");
+    }
+
+    #[test]
+    fn second_order_delta_of_flat_query_has_no_base_relations() {
+        // Recursive IVM terminates because deltas eventually reference no
+        // base relations (for flat queries).
+        let q = sum(["B"], join(rel("R", ["A", "B"]), rel("S", ["B", "C"])));
+        let d1 = delta(&q, "R"); // references S
+        let d2 = delta(&d1, "S"); // references only deltas
+        assert_eq!(d2.degree(), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Maintenance-plan representation: materialized views, trigger statements
+//! and triggers, plus the access-pattern analysis that decides which
+//! secondary indexes each view needs (Section 5.1/5.2.1).
+
+use hotdog_algebra::expr::{Expr, RelKind};
+use hotdog_algebra::schema::Schema;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which maintenance strategy produced a plan.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Strategy {
+    /// Re-evaluate the query from (materialized) base tables on every batch.
+    Reevaluation,
+    /// Classical first-order incremental view maintenance: one delta query
+    /// per base relation, evaluated against materialized base tables.
+    ClassicalIvm,
+    /// Recursive incremental view maintenance with auxiliary views
+    /// (DBToaster-style, the paper's approach).
+    RecursiveIvm,
+}
+
+impl Strategy {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Reevaluation => "REEVAL",
+            Strategy::ClassicalIvm => "IVM",
+            Strategy::RecursiveIvm => "RIVM",
+        }
+    }
+}
+
+/// A materialized view of the plan.
+#[derive(Clone, Debug)]
+pub struct ViewDef {
+    /// Storage name (also used in `View`-kind relation references).
+    pub name: String,
+    /// Column names of the stored key tuple.
+    pub schema: Schema,
+    /// Defining query over *base* relations (used by tests and by the
+    /// re-evaluation of the view from scratch).
+    pub definition: Expr,
+    /// `true` for the top-level query result.
+    pub is_top: bool,
+}
+
+/// Statement operation: accumulate or overwrite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StmtOp {
+    /// `target += expr` — merge the delta into the view.
+    AddTo,
+    /// `target := expr` — replace the view contents.
+    SetTo,
+}
+
+/// One maintenance statement of a trigger.
+#[derive(Clone, Debug)]
+pub struct Statement {
+    /// Name of the target materialized view.
+    pub target: String,
+    /// Schema of the target view (the RHS is projected onto it).
+    pub target_schema: Schema,
+    pub op: StmtOp,
+    /// Right-hand side, referencing only `View` and `Delta` relations.
+    pub expr: Expr,
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            StmtOp::AddTo => "+=",
+            StmtOp::SetTo => ":=",
+        };
+        write!(f, "{}({:?}) {} {}", self.target, self.target_schema, op, self.expr)
+    }
+}
+
+/// The maintenance trigger for one base relation: the ordered statements to
+/// run when a batch of updates to that relation arrives.
+#[derive(Clone, Debug)]
+pub struct Trigger {
+    /// Base relation whose updates this trigger handles.
+    pub relation: String,
+    /// Schema of the update batch.
+    pub relation_schema: Schema,
+    /// Statements in execution order (decreasing view complexity).
+    pub statements: Vec<Statement>,
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ON UPDATE {} BY Δ{}", self.relation, self.relation)?;
+        for s in &self.statements {
+            writeln!(f, "  {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete maintenance plan for one query.
+#[derive(Clone, Debug)]
+pub struct MaintenancePlan {
+    pub query_name: String,
+    pub strategy: Strategy,
+    /// Name of the view holding the top-level query result.
+    pub top_view: String,
+    /// All materialized views (top view first).
+    pub views: Vec<ViewDef>,
+    /// One trigger per updatable base relation.
+    pub triggers: Vec<Trigger>,
+}
+
+/// A secondary-index requirement discovered by access-pattern analysis:
+/// the named view is probed with exactly these key positions bound.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IndexSpec {
+    pub view: String,
+    pub positions: Vec<usize>,
+}
+
+impl MaintenancePlan {
+    /// Look up a view definition by name.
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.iter().find(|v| v.name == name)
+    }
+
+    /// The top-level view definition.
+    pub fn top(&self) -> &ViewDef {
+        self.view(&self.top_view).expect("top view missing")
+    }
+
+    /// Trigger for a base relation, if the query references it.
+    pub fn trigger(&self, relation: &str) -> Option<&Trigger> {
+        self.triggers.iter().find(|t| t.relation == relation)
+    }
+
+    /// Names of the base relations this plan reacts to.
+    pub fn stream_relations(&self) -> Vec<&str> {
+        self.triggers.iter().map(|t| t.relation.as_str()).collect()
+    }
+
+    /// Total number of maintenance statements across all triggers.
+    pub fn statement_count(&self) -> usize {
+        self.triggers.iter().map(|t| t.statements.len()).sum()
+    }
+
+    /// Secondary-index requirements of every view, derived from the access
+    /// patterns of all trigger statements (Section 5.2.1): a `slice` access
+    /// with columns `P` bound creates a non-unique hash index over `P`.
+    pub fn index_requirements(&self) -> Vec<IndexSpec> {
+        let mut specs: BTreeMap<(String, Vec<usize>), ()> = BTreeMap::new();
+        for trig in &self.triggers {
+            for stmt in &trig.statements {
+                let mut bound = Schema::empty();
+                collect_access(&stmt.expr, &mut bound, &mut |view, positions| {
+                    specs.insert((view.to_string(), positions), ());
+                });
+            }
+        }
+        specs
+            .into_keys()
+            .filter(|(view, positions)| {
+                // A probe with all positions bound uses the primary (unique)
+                // index; a probe with none bound is a scan.  Only partial
+                // bindings need secondary indexes.
+                let arity = self
+                    .view(view)
+                    .map(|v| v.schema.len())
+                    .unwrap_or(usize::MAX);
+                !positions.is_empty() && positions.len() < arity
+            })
+            .map(|(view, positions)| IndexSpec { view, positions })
+            .collect()
+    }
+
+    /// Render the whole plan (views + triggers) for inspection.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "-- plan `{}` [{}], {} views, {} triggers\n",
+            self.query_name,
+            self.strategy.label(),
+            self.views.len(),
+            self.triggers.len()
+        ));
+        for v in &self.views {
+            out.push_str(&format!(
+                "VIEW {}{:?}{} := {}\n",
+                v.name,
+                v.schema,
+                if v.is_top { " (top)" } else { "" },
+                v.definition
+            ));
+        }
+        for t in &self.triggers {
+            out.push_str(&t.to_string());
+        }
+        out
+    }
+}
+
+/// Walk an expression in evaluation order, tracking which columns are bound,
+/// and report every access to a `View`-kind relation along with the bound
+/// key positions at that point.
+pub fn collect_access(
+    expr: &Expr,
+    bound: &mut Schema,
+    report: &mut dyn FnMut(&str, Vec<usize>),
+) {
+    match expr {
+        Expr::Rel(r) => {
+            if r.kind == RelKind::View {
+                let positions: Vec<usize> = r
+                    .cols
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| bound.contains(c))
+                    .map(|(i, _)| i)
+                    .collect();
+                report(&r.name, positions);
+            }
+            for c in &r.cols {
+                bound.push(c.clone());
+            }
+        }
+        Expr::Join(l, r) => {
+            collect_access(l, bound, report);
+            collect_access(r, bound, report);
+        }
+        Expr::Union(l, r) => {
+            let snapshot = bound.clone();
+            let mut bl = snapshot.clone();
+            collect_access(l, &mut bl, report);
+            let mut br = snapshot.clone();
+            collect_access(r, &mut br, report);
+            *bound = snapshot.union(&bl.intersect(&br));
+        }
+        Expr::Sum { group_by, body } => {
+            let mut inner = bound.clone();
+            collect_access(body, &mut inner, report);
+            *bound = bound.union(group_by);
+        }
+        Expr::Exists(q) => {
+            let snapshot = bound.clone();
+            let mut inner = snapshot.clone();
+            collect_access(q, &mut inner, report);
+            *bound = bound.union(&q.schema());
+        }
+        Expr::AssignQuery { var, query } => {
+            let mut inner = bound.clone();
+            collect_access(query, &mut inner, report);
+            *bound = bound.union(&query.schema());
+            bound.push(var.clone());
+        }
+        Expr::AssignVal { var, .. } => {
+            bound.push(var.clone());
+        }
+        Expr::Const(_) | Expr::Val(_) | Expr::Cmp { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotdog_algebra::expr::*;
+
+    #[test]
+    fn collect_access_reports_bound_positions() {
+        // ΔR(A,B) ⋈ M_ST(B): when M_ST is reached, B is bound -> position 0.
+        let e = join(delta_rel("R", ["A", "B"]), view("M_ST", ["B"]));
+        let mut reported = Vec::new();
+        collect_access(&e, &mut Schema::empty(), &mut |v, p| {
+            reported.push((v.to_string(), p));
+        });
+        assert_eq!(reported, vec![("M_ST".to_string(), vec![0])]);
+    }
+
+    #[test]
+    fn collect_access_partial_binding() {
+        // ΔR(A,B) ⋈ M_S(B,C): only position 0 (B) bound -> slice index [0].
+        let e = join(delta_rel("R", ["A", "B"]), view("M_S", ["B", "C"]));
+        let mut reported = Vec::new();
+        collect_access(&e, &mut Schema::empty(), &mut |v, p| {
+            reported.push((v.to_string(), p));
+        });
+        assert_eq!(reported, vec![("M_S".to_string(), vec![0])]);
+    }
+
+    #[test]
+    fn statement_display_is_readable() {
+        let s = Statement {
+            target: "Q".into(),
+            target_schema: Schema::new(["B"]),
+            op: StmtOp::AddTo,
+            expr: join(delta_rel("R", ["A", "B"]), view("M_ST", ["B"])),
+        };
+        let txt = s.to_string();
+        assert!(txt.contains("Q"));
+        assert!(txt.contains("+="));
+        assert!(txt.contains("M_ST"));
+    }
+}

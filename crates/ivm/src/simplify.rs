@@ -1,0 +1,229 @@
+//! Algebraic simplification of query expressions.
+//!
+//! Delta derivation produces many trivially-zero or trivially-neutral terms
+//! (`ΔS` of an expression not referencing `S`, joins with constant 1, unions
+//! with 0).  Simplification keeps derived maintenance programs small, which
+//! matters both for the interpreter and for readability of compiled plans.
+
+use hotdog_algebra::expr::Expr;
+
+/// Whether an expression is the constant zero relation.
+pub fn is_zero(e: &Expr) -> bool {
+    matches!(e, Expr::Const(c) if *c == 0.0)
+}
+
+/// Whether an expression is the constant one (neutral for natural join).
+pub fn is_one(e: &Expr) -> bool {
+    matches!(e, Expr::Const(c) if *c == 1.0)
+}
+
+/// Recursively simplify an expression.
+///
+/// Rules applied (each preserves semantics):
+/// * `0 + Q = Q`, `Q + 0 = Q`
+/// * `0 * Q = 0`, `Q * 0 = 0`
+/// * `1 * Q = Q`, `Q * 1 = Q`
+/// * `Sum_s(0) = 0`, `Exists(0) = 0`
+/// * `Sum_s(Sum_s'(Q)) = Sum_s(Q)` when `s ⊆ s'`
+/// * `Sum_s(Q) = Q` when `sch(Q) = s` and `Q` is itself a `Sum` or a
+///   relational term (re-grouping on the full schema is the identity)
+/// * constant folding of `c1 * c2` and `c1 + c2`
+pub fn simplify(e: &Expr) -> Expr {
+    let e = e.map_children(&mut |c| simplify(c));
+    match e {
+        Expr::Union(l, r) => {
+            if is_zero(&l) {
+                *r
+            } else if is_zero(&r) {
+                *l
+            } else if let (Expr::Const(a), Expr::Const(b)) = (l.as_ref(), r.as_ref()) {
+                Expr::Const(a + b)
+            } else {
+                Expr::Union(l, r)
+            }
+        }
+        Expr::Join(l, r) => {
+            if is_zero(&l) || is_zero(&r) {
+                Expr::Const(0.0)
+            } else if is_one(&l) {
+                *r
+            } else if is_one(&r) {
+                *l
+            } else if let (Expr::Const(a), Expr::Const(b)) = (l.as_ref(), r.as_ref()) {
+                Expr::Const(a * b)
+            } else {
+                Expr::Join(l, r)
+            }
+        }
+        Expr::Sum { group_by, body } => {
+            if is_zero(&body) {
+                return Expr::Const(0.0);
+            }
+            // Collapse nested Sum when the outer group-by is a subset of the
+            // inner one.
+            if let Expr::Sum {
+                group_by: inner_gb,
+                body: inner_body,
+            } = body.as_ref()
+            {
+                if group_by.subset_of(inner_gb) {
+                    return simplify(&Expr::Sum {
+                        group_by,
+                        body: inner_body.clone(),
+                    });
+                }
+            }
+            // Re-grouping a relational term on its full schema is an identity.
+            if body.schema().same_columns(&group_by) && matches!(body.as_ref(), Expr::Rel(_)) {
+                return *body;
+            }
+            Expr::Sum { group_by, body }
+        }
+        Expr::Exists(q) => {
+            if is_zero(&q) {
+                Expr::Const(0.0)
+            } else {
+                Expr::Exists(q)
+            }
+        }
+        Expr::AssignQuery { var, query } => {
+            if is_zero(&query) {
+                // (var := 0): with SQL-style scalar semantics the variable is
+                // bound to 0 with multiplicity one.
+                Expr::AssignVal {
+                    var,
+                    value: hotdog_algebra::expr::ValExpr::Lit(
+                        hotdog_algebra::value::Value::Double(0.0),
+                    ),
+                }
+            } else {
+                Expr::AssignQuery { var, query }
+            }
+        }
+        other => other,
+    }
+}
+
+/// Flatten a union tree into its (already simplified) addends, skipping
+/// zeros.  Useful for analyzing delta expressions term by term.
+pub fn union_terms(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    fn walk(e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::Union(l, r) => {
+                walk(l, out);
+                walk(r, out);
+            }
+            other => {
+                if !is_zero(other) {
+                    out.push(other.clone());
+                }
+            }
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+/// Flatten a join tree into its factors in evaluation (left-to-right) order.
+pub fn join_factors(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    fn walk(e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::Join(l, r) => {
+                walk(l, out);
+                walk(r, out);
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+/// Rebuild a left-deep join from factors (inverse of [`join_factors`]).
+pub fn join_of(factors: Vec<Expr>) -> Expr {
+    let mut it = factors.into_iter();
+    match it.next() {
+        None => Expr::Const(1.0),
+        Some(first) => it.fold(first, |acc, f| {
+            Expr::Join(Box::new(acc), Box::new(f))
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotdog_algebra::expr::*;
+
+    #[test]
+    fn zero_annihilates_join() {
+        let e = join(Expr::Const(0.0), rel("R", ["A"]));
+        assert!(is_zero(&simplify(&e)));
+    }
+
+    #[test]
+    fn one_is_neutral_for_join() {
+        let e = join(Expr::Const(1.0), rel("R", ["A"]));
+        assert_eq!(simplify(&e), rel("R", ["A"]));
+    }
+
+    #[test]
+    fn zero_is_neutral_for_union() {
+        let e = union(Expr::Const(0.0), rel("R", ["A"]));
+        assert_eq!(simplify(&e), rel("R", ["A"]));
+    }
+
+    #[test]
+    fn sum_of_zero_is_zero() {
+        let e = sum(["A"], Expr::Const(0.0));
+        assert!(is_zero(&simplify(&e)));
+    }
+
+    #[test]
+    fn nested_sums_collapse() {
+        let e = sum(["A"], sum(["A", "B"], rel("R", ["A", "B"])));
+        assert_eq!(simplify(&e), sum(["A"], rel("R", ["A", "B"])));
+    }
+
+    #[test]
+    fn sum_over_full_schema_of_rel_is_identity() {
+        let e = sum(["A", "B"], rel("R", ["A", "B"]));
+        assert_eq!(simplify(&e), rel("R", ["A", "B"]));
+    }
+
+    #[test]
+    fn constants_fold() {
+        let e = join(Expr::Const(2.0), Expr::Const(3.0));
+        assert_eq!(simplify(&e), Expr::Const(6.0));
+        let e = union(Expr::Const(2.0), Expr::Const(3.0));
+        assert_eq!(simplify(&e), Expr::Const(5.0));
+    }
+
+    #[test]
+    fn union_terms_flatten() {
+        let e = union(
+            union(rel("R", ["A"]), Expr::Const(0.0)),
+            rel("S", ["A"]),
+        );
+        assert_eq!(union_terms(&e).len(), 2);
+    }
+
+    #[test]
+    fn join_factors_round_trip() {
+        let e = join_all([rel("R", ["A"]), rel("S", ["A"]), rel("T", ["A"])]);
+        let f = join_factors(&e);
+        assert_eq!(f.len(), 3);
+        assert_eq!(join_of(f), e);
+    }
+
+    #[test]
+    fn deep_simplification_reaches_children() {
+        let e = sum(
+            ["A"],
+            join(rel("R", ["A"]), join(Expr::Const(1.0), Expr::Const(0.0))),
+        );
+        assert!(is_zero(&simplify(&e)));
+    }
+}

@@ -1,0 +1,20 @@
+//! # hotdog-workload
+//!
+//! Synthetic workloads for the experiments:
+//!
+//! * [`schema`] — TPC-H-shaped and TPC-DS-shaped table definitions;
+//! * [`generator`] — seeded data generators and the round-robin-interleaved
+//!   [`generator::UpdateStream`] with batch chunking;
+//! * [`queries`] — the continuous-query catalog (22 TPC-H-style and 10
+//!   TPC-DS-style queries) expressed in the algebra, each with the
+//!   partition-key preference used by the distributed compiler.
+
+#![forbid(unsafe_code)]
+
+pub mod generator;
+pub mod queries;
+pub mod schema;
+
+pub use generator::{generate_tpcds, generate_tpch, StreamEvent, UpdateStream};
+pub use queries::{all_queries, query, tpcds_queries, tpch_queries, CatalogQuery, Workload};
+pub use schema::{table, TableDef, TPCDS_TABLES, TPCH_TABLES};

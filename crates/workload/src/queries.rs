@@ -1,0 +1,1036 @@
+//! The query catalog: TPC-H-style and TPC-DS-style continuous queries
+//! expressed in the algebra.
+//!
+//! The queries preserve the *structure* that drives the paper's experiments —
+//! join graphs, static filter selectivities, group-by keys, and (where the
+//! original has them) equality-correlated nested aggregates and existential
+//! quantification — while simplifying details the engine does not model
+//! (string predicates become dictionary-code comparisons, `MIN`/`MAX`
+//! subqueries become threshold/`EXISTS` forms, multi-aggregate outputs keep
+//! their dominant aggregate).  Every query is verified against from-scratch
+//! re-evaluation by the integration tests, so the simplifications never
+//! compromise maintainability correctness.
+
+use crate::schema::table;
+use hotdog_algebra::expr::*;
+use hotdog_algebra::value::Value;
+
+/// Which benchmark family a catalog query belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Workload {
+    TpcH,
+    TpcDs,
+}
+
+/// A catalog entry: a named continuous query plus the partition-key
+/// preference used by the distributed compiler (the paper's heuristic:
+/// partition on the primary key of a base table appearing in the view
+/// schema, preferring the highest-cardinality one).
+#[derive(Clone, Debug)]
+pub struct CatalogQuery {
+    pub id: &'static str,
+    pub workload: Workload,
+    pub description: &'static str,
+    pub expr: Expr,
+    /// Candidate partitioning columns in decreasing cardinality order
+    /// (variable names as used inside `expr`).
+    pub partition_keys: Vec<&'static str>,
+}
+
+/// Reference a workload table renaming selected columns (for expressing
+/// equi-joins through shared variable names).
+fn t(name: &str, renames: &[(&str, &str)]) -> Expr {
+    let def = table(name).unwrap_or_else(|| panic!("unknown table {name}"));
+    let cols: Vec<String> = def
+        .columns
+        .iter()
+        .map(|c| {
+            renames
+                .iter()
+                .find(|(orig, _)| orig == c)
+                .map(|(_, new)| new.to_string())
+                .unwrap_or_else(|| c.to_string())
+        })
+        .collect();
+    rel(name, cols)
+}
+
+fn v(name: &str) -> ValExpr {
+    ValExpr::var(name)
+}
+
+fn lit(x: impl Into<Value>) -> ValExpr {
+    ValExpr::Lit(x.into())
+}
+
+fn mul(a: ValExpr, b: ValExpr) -> ValExpr {
+    ValExpr::Mul(Box::new(a), Box::new(b))
+}
+
+fn sub(a: ValExpr, b: ValExpr) -> ValExpr {
+    ValExpr::Sub(Box::new(a), Box::new(b))
+}
+
+fn div(a: ValExpr, b: ValExpr) -> ValExpr {
+    ValExpr::Div(Box::new(a), Box::new(b))
+}
+
+/// `l_extendedprice * (1 - l_discount)` — the revenue term used throughout
+/// TPC-H.
+fn revenue() -> Expr {
+    val(mul(v("l_extendedprice"), sub(lit(1.0), v("l_discount"))))
+}
+
+fn q(
+    id: &'static str,
+    workload: Workload,
+    description: &'static str,
+    expr: Expr,
+    partition_keys: &[&'static str],
+) -> CatalogQuery {
+    CatalogQuery {
+        id,
+        workload,
+        description,
+        expr,
+        partition_keys: partition_keys.to_vec(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H
+// ---------------------------------------------------------------------------
+
+/// The TPC-H-style catalog.
+pub fn tpch_queries() -> Vec<CatalogQuery> {
+    let mut out = Vec::new();
+
+    // Q1: pricing summary report (one dominant aggregate).
+    out.push(q(
+        "Q1",
+        Workload::TpcH,
+        "revenue per returnflag/linestatus for shipped items",
+        sum(
+            ["l_returnflag", "l_linestatus"],
+            join_all([
+                t("LINEITEM", &[]),
+                cmp_lit("l_shipdate", CmpOp::Le, 19980902i64),
+                revenue(),
+            ]),
+        ),
+        &["l_orderkey"],
+    ));
+
+    // Q2 (EXISTS variant of the minimum-cost supplier query): distinct parts
+    // of a given size that have a low-cost supplier in some region.
+    out.push(q(
+        "Q2",
+        Workload::TpcH,
+        "parts with a low-cost supplier (EXISTS form of min-cost query)",
+        exists(sum(
+            ["PK"],
+            join_all([
+                t("PART", &[("p_partkey", "PK")]),
+                cmp_lit("p_size", CmpOp::Eq, 15i64),
+                t("PARTSUPP", &[("ps_partkey", "PK"), ("ps_suppkey", "SK")]),
+                cmp_lit("ps_supplycost", CmpOp::Lt, 100.0),
+                t("SUPPLIER", &[("s_suppkey", "SK"), ("s_nationkey", "NK")]),
+                t("NATION", &[("n_nationkey", "NK"), ("n_regionkey", "RK")]),
+                t("REGION", &[("r_regionkey", "RK")]),
+                cmp_lit("RK", CmpOp::Eq, 3i64),
+            ]),
+        )),
+        &["PK", "SK"],
+    ));
+
+    // Q3: shipping priority.
+    out.push(q(
+        "Q3",
+        Workload::TpcH,
+        "unshipped-order revenue per order",
+        sum(
+            ["OK", "o_orderdate", "o_shippriority"],
+            join_all([
+                t("CUSTOMER", &[("c_custkey", "CK")]),
+                cmp_lit("c_mktsegment", CmpOp::Eq, 1i64),
+                t("ORDERS", &[("o_orderkey", "OK"), ("o_custkey", "CK")]),
+                cmp_lit("o_orderdate", CmpOp::Lt, 19950315i64),
+                t("LINEITEM", &[("l_orderkey", "OK")]),
+                cmp_lit("l_shipdate", CmpOp::Gt, 19950315i64),
+                revenue(),
+            ]),
+        ),
+        &["OK", "CK"],
+    ));
+
+    // Q4: order priority checking (correlated EXISTS over lineitem).
+    out.push(q(
+        "Q4",
+        Workload::TpcH,
+        "orders with at least one late lineitem, per priority",
+        sum(
+            ["o_orderpriority"],
+            join_all([
+                t("ORDERS", &[("o_orderkey", "OK")]),
+                cmp_lit("o_orderdate", CmpOp::Ge, 19930701i64),
+                cmp_lit("o_orderdate", CmpOp::Lt, 19931001i64),
+                assign_query(
+                    "XC",
+                    sum_total(join(
+                        t("LINEITEM", &[("l_orderkey", "OK"), ("l_shipdate", "l_shipdate4")]),
+                        cmp_lit("l_shipdate4", CmpOp::Gt, 19930801i64),
+                    )),
+                ),
+                cmp_lit("XC", CmpOp::Ne, 0.0),
+            ]),
+        ),
+        &["OK"],
+    ));
+
+    // Q5: local supplier volume.
+    out.push(q(
+        "Q5",
+        Workload::TpcH,
+        "revenue by nation for local suppliers",
+        sum(
+            ["NK"],
+            join_all([
+                t("CUSTOMER", &[("c_custkey", "CK"), ("c_nationkey", "NK")]),
+                t("ORDERS", &[("o_orderkey", "OK"), ("o_custkey", "CK")]),
+                cmp_lit("o_orderdate", CmpOp::Ge, 19940101i64),
+                cmp_lit("o_orderdate", CmpOp::Lt, 19950101i64),
+                t("LINEITEM", &[("l_orderkey", "OK"), ("l_suppkey", "SK")]),
+                t("SUPPLIER", &[("s_suppkey", "SK"), ("s_nationkey", "NK")]),
+                t("NATION", &[("n_nationkey", "NK"), ("n_regionkey", "RK")]),
+                t("REGION", &[("r_regionkey", "RK")]),
+                cmp_lit("RK", CmpOp::Eq, 2i64),
+                revenue(),
+            ]),
+        ),
+        &["OK", "CK", "SK"],
+    ));
+
+    // Q6: forecasting revenue change (single-table aggregate).
+    out.push(q(
+        "Q6",
+        Workload::TpcH,
+        "revenue from discounted small-quantity lineitems",
+        sum_total(join_all([
+            t("LINEITEM", &[]),
+            cmp_lit("l_shipdate", CmpOp::Ge, 19940101i64),
+            cmp_lit("l_shipdate", CmpOp::Lt, 19950101i64),
+            cmp_lit("l_discount", CmpOp::Ge, 0.05),
+            cmp_lit("l_discount", CmpOp::Le, 0.07),
+            cmp_lit("l_quantity", CmpOp::Lt, 24i64),
+            val(mul(v("l_extendedprice"), v("l_discount"))),
+        ])),
+        &["l_orderkey"],
+    ));
+
+    // Q7: volume shipping between two nations.
+    out.push(q(
+        "Q7",
+        Workload::TpcH,
+        "shipping volume between two nations",
+        sum(
+            ["NK1", "NK2"],
+            join_all([
+                t("SUPPLIER", &[("s_suppkey", "SK"), ("s_nationkey", "NK1")]),
+                t("LINEITEM", &[("l_orderkey", "OK"), ("l_suppkey", "SK")]),
+                cmp_lit("l_shipdate", CmpOp::Ge, 19950101i64),
+                cmp_lit("l_shipdate", CmpOp::Le, 19961231i64),
+                t("ORDERS", &[("o_orderkey", "OK"), ("o_custkey", "CK")]),
+                t("CUSTOMER", &[("c_custkey", "CK"), ("c_nationkey", "NK2")]),
+                cmp_lit("NK1", CmpOp::Le, 5i64),
+                cmp_lit("NK2", CmpOp::Le, 5i64),
+                cmp_vars("NK1", CmpOp::Ne, "NK2"),
+                revenue(),
+            ]),
+        ),
+        &["OK", "SK", "CK"],
+    ));
+
+    // Q8: national market share (revenue of one nation's suppliers for a
+    // part type, per order year — simplified to the revenue aggregate).
+    out.push(q(
+        "Q8",
+        Workload::TpcH,
+        "revenue for one part type by supplier nation",
+        sum(
+            ["NK"],
+            join_all([
+                t("PART", &[("p_partkey", "PK")]),
+                cmp_lit("p_type", CmpOp::Eq, 42i64),
+                t("LINEITEM", &[("l_orderkey", "OK"), ("l_partkey", "PK"), ("l_suppkey", "SK")]),
+                t("SUPPLIER", &[("s_suppkey", "SK"), ("s_nationkey", "NK")]),
+                t("ORDERS", &[("o_orderkey", "OK"), ("o_custkey", "CK")]),
+                cmp_lit("o_orderdate", CmpOp::Ge, 19950101i64),
+                cmp_lit("o_orderdate", CmpOp::Le, 19961231i64),
+                t("CUSTOMER", &[("c_custkey", "CK"), ("c_nationkey", "NKC")]),
+                t("NATION", &[("n_nationkey", "NKC"), ("n_regionkey", "RK")]),
+                cmp_lit("RK", CmpOp::Eq, 1i64),
+                revenue(),
+            ]),
+        ),
+        &["OK", "PK", "SK", "CK"],
+    ));
+
+    // Q9: product type profit measure.
+    out.push(q(
+        "Q9",
+        Workload::TpcH,
+        "profit by supplier nation for a part family",
+        sum(
+            ["NK"],
+            join_all([
+                t("PART", &[("p_partkey", "PK")]),
+                cmp_lit("p_type", CmpOp::Lt, 25i64),
+                t("PARTSUPP", &[("ps_partkey", "PK"), ("ps_suppkey", "SK")]),
+                t("LINEITEM", &[("l_orderkey", "OK"), ("l_partkey", "PK"), ("l_suppkey", "SK")]),
+                t("SUPPLIER", &[("s_suppkey", "SK"), ("s_nationkey", "NK")]),
+                t("ORDERS", &[("o_orderkey", "OK")]),
+                val(sub(
+                    mul(v("l_extendedprice"), sub(lit(1.0), v("l_discount"))),
+                    mul(v("ps_supplycost"), v("l_quantity")),
+                )),
+            ]),
+        ),
+        &["OK", "PK", "SK"],
+    ));
+
+    // Q10: returned item reporting.
+    out.push(q(
+        "Q10",
+        Workload::TpcH,
+        "lost revenue per customer from returned items",
+        sum(
+            ["CK", "NK"],
+            join_all([
+                t("CUSTOMER", &[("c_custkey", "CK"), ("c_nationkey", "NK")]),
+                t("ORDERS", &[("o_orderkey", "OK"), ("o_custkey", "CK")]),
+                cmp_lit("o_orderdate", CmpOp::Ge, 19931001i64),
+                cmp_lit("o_orderdate", CmpOp::Lt, 19940101i64),
+                t("LINEITEM", &[("l_orderkey", "OK")]),
+                cmp_lit("l_returnflag", CmpOp::Eq, 2i64),
+                revenue(),
+            ]),
+        ),
+        &["OK", "CK"],
+    ));
+
+    // Q11: important stock identification (uncorrelated nested aggregate —
+    // the class of queries where re-evaluation can win, Section 3.2.3).
+    out.push(q(
+        "Q11",
+        Workload::TpcH,
+        "partkeys whose stock value exceeds a fraction of the total",
+        sum(
+            ["PK"],
+            join_all([
+                exists(sum(
+                    ["PK"],
+                    t("PARTSUPP", &[("ps_partkey", "PK"), ("ps_suppkey", "SK")]),
+                )),
+                assign_query(
+                    "PV",
+                    sum_total(join(
+                        t(
+                            "PARTSUPP",
+                            &[("ps_partkey", "PK"), ("ps_suppkey", "SK11"), ("ps_availqty", "aq11"), ("ps_supplycost", "sc11")],
+                        ),
+                        val(mul(v("sc11"), v("aq11"))),
+                    )),
+                ),
+                assign_query(
+                    "TV",
+                    sum_total(join(
+                        t(
+                            "PARTSUPP",
+                            &[("ps_partkey", "PK12"), ("ps_suppkey", "SK12"), ("ps_availqty", "aq12"), ("ps_supplycost", "sc12")],
+                        ),
+                        val(mul(v("sc12"), v("aq12"))),
+                    )),
+                ),
+                cmp(v("PV"), CmpOp::Gt, mul(lit(0.001), v("TV"))),
+                val(v("PV")),
+            ]),
+        ),
+        &["PK", "SK"],
+    ));
+
+    // Q12: shipping modes and order priority.
+    out.push(q(
+        "Q12",
+        Workload::TpcH,
+        "late lineitems per ship mode",
+        sum(
+            ["l_shipmode"],
+            join_all([
+                t("ORDERS", &[("o_orderkey", "OK")]),
+                t("LINEITEM", &[("l_orderkey", "OK")]),
+                cmp_lit("l_shipmode", CmpOp::Le, 1i64),
+                cmp_lit("l_shipdate", CmpOp::Ge, 19940101i64),
+                cmp_lit("l_shipdate", CmpOp::Lt, 19950101i64),
+            ]),
+        ),
+        &["OK"],
+    ));
+
+    // Q13: customer distribution (correlated order count per customer).
+    out.push(q(
+        "Q13",
+        Workload::TpcH,
+        "customers with more than five qualifying orders",
+        sum_total(join_all([
+            t("CUSTOMER", &[("c_custkey", "CK")]),
+            assign_query(
+                "OC",
+                sum_total(join(
+                    t("ORDERS", &[("o_orderkey", "OK13"), ("o_custkey", "CK"), ("o_orderpriority", "op13")]),
+                    cmp_lit("op13", CmpOp::Ne, 0i64),
+                )),
+            ),
+            cmp_lit("OC", CmpOp::Gt, 5.0),
+        ])),
+        &["CK"],
+    ));
+
+    // Q14: promotion effect (filtered join revenue).
+    out.push(q(
+        "Q14",
+        Workload::TpcH,
+        "revenue from promotional parts in one month",
+        sum_total(join_all([
+            t("LINEITEM", &[("l_partkey", "PK")]),
+            cmp_lit("l_shipdate", CmpOp::Ge, 19950901i64),
+            cmp_lit("l_shipdate", CmpOp::Lt, 19951001i64),
+            t("PART", &[("p_partkey", "PK")]),
+            cmp_lit("p_type", CmpOp::Lt, 50i64),
+            revenue(),
+        ])),
+        &["PK"],
+    ));
+
+    // Q15: top supplier (threshold form of the MAX-revenue subquery).
+    out.push(q(
+        "Q15",
+        Workload::TpcH,
+        "suppliers whose quarterly revenue exceeds a threshold",
+        sum(
+            ["SK"],
+            join_all([
+                t("SUPPLIER", &[("s_suppkey", "SK")]),
+                assign_query(
+                    "RV",
+                    sum_total(join_all([
+                        t("LINEITEM", &[("l_suppkey", "SK"), ("l_shipdate", "sd15")]),
+                        cmp_lit("sd15", CmpOp::Ge, 19960101i64),
+                        cmp_lit("sd15", CmpOp::Lt, 19960401i64),
+                        revenue(),
+                    ])),
+                ),
+                cmp_lit("RV", CmpOp::Gt, 100_000.0),
+                val(v("RV")),
+            ]),
+        ),
+        &["SK"],
+    ));
+
+    // Q16: parts/supplier relationship (NOT EXISTS over flagged suppliers).
+    out.push(q(
+        "Q16",
+        Workload::TpcH,
+        "partsupp pairs whose supplier has no negative balance",
+        sum(
+            ["p_brand", "p_size"],
+            join_all([
+                t("PART", &[("p_partkey", "PK")]),
+                cmp_lit("p_brand", CmpOp::Ne, 5i64),
+                t("PARTSUPP", &[("ps_partkey", "PK"), ("ps_suppkey", "SK")]),
+                assign_query(
+                    "BADS",
+                    sum_total(join(
+                        t("SUPPLIER", &[("s_suppkey", "SK"), ("s_acctbal", "bal16")]),
+                        cmp_lit("bal16", CmpOp::Lt, 0.0),
+                    )),
+                ),
+                cmp_lit("BADS", CmpOp::Eq, 0.0),
+            ]),
+        ),
+        &["PK", "SK"],
+    ));
+
+    // Q17: small-quantity-order revenue (equality-correlated nested AVG,
+    // the showcase query for domain extraction).
+    out.push(q(
+        "Q17",
+        Workload::TpcH,
+        "revenue of lineitems below 20% of the part's average quantity",
+        sum_total(join_all([
+            t("LINEITEM", &[("l_partkey", "PK")]),
+            t("PART", &[("p_partkey", "PK")]),
+            cmp_lit("p_container", CmpOp::Eq, 7i64),
+            assign_query(
+                "QS",
+                sum_total(join(
+                    t(
+                        "LINEITEM",
+                        &[
+                            ("l_orderkey", "ok17"),
+                            ("l_partkey", "PK"),
+                            ("l_suppkey", "sk17"),
+                            ("l_quantity", "qty17"),
+                            ("l_extendedprice", "ep17"),
+                            ("l_discount", "dc17"),
+                            ("l_shipdate", "sd17"),
+                            ("l_returnflag", "rf17"),
+                            ("l_linestatus", "ls17"),
+                            ("l_shipmode", "sm17"),
+                        ],
+                    ),
+                    val(v("qty17")),
+                )),
+            ),
+            assign_query(
+                "QC",
+                sum_total(t(
+                    "LINEITEM",
+                    &[
+                        ("l_orderkey", "ok17b"),
+                        ("l_partkey", "PK"),
+                        ("l_suppkey", "sk17b"),
+                        ("l_quantity", "qty17b"),
+                        ("l_extendedprice", "ep17b"),
+                        ("l_discount", "dc17b"),
+                        ("l_shipdate", "sd17b"),
+                        ("l_returnflag", "rf17b"),
+                        ("l_linestatus", "ls17b"),
+                        ("l_shipmode", "sm17b"),
+                    ],
+                )),
+            ),
+            cmp(
+                v("l_quantity"),
+                CmpOp::Lt,
+                mul(lit(0.2), div(v("QS"), v("QC"))),
+            ),
+            val(v("l_extendedprice")),
+        ])),
+        &["PK"],
+    ));
+
+    // Q18: large volume customers (correlated HAVING on order quantity).
+    out.push(q(
+        "Q18",
+        Workload::TpcH,
+        "orders whose total quantity exceeds 300",
+        sum(
+            ["CK", "OK"],
+            join_all([
+                t("CUSTOMER", &[("c_custkey", "CK")]),
+                t("ORDERS", &[("o_orderkey", "OK"), ("o_custkey", "CK")]),
+                t("LINEITEM", &[("l_orderkey", "OK")]),
+                assign_query(
+                    "TQ",
+                    sum_total(join(
+                        t(
+                            "LINEITEM",
+                            &[
+                                ("l_orderkey", "OK"),
+                                ("l_partkey", "pk18"),
+                                ("l_suppkey", "sk18"),
+                                ("l_quantity", "qty18"),
+                                ("l_extendedprice", "ep18"),
+                                ("l_discount", "dc18"),
+                                ("l_shipdate", "sd18"),
+                                ("l_returnflag", "rf18"),
+                                ("l_linestatus", "ls18"),
+                                ("l_shipmode", "sm18"),
+                            ],
+                        ),
+                        val(v("qty18")),
+                    )),
+                ),
+                cmp_lit("TQ", CmpOp::Gt, 300.0),
+                val(v("l_quantity")),
+            ]),
+        ),
+        &["OK", "CK"],
+    ));
+
+    // Q19: discounted revenue (disjunction of three predicate branches).
+    let q19_branch = |brand: i64, qty_lo: i64, qty_hi: i64, size_hi: i64| {
+        join_all([
+            t("LINEITEM", &[("l_partkey", "PK")]),
+            t("PART", &[("p_partkey", "PK")]),
+            cmp_lit("p_brand", CmpOp::Eq, brand),
+            cmp_lit("l_quantity", CmpOp::Ge, qty_lo),
+            cmp_lit("l_quantity", CmpOp::Le, qty_hi),
+            cmp_lit("p_size", CmpOp::Le, size_hi),
+            revenue(),
+        ])
+    };
+    out.push(q(
+        "Q19",
+        Workload::TpcH,
+        "revenue for three brand/quantity/size predicate branches",
+        sum_total(union(
+            q19_branch(1, 1, 11, 5),
+            union(q19_branch(2, 10, 20, 10), q19_branch(3, 20, 30, 15)),
+        )),
+        &["PK"],
+    ));
+
+    // Q20: potential part promotion (two-column-correlated nested aggregate).
+    out.push(q(
+        "Q20",
+        Workload::TpcH,
+        "suppliers with excess availability for a part family",
+        sum(
+            ["SK"],
+            join_all([
+                t("SUPPLIER", &[("s_suppkey", "SK"), ("s_nationkey", "NK")]),
+                cmp_lit("NK", CmpOp::Eq, 3i64),
+                t("PARTSUPP", &[("ps_partkey", "PK"), ("ps_suppkey", "SK")]),
+                t("PART", &[("p_partkey", "PK")]),
+                cmp_lit("p_brand", CmpOp::Eq, 7i64),
+                assign_query(
+                    "SQ",
+                    sum_total(join_all([
+                        t(
+                            "LINEITEM",
+                            &[("l_partkey", "PK"), ("l_suppkey", "SK"), ("l_quantity", "qty20"), ("l_shipdate", "sd20")],
+                        ),
+                        cmp_lit("sd20", CmpOp::Ge, 19940101i64),
+                        cmp_lit("sd20", CmpOp::Lt, 19950101i64),
+                        val(v("qty20")),
+                    ])),
+                ),
+                cmp(v("ps_availqty"), CmpOp::Gt, mul(lit(0.5), v("SQ"))),
+            ]),
+        ),
+        &["PK", "SK"],
+    ));
+
+    // Q21: suppliers who kept orders waiting (EXISTS + NOT EXISTS pair).
+    out.push(q(
+        "Q21",
+        Workload::TpcH,
+        "late suppliers that are the only late supplier of an order",
+        sum(
+            ["SK"],
+            join_all([
+                t("SUPPLIER", &[("s_suppkey", "SK"), ("s_nationkey", "NK")]),
+                cmp_lit("NK", CmpOp::Eq, 4i64),
+                t("LINEITEM", &[("l_orderkey", "OK"), ("l_suppkey", "SK")]),
+                cmp_lit("l_returnflag", CmpOp::Eq, 2i64),
+                t("ORDERS", &[("o_orderkey", "OK")]),
+                cmp_lit("o_orderstatus", CmpOp::Eq, 1i64),
+                // EXISTS: another supplier contributed to the same order.
+                assign_query(
+                    "OTH",
+                    sum_total(join(
+                        t(
+                            "LINEITEM",
+                            &[
+                                ("l_orderkey", "OK"),
+                                ("l_partkey", "pk21"),
+                                ("l_suppkey", "sk21"),
+                                ("l_quantity", "qty21"),
+                                ("l_extendedprice", "ep21"),
+                                ("l_discount", "dc21"),
+                                ("l_shipdate", "sd21"),
+                                ("l_returnflag", "rf21a"),
+                                ("l_linestatus", "ls21"),
+                                ("l_shipmode", "sm21"),
+                            ],
+                        ),
+                        cmp_vars("sk21", CmpOp::Ne, "SK"),
+                    )),
+                ),
+                cmp_lit("OTH", CmpOp::Ne, 0.0),
+                // NOT EXISTS: no other *late* supplier on the same order.
+                assign_query(
+                    "OTHL",
+                    sum_total(join_all([
+                        t(
+                            "LINEITEM",
+                            &[
+                                ("l_orderkey", "OK"),
+                                ("l_partkey", "pk21b"),
+                                ("l_suppkey", "sk21b"),
+                                ("l_quantity", "qty21b"),
+                                ("l_extendedprice", "ep21b"),
+                                ("l_discount", "dc21b"),
+                                ("l_shipdate", "sd21b"),
+                                ("l_returnflag", "rf21"),
+                                ("l_linestatus", "ls21b"),
+                                ("l_shipmode", "sm21b"),
+                            ],
+                        ),
+                        cmp_vars("sk21b", CmpOp::Ne, "SK"),
+                        cmp_lit("rf21", CmpOp::Eq, 2i64),
+                    ])),
+                ),
+                cmp_lit("OTHL", CmpOp::Eq, 0.0),
+            ]),
+        ),
+        &["OK", "SK"],
+    ));
+
+    // Q22: global sales opportunity (uncorrelated AVG + correlated NOT
+    // EXISTS).
+    out.push(q(
+        "Q22",
+        Workload::TpcH,
+        "well-funded customers without orders",
+        sum(
+            ["c_mktsegment"],
+            join_all([
+                t("CUSTOMER", &[("c_custkey", "CK")]),
+                cmp_lit("c_acctbal", CmpOp::Gt, 5_000.0),
+                assign_query(
+                    "NO",
+                    sum_total(t("ORDERS", &[("o_orderkey", "ok22"), ("o_custkey", "CK")])),
+                ),
+                cmp_lit("NO", CmpOp::Eq, 0.0),
+                val(v("c_acctbal")),
+            ]),
+        ),
+        &["CK"],
+    ));
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// TPC-DS
+// ---------------------------------------------------------------------------
+
+/// The TPC-DS-style catalog (the star-join subset evaluated by the paper).
+pub fn tpcds_queries() -> Vec<CatalogQuery> {
+    let mut out = Vec::new();
+
+    // DS Q3: brand revenue for one manufacturer in December.
+    out.push(q(
+        "DS3",
+        Workload::TpcDs,
+        "brand revenue for one manufacturer in one month",
+        sum(
+            ["d_year", "i_brand_id"],
+            join_all([
+                t("DATE_DIM", &[("d_date_sk", "DK")]),
+                cmp_lit("d_moy", CmpOp::Eq, 12i64),
+                t("STORE_SALES", &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK")]),
+                t("ITEM", &[("i_item_sk", "IK")]),
+                cmp_lit("i_manufact_id", CmpOp::Eq, 100i64),
+                val(v("ss_ext_sales_price")),
+            ]),
+        ),
+        &["IK", "DK"],
+    ));
+
+    // DS Q7: average quantity for a demographic slice, per item.
+    out.push(q(
+        "DS7",
+        Workload::TpcDs,
+        "sales quantity for one demographic group per item",
+        sum(
+            ["IK"],
+            join_all([
+                t("STORE_SALES", &[("ss_item_sk", "IK"), ("ss_cdemo_sk", "CDK"), ("ss_sold_date_sk", "DK")]),
+                t("CUSTOMER_DEMOGRAPHICS", &[("de_demo_sk", "CDK")]),
+                cmp_lit("de_gender", CmpOp::Eq, 1i64),
+                cmp_lit("de_marital_status", CmpOp::Eq, 2i64),
+                t("DATE_DIM", &[("d_date_sk", "DK")]),
+                cmp_lit("d_year", CmpOp::Eq, 2000i64),
+                t("ITEM", &[("i_item_sk", "IK")]),
+                val(v("ss_quantity")),
+            ]),
+        ),
+        &["IK", "DK"],
+    ));
+
+    // DS Q19: brand revenue by customer locality.
+    out.push(q(
+        "DS19",
+        Workload::TpcDs,
+        "brand revenue for one month joined through customer and store",
+        sum(
+            ["i_brand_id"],
+            join_all([
+                t("DATE_DIM", &[("d_date_sk", "DK")]),
+                cmp_lit("d_moy", CmpOp::Eq, 11i64),
+                t("STORE_SALES", &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK"), ("ss_customer_sk", "CK"), ("ss_store_sk", "STK")]),
+                t("ITEM", &[("i_item_sk", "IK")]),
+                cmp_lit("i_manager_id", CmpOp::Eq, 8i64),
+                t("CUSTOMER_DS", &[("cd_customer_sk", "CK")]),
+                t("STORE", &[("st_store_sk", "STK")]),
+                val(v("ss_ext_sales_price")),
+            ]),
+        ),
+        &["IK", "CK", "DK"],
+    ));
+
+    // DS Q27: item aggregate for one demographic and state.
+    out.push(q(
+        "DS27",
+        Workload::TpcDs,
+        "average-style quantity aggregate per item and state",
+        sum(
+            ["IK", "st_state"],
+            join_all([
+                t("STORE_SALES", &[("ss_item_sk", "IK"), ("ss_cdemo_sk", "CDK"), ("ss_store_sk", "STK"), ("ss_sold_date_sk", "DK")]),
+                t("CUSTOMER_DEMOGRAPHICS", &[("de_demo_sk", "CDK")]),
+                cmp_lit("de_gender", CmpOp::Eq, 0i64),
+                t("DATE_DIM", &[("d_date_sk", "DK")]),
+                cmp_lit("d_year", CmpOp::Eq, 1999i64),
+                t("STORE", &[("st_store_sk", "STK")]),
+                cmp_lit("st_state", CmpOp::Le, 10i64),
+                t("ITEM", &[("i_item_sk", "IK")]),
+                val(v("ss_quantity")),
+            ]),
+        ),
+        &["IK", "DK"],
+    ));
+
+    // DS Q34 / Q73 family: tickets with a given number of items for
+    // households with many dependents (correlated count).
+    out.push(q(
+        "DS34",
+        Workload::TpcDs,
+        "tickets with 15+ items bought by high-dependent households",
+        sum(
+            ["CK"],
+            join_all([
+                t("STORE_SALES", &[("ss_customer_sk", "CK"), ("ss_hdemo_sk", "HDK"), ("ss_ticket_number", "TN")]),
+                t("HOUSEHOLD_DEMOGRAPHICS", &[("hd_demo_sk", "HDK")]),
+                cmp_lit("hd_dep_count", CmpOp::Ge, 5i64),
+                assign_query(
+                    "CNT",
+                    sum_total(t(
+                        "STORE_SALES",
+                        &[
+                            ("ss_ticket_number", "TN"),
+                            ("ss_item_sk", "ik34"),
+                            ("ss_customer_sk", "ck34"),
+                            ("ss_hdemo_sk", "hd34"),
+                            ("ss_cdemo_sk", "cd34"),
+                            ("ss_store_sk", "st34"),
+                            ("ss_sold_date_sk", "dk34"),
+                            ("ss_quantity", "qty34"),
+                            ("ss_sales_price", "sp34"),
+                            ("ss_ext_sales_price", "esp34"),
+                        ],
+                    )),
+                ),
+                cmp_lit("CNT", CmpOp::Ge, 15.0),
+            ]),
+        ),
+        &["TN", "CK"],
+    ));
+
+    // DS Q42: category revenue for one year/month.
+    out.push(q(
+        "DS42",
+        Workload::TpcDs,
+        "category revenue for one year and month",
+        sum(
+            ["i_category_id"],
+            join_all([
+                t("DATE_DIM", &[("d_date_sk", "DK")]),
+                cmp_lit("d_year", CmpOp::Eq, 2001i64),
+                cmp_lit("d_moy", CmpOp::Eq, 11i64),
+                t("STORE_SALES", &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK")]),
+                t("ITEM", &[("i_item_sk", "IK")]),
+                val(v("ss_ext_sales_price")),
+            ]),
+        ),
+        &["IK", "DK"],
+    ));
+
+    // DS Q43: store activity by day of week.
+    out.push(q(
+        "DS43",
+        Workload::TpcDs,
+        "store revenue by day of week",
+        sum(
+            ["STK", "d_dow"],
+            join_all([
+                t("DATE_DIM", &[("d_date_sk", "DK")]),
+                cmp_lit("d_year", CmpOp::Eq, 2000i64),
+                t("STORE_SALES", &[("ss_sold_date_sk", "DK"), ("ss_store_sk", "STK")]),
+                t("STORE", &[("st_store_sk", "STK")]),
+                val(v("ss_sales_price")),
+            ]),
+        ),
+        &["STK", "DK"],
+    ));
+
+    // DS Q52: brand revenue (like Q42 grouped by brand).
+    out.push(q(
+        "DS52",
+        Workload::TpcDs,
+        "brand revenue for one year and month",
+        sum(
+            ["i_brand_id"],
+            join_all([
+                t("DATE_DIM", &[("d_date_sk", "DK")]),
+                cmp_lit("d_year", CmpOp::Eq, 2000i64),
+                cmp_lit("d_moy", CmpOp::Eq, 12i64),
+                t("STORE_SALES", &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK")]),
+                t("ITEM", &[("i_item_sk", "IK")]),
+                val(v("ss_ext_sales_price")),
+            ]),
+        ),
+        &["IK", "DK"],
+    ));
+
+    // DS Q55: brand revenue for one manager.
+    out.push(q(
+        "DS55",
+        Workload::TpcDs,
+        "brand revenue for one manager in one month",
+        sum(
+            ["i_brand_id"],
+            join_all([
+                t("DATE_DIM", &[("d_date_sk", "DK")]),
+                cmp_lit("d_moy", CmpOp::Eq, 11i64),
+                cmp_lit("d_year", CmpOp::Eq, 1999i64),
+                t("STORE_SALES", &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK")]),
+                t("ITEM", &[("i_item_sk", "IK")]),
+                cmp_lit("i_manager_id", CmpOp::Eq, 28i64),
+                val(v("ss_ext_sales_price")),
+            ]),
+        ),
+        &["IK", "DK"],
+    ));
+
+    // DS Q68/Q46 family: per-customer ticket totals through household
+    // demographics and store.
+    out.push(q(
+        "DS68",
+        Workload::TpcDs,
+        "per-customer ticket revenue for selected households and stores",
+        sum(
+            ["CK", "TN"],
+            join_all([
+                t("STORE_SALES", &[("ss_customer_sk", "CK"), ("ss_hdemo_sk", "HDK"), ("ss_store_sk", "STK"), ("ss_ticket_number", "TN"), ("ss_sold_date_sk", "DK")]),
+                t("DATE_DIM", &[("d_date_sk", "DK")]),
+                cmp_lit("d_year", CmpOp::Eq, 1998i64),
+                t("STORE", &[("st_store_sk", "STK")]),
+                cmp_lit("st_county", CmpOp::Le, 5i64),
+                t("HOUSEHOLD_DEMOGRAPHICS", &[("hd_demo_sk", "HDK")]),
+                cmp_lit("hd_vehicle_count", CmpOp::Ge, 2i64),
+                val(v("ss_ext_sales_price")),
+            ]),
+        ),
+        &["CK", "TN", "DK"],
+    ));
+
+    out
+}
+
+/// Every catalog query (TPC-H then TPC-DS).
+pub fn all_queries() -> Vec<CatalogQuery> {
+    let mut v = tpch_queries();
+    v.extend(tpcds_queries());
+    v
+}
+
+/// Look up a query by its id (e.g. `"Q3"`, `"DS42"`).
+pub fn query(id: &str) -> Option<CatalogQuery> {
+    all_queries().into_iter().find(|q| q.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotdog_ivm::{compile, Strategy};
+
+    #[test]
+    fn catalog_has_expected_coverage() {
+        assert_eq!(tpch_queries().len(), 22);
+        assert_eq!(tpcds_queries().len(), 10);
+        assert!(query("Q17").is_some());
+        assert!(query("DS42").is_some());
+        assert!(query("NOPE").is_none());
+    }
+
+    #[test]
+    fn query_ids_are_unique() {
+        let mut ids: Vec<_> = all_queries().iter().map(|q| q.id).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn every_query_references_known_tables_with_correct_arity() {
+        for cq in all_queries() {
+            for r in cq.expr.relations() {
+                let def = table(&r.name).unwrap_or_else(|| panic!("{}: unknown table {}", cq.id, r.name));
+                assert_eq!(
+                    r.cols.len(),
+                    def.arity(),
+                    "{}: arity mismatch for {}",
+                    cq.id,
+                    r.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_query_compiles_under_all_strategies() {
+        for cq in all_queries() {
+            for strategy in [Strategy::Reevaluation, Strategy::ClassicalIvm, Strategy::RecursiveIvm] {
+                let plan = compile(cq.id, &cq.expr, strategy);
+                assert!(!plan.triggers.is_empty(), "{} has no triggers", cq.id);
+                assert!(plan.statement_count() > 0, "{} has no statements", cq.id);
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_plans_never_reference_base_tables_directly() {
+        for cq in all_queries() {
+            let plan = compile(cq.id, &cq.expr, Strategy::RecursiveIvm);
+            for t in &plan.triggers {
+                for s in &t.statements {
+                    for r in s.expr.relations() {
+                        assert_ne!(
+                            r.kind,
+                            hotdog_algebra::RelKind::Base,
+                            "{}: statement references base table {}",
+                            cq.id,
+                            r.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_keys_reference_columns_of_the_query() {
+        for cq in all_queries() {
+            let mut all_cols = hotdog_algebra::Schema::empty();
+            cq.expr.visit(&mut |e| {
+                if let hotdog_algebra::Expr::Rel(r) = e {
+                    for c in &r.cols {
+                        all_cols.push(c.clone());
+                    }
+                }
+            });
+            for k in &cq.partition_keys {
+                assert!(
+                    all_cols.contains(k),
+                    "{}: partition key {k} not a column of the query",
+                    cq.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Table schemas of the synthetic TPC-H-shaped and TPC-DS-shaped workloads.
+//!
+//! Columns are encoded numerically (`Long` for keys, dates as `yyyymmdd`
+//! longs, category/dictionary columns as small integers, monetary values as
+//! `Double`).  This keeps tuples compact and makes every predicate of the
+//! query catalog expressible as a numeric comparison, while preserving the
+//! schema structure, foreign-key relationships and predicate selectivities
+//! that drive the paper's experiments.
+
+use hotdog_algebra::schema::Schema;
+
+/// A table of the workload: name plus ordered column names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableDef {
+    pub name: &'static str,
+    pub columns: &'static [&'static str],
+}
+
+impl TableDef {
+    pub fn schema(&self) -> Schema {
+        Schema::new(self.columns.iter().copied())
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// TPC-H tables (streamed relations; NATION/REGION are small dimension
+/// tables that are also streamed, matching the paper's streaming setup).
+pub const TPCH_TABLES: &[TableDef] = &[
+    TableDef {
+        name: "LINEITEM",
+        columns: &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipdate",
+            "l_returnflag",
+            "l_linestatus",
+            "l_shipmode",
+        ],
+    },
+    TableDef {
+        name: "ORDERS",
+        columns: &[
+            "o_orderkey",
+            "o_custkey",
+            "o_orderstatus",
+            "o_totalprice",
+            "o_orderdate",
+            "o_orderpriority",
+            "o_shippriority",
+        ],
+    },
+    TableDef {
+        name: "CUSTOMER",
+        columns: &["c_custkey", "c_nationkey", "c_mktsegment", "c_acctbal"],
+    },
+    TableDef {
+        name: "SUPPLIER",
+        columns: &["s_suppkey", "s_nationkey", "s_acctbal"],
+    },
+    TableDef {
+        name: "PART",
+        columns: &["p_partkey", "p_brand", "p_type", "p_size", "p_container", "p_retailprice"],
+    },
+    TableDef {
+        name: "PARTSUPP",
+        columns: &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"],
+    },
+    TableDef {
+        name: "NATION",
+        columns: &["n_nationkey", "n_regionkey"],
+    },
+    TableDef {
+        name: "REGION",
+        columns: &["r_regionkey"],
+    },
+];
+
+/// TPC-DS tables (the star-schema subset used by the catalog queries).
+pub const TPCDS_TABLES: &[TableDef] = &[
+    TableDef {
+        name: "STORE_SALES",
+        columns: &[
+            "ss_item_sk",
+            "ss_customer_sk",
+            "ss_cdemo_sk",
+            "ss_store_sk",
+            "ss_sold_date_sk",
+            "ss_quantity",
+            "ss_sales_price",
+            "ss_ext_sales_price",
+            "ss_hdemo_sk",
+            "ss_ticket_number",
+        ],
+    },
+    TableDef {
+        name: "DATE_DIM",
+        columns: &["d_date_sk", "d_year", "d_moy", "d_dom", "d_dow"],
+    },
+    TableDef {
+        name: "ITEM",
+        columns: &["i_item_sk", "i_brand_id", "i_category_id", "i_manufact_id", "i_manager_id"],
+    },
+    TableDef {
+        name: "STORE",
+        columns: &["st_store_sk", "st_county", "st_state"],
+    },
+    TableDef {
+        name: "CUSTOMER_DS",
+        columns: &["cd_customer_sk", "cd_cdemo_sk", "cd_addr_sk"],
+    },
+    TableDef {
+        name: "CUSTOMER_DEMOGRAPHICS",
+        columns: &["de_demo_sk", "de_gender", "de_marital_status", "de_education"],
+    },
+    TableDef {
+        name: "HOUSEHOLD_DEMOGRAPHICS",
+        columns: &["hd_demo_sk", "hd_dep_count", "hd_vehicle_count"],
+    },
+];
+
+/// Look up a table definition by name (both workloads).
+pub fn table(name: &str) -> Option<&'static TableDef> {
+    TPCH_TABLES
+        .iter()
+        .chain(TPCDS_TABLES.iter())
+        .find(|t| t.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_unique_names_and_columns() {
+        let all: Vec<_> = TPCH_TABLES.iter().chain(TPCDS_TABLES.iter()).collect();
+        for t in &all {
+            let s = t.schema();
+            assert_eq!(s.len(), t.columns.len(), "duplicate column in {}", t.name);
+        }
+        let mut names: Vec<_> = all.iter().map(|t| t.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        assert_eq!(table("LINEITEM").unwrap().arity(), 10);
+        assert!(table("NO_SUCH_TABLE").is_none());
+    }
+
+    #[test]
+    fn column_names_are_globally_unique_across_tpch() {
+        // The algebra is name-based: equal names imply natural-join keys, so
+        // no two TPC-H tables may accidentally share a column name.
+        let mut cols: Vec<&str> = TPCH_TABLES.iter().flat_map(|t| t.columns.iter().copied()).collect();
+        let n = cols.len();
+        cols.sort();
+        cols.dedup();
+        assert_eq!(cols.len(), n);
+    }
+
+    #[test]
+    fn column_names_are_globally_unique_across_tpcds() {
+        let mut cols: Vec<&str> = TPCDS_TABLES.iter().flat_map(|t| t.columns.iter().copied()).collect();
+        let n = cols.len();
+        cols.sort();
+        cols.dedup();
+        assert_eq!(cols.len(), n);
+    }
+}

@@ -1,0 +1,47 @@
+//! Compile a TPC-H query for distributed execution, print the generated
+//! distributed program (scatter/repartition/gather structure and fused
+//! statement blocks, cf. Figure 5), and run it on the simulated cluster at
+//! several worker counts (cf. Figures 9 and 10).
+//!
+//! Run with: `cargo run --release --example distributed_scaling [query] [tuples]`
+
+use hotdog::prelude::*;
+
+fn main() {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "Q3".to_string());
+    let tuples: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+
+    let cq = query(&id).expect("unknown query id");
+    let stream = generate_tpch(7, tuples);
+
+    let plan = compile_recursive(cq.id, &cq.expr);
+    let spec = PartitioningSpec::heuristic(&plan, &cq.partition_keys);
+    let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+    let (jobs, stages) = dplan.complexity();
+    println!("{}", dplan.pretty());
+    println!("jobs: {jobs}, stages: {stages}\n");
+
+    println!(
+        "{:>8} {:>16} {:>18} {:>16}",
+        "workers", "median latency", "throughput (t/s)", "MB shuffled"
+    );
+    for workers in [2usize, 4, 8, 16, 32] {
+        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(workers));
+        for batch in stream.batches(5_000) {
+            for (rel, delta) in batch {
+                cluster.apply_batch(rel, &delta);
+            }
+        }
+        println!(
+            "{:>8} {:>14.1}ms {:>18.0} {:>16.2}",
+            workers,
+            cluster.totals.median_latency() * 1e3,
+            cluster.totals.throughput(),
+            cluster.totals.bytes_shuffled as f64 / 1e6,
+        );
+    }
+}

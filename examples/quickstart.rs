@@ -1,0 +1,73 @@
+//! Quickstart: define a query in the algebra, compile it into a recursive
+//! incremental view maintenance plan, and keep its result fresh while
+//! batches of updates stream in.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hotdog::prelude::*;
+
+fn main() {
+    // SELECT B, COUNT(*) FROM R NATURAL JOIN S NATURAL JOIN T GROUP BY B
+    // (the running example of the paper, Example 2.1).
+    let query = sum(
+        ["B"],
+        join_all([
+            rel("R", ["A", "B"]),
+            rel("S", ["B", "C"]),
+            rel("T", ["C", "D"]),
+        ]),
+    );
+
+    // Compile with recursive incremental view maintenance and print the
+    // generated auxiliary views and triggers (Example 2.2).
+    let plan = compile("Q", &query, Strategy::RecursiveIvm);
+    println!("{}", plan.pretty());
+
+    // Execute: batches of insertions (positive multiplicity) and deletions
+    // (negative multiplicity) keep the result fresh.
+    let mut engine = LocalEngine::new(plan, ExecMode::Batched { preaggregate: true });
+
+    let r_batch = Relation::from_pairs(
+        Schema::new(["A", "B"]),
+        (0..1000i64).map(|i| (Tuple::from_values([Value::Long(i), Value::Long(i % 10)]), 1.0)),
+    );
+    let s_batch = Relation::from_pairs(
+        Schema::new(["B", "C"]),
+        (0..100i64).map(|i| (Tuple::from_values([Value::Long(i % 10), Value::Long(i)]), 1.0)),
+    );
+    let t_batch = Relation::from_pairs(
+        Schema::new(["C", "D"]),
+        (0..100i64).map(|i| (Tuple::from_values([Value::Long(i), Value::Long(i * 7)]), 1.0)),
+    );
+
+    let stats_r = engine.apply_batch("R", &r_batch);
+    println!(
+        "applied ΔR: {} tuples in {:?} ({} statements)",
+        stats_r.input_tuples, stats_r.elapsed, stats_r.statements_executed
+    );
+    engine.apply_batch("S", &s_batch);
+    engine.apply_batch("T", &t_batch);
+
+    println!("\nquery result (first 5 groups):");
+    for (tuple, count) in engine.query_result().sorted().into_iter().take(5) {
+        println!("  B = {tuple} -> {count}");
+    }
+
+    // Deletions are just negative multiplicities.
+    let deletion = Relation::from_pairs(
+        Schema::new(["A", "B"]),
+        vec![(Tuple::from_values([Value::Long(0), Value::Long(0)]), -1.0)],
+    );
+    engine.apply_batch("R", &deletion);
+    println!("\nafter deleting R(0, 0):");
+    for (tuple, count) in engine.query_result().sorted().into_iter().take(5) {
+        println!("  B = {tuple} -> {count}");
+    }
+
+    println!(
+        "\ntotals: {} batches, {} tuples, {:.0} tuples/sec",
+        engine.totals.batches,
+        engine.totals.tuples,
+        engine.totals.throughput()
+    );
+}

@@ -1,0 +1,53 @@
+//! Maintain TPC-H-style continuous queries over a synthetic update stream,
+//! comparing the maintenance strategies and batch sizes of the paper's
+//! local experiments (Section 6.1) at laptop scale.
+//!
+//! Run with: `cargo run --release --example tpch_stream [tuples]`
+
+use hotdog::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let tuples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let stream = generate_tpch(42, tuples);
+    println!("generated TPC-H stream with {} tuples\n", stream.len());
+
+    let query_ids = ["Q1", "Q3", "Q6", "Q17"];
+    let batch_size = 1_000;
+
+    println!(
+        "{:<6} {:<22} {:>12} {:>14} {:>10}",
+        "query", "strategy/mode", "tuples/s", "time", "result size"
+    );
+    for id in query_ids {
+        let cq = query(id).expect("query in catalog");
+        for (label, strategy, mode) in [
+            ("reeval", Strategy::Reevaluation, ExecMode::Batched { preaggregate: false }),
+            ("classical ivm", Strategy::ClassicalIvm, ExecMode::Batched { preaggregate: false }),
+            ("rivm single-tuple", Strategy::RecursiveIvm, ExecMode::SingleTuple),
+            ("rivm batched", Strategy::RecursiveIvm, ExecMode::Batched { preaggregate: true }),
+        ] {
+            let plan = compile(cq.id, &cq.expr, strategy);
+            let mut engine = LocalEngine::new(plan, mode);
+            let start = Instant::now();
+            for batch in stream.batches(batch_size) {
+                for (rel, delta) in batch {
+                    engine.apply_batch(rel, &delta);
+                }
+            }
+            let elapsed = start.elapsed();
+            println!(
+                "{:<6} {:<22} {:>12.0} {:>14?} {:>10}",
+                id,
+                label,
+                stream.len() as f64 / elapsed.as_secs_f64(),
+                elapsed,
+                engine.query_result().len()
+            );
+        }
+        println!();
+    }
+}

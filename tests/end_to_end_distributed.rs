@@ -1,0 +1,140 @@
+//! Distributed execution correctness: the simulated cluster must maintain
+//! exactly the same query results as the local engine, for every
+//! optimization level and across worker counts, on real workload streams.
+
+use hotdog::prelude::*;
+
+fn stream_for(q: &CatalogQuery, tuples: usize) -> UpdateStream {
+    match q.workload {
+        hotdog::workload::Workload::TpcH => generate_tpch(21, tuples),
+        hotdog::workload::Workload::TpcDs => generate_tpcds(21, tuples),
+    }
+}
+
+fn local_result(q: &CatalogQuery, stream: &UpdateStream, batch_size: usize) -> Relation {
+    let plan = compile_recursive(q.id, &q.expr);
+    let mut engine = LocalEngine::new(plan, ExecMode::Batched { preaggregate: false });
+    for batch in stream.batches(batch_size) {
+        for (rel, delta) in batch {
+            engine.apply_batch(rel, &delta);
+        }
+    }
+    engine.query_result()
+}
+
+fn cluster_result(
+    q: &CatalogQuery,
+    stream: &UpdateStream,
+    batch_size: usize,
+    workers: usize,
+    opt: OptLevel,
+) -> (Relation, hotdog::distributed::ClusterTotals) {
+    let plan = compile_recursive(q.id, &q.expr);
+    let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
+    let dplan = compile_distributed(&plan, &spec, opt);
+    let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(workers));
+    for batch in stream.batches(batch_size) {
+        for (rel, delta) in batch {
+            cluster.apply_batch(rel, &delta);
+        }
+    }
+    (cluster.query_result(), cluster.totals.clone())
+}
+
+#[test]
+fn cluster_matches_local_engine_on_distributed_benchmark_queries() {
+    // The queries the paper scales out (Figures 9–11) plus a TPC-DS star join.
+    for id in ["Q1", "Q3", "Q6", "Q7", "Q17", "DS42"] {
+        let q = query(id).unwrap();
+        let stream = stream_for(&q, 600);
+        let expected = local_result(&q, &stream, 150);
+        let (got, totals) = cluster_result(&q, &stream, 150, 6, OptLevel::O3);
+        assert!(
+            got.approx_eq_eps(&expected, 1e-3),
+            "{id}: cluster diverged from local engine\nexpected {expected:?}\ngot {got:?}"
+        );
+        assert!(totals.latency_secs > 0.0, "{id}: no latency modelled");
+    }
+}
+
+#[test]
+fn optimization_levels_do_not_change_results() {
+    let q = query("Q3").unwrap();
+    let stream = stream_for(&q, 500);
+    let expected = local_result(&q, &stream, 100);
+    for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+        let (got, _) = cluster_result(&q, &stream, 100, 4, opt);
+        assert!(
+            got.approx_eq_eps(&expected, 1e-3),
+            "Q3 diverged at {opt:?}"
+        );
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let q = query("Q17").unwrap();
+    let stream = stream_for(&q, 400);
+    let expected = local_result(&q, &stream, 100);
+    for workers in [1, 2, 5, 16] {
+        let (got, _) = cluster_result(&q, &stream, 100, workers, OptLevel::O3);
+        assert!(
+            got.approx_eq_eps(&expected, 1e-3),
+            "Q17 diverged with {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn block_fusion_reduces_blocks_on_tpch_q3() {
+    let q = query("Q3").unwrap();
+    let plan = compile_recursive(q.id, &q.expr);
+    let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
+    let unfused = compile_distributed(&plan, &spec, OptLevel::O1);
+    let fused = compile_distributed(&plan, &spec, OptLevel::O2);
+    let blocks = |dp: &DistributedPlan| -> usize {
+        dp.programs.iter().map(|p| p.blocks.len()).sum()
+    };
+    assert!(
+        blocks(&fused) < blocks(&unfused),
+        "block fusion had no effect: {} vs {}",
+        blocks(&fused),
+        blocks(&unfused)
+    );
+}
+
+#[test]
+fn distributed_plans_report_jobs_and_stages_for_all_tpch_queries() {
+    for q in tpch_queries() {
+        let plan = compile_recursive(q.id, &q.expr);
+        let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
+        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let (jobs, stages) = dplan.complexity();
+        assert!(jobs >= 1, "{}: zero jobs", q.id);
+        assert!(stages >= jobs.min(1), "{}: stages {stages} < jobs {jobs}", q.id);
+        assert!(stages <= 24, "{}: implausibly many stages ({stages})", q.id);
+    }
+}
+
+#[test]
+fn shuffled_bytes_scale_with_batch_size() {
+    let q = query("Q3").unwrap();
+    let plan = compile_recursive(q.id, &q.expr);
+    let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
+    let small_stream = stream_for(&q, 200);
+    let big_stream = stream_for(&q, 800);
+
+    let mut run = |stream: &UpdateStream| {
+        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(4));
+        for batch in stream.batches(stream.len()) {
+            for (rel, delta) in batch {
+                cluster.apply_batch(rel, &delta);
+            }
+        }
+        cluster.totals.bytes_shuffled
+    };
+    let small = run(&small_stream);
+    let big = run(&big_stream);
+    assert!(big > small, "bytes shuffled should grow with input: {big} vs {small}");
+}

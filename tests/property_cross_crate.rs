@@ -1,0 +1,155 @@
+//! Cross-crate property-based tests: random streams of insertions and
+//! deletions must be maintained identically by every execution path.
+
+use hotdog::ivm::Strategy as MaintStrategy;
+use hotdog::prelude::*;
+use proptest::prelude::*;
+
+/// Random batches over R(A,B) and S(B,C) with small key domains so joins,
+/// cancellations and deletions all occur.
+fn batches_strategy(
+) -> impl proptest::strategy::Strategy<Value = Vec<(&'static str, Vec<(i64, i64, f64)>)>> {
+    prop::collection::vec(
+        (
+            prop_oneof![Just("R"), Just("S")],
+            prop::collection::vec((0i64..8, 0i64..8, prop_oneof![Just(1.0), Just(-1.0), Just(2.0)]), 1..20),
+        ),
+        1..8,
+    )
+}
+
+fn to_relation(rel: &str, rows: &[(i64, i64, f64)]) -> Relation {
+    let schema = if rel == "R" {
+        Schema::new(["A", "B"])
+    } else {
+        Schema::new(["B", "C"])
+    };
+    Relation::from_pairs(
+        schema,
+        rows.iter()
+            .map(|(a, b, m)| (Tuple::from_values([Value::Long(*a), Value::Long(*b)]), *m)),
+    )
+}
+
+fn test_queries() -> Vec<(&'static str, Expr)> {
+    vec![
+        (
+            "join_count",
+            sum(["B"], join(rel("R", ["A", "B"]), rel("S", ["B", "C"]))),
+        ),
+        (
+            "distinct",
+            exists(sum(["B"], rel("R", ["A", "B"]))),
+        ),
+        (
+            "nested",
+            sum_total(join_all([
+                rel("R", ["A", "B"]),
+                assign_query("X", sum_total(rel("S", ["B", "C2"]))),
+                cmp_vars("A", CmpOp::Lt, "X"),
+            ])),
+        ),
+    ]
+}
+
+fn reference(q: &Expr, applied: &[(&str, Relation)]) -> Relation {
+    let mut acc: std::collections::HashMap<&str, Relation> = std::collections::HashMap::new();
+    for (r, b) in applied {
+        acc.entry(r).and_modify(|x| x.merge(b)).or_insert_with(|| b.clone());
+    }
+    let mut cat = MapCatalog::new();
+    for (n, r) in acc {
+        cat.insert(n, RelKind::Base, r);
+    }
+    evaluate(q, &cat)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The local engine (all strategies / modes) matches from-scratch
+    /// evaluation on arbitrary insert/delete streams.
+    #[test]
+    fn local_engine_matches_reference(batches in batches_strategy()) {
+        let applied: Vec<(&str, Relation)> = batches
+            .iter()
+            .map(|(r, rows)| (*r, to_relation(r, rows)))
+            .collect();
+        for (name, q) in test_queries() {
+            let expected = reference(&q, &applied);
+            for strategy in [MaintStrategy::RecursiveIvm, MaintStrategy::ClassicalIvm, MaintStrategy::Reevaluation] {
+                for mode in [
+                    ExecMode::SingleTuple,
+                    ExecMode::Batched { preaggregate: false },
+                    ExecMode::Batched { preaggregate: true },
+                ] {
+                    let plan = compile(name, &q, strategy);
+                    let mut engine = LocalEngine::new(plan, mode);
+                    for (r, b) in &applied {
+                        engine.apply_batch(r, b);
+                    }
+                    prop_assert!(
+                        engine.query_result().approx_eq(&expected),
+                        "{name} {strategy:?} {mode:?} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The simulated cluster matches the reference at every optimization
+    /// level and for several worker counts.
+    #[test]
+    fn cluster_matches_reference(batches in batches_strategy()) {
+        let applied: Vec<(&str, Relation)> = batches
+            .iter()
+            .map(|(r, rows)| (*r, to_relation(r, rows)))
+            .collect();
+        for (name, q) in test_queries() {
+            let expected = reference(&q, &applied);
+            let plan = compile_recursive(name, &q);
+            let spec = PartitioningSpec::heuristic(&plan, &["B", "A"]);
+            for opt in [OptLevel::O0, OptLevel::O3] {
+                for workers in [1usize, 4] {
+                    let dplan = compile_distributed(&plan, &spec, opt);
+                    let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(workers));
+                    for (r, b) in &applied {
+                        cluster.apply_batch(r, b);
+                    }
+                    prop_assert!(
+                        cluster.query_result().approx_eq(&expected),
+                        "{name} {opt:?} x{workers} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Splitting the same updates into differently-sized batches never
+    /// changes the maintained result.
+    #[test]
+    fn batch_partitioning_is_irrelevant(rows in prop::collection::vec((0i64..8, 0i64..8, prop_oneof![Just(1.0), Just(-1.0)]), 1..60)) {
+        let q = sum(["B"], join(rel("R", ["A", "B"]), rel("S", ["B", "C"])));
+        let r_all = to_relation("R", &rows);
+        let s_all = to_relation("S", &rows);
+
+        let run = |chunk: usize| {
+            let plan = compile("q", &q, MaintStrategy::RecursiveIvm);
+            let mut engine = LocalEngine::new(plan, ExecMode::Batched { preaggregate: true });
+            let rows_r: Vec<(Tuple, f64)> = r_all.iter().map(|(t, m)| (t.clone(), m)).collect();
+            let rows_s: Vec<(Tuple, f64)> = s_all.iter().map(|(t, m)| (t.clone(), m)).collect();
+            for c in rows_r.chunks(chunk) {
+                engine.apply_batch("R", &Relation::from_pairs(Schema::new(["A", "B"]), c.to_vec()));
+            }
+            for c in rows_s.chunks(chunk) {
+                engine.apply_batch("S", &Relation::from_pairs(Schema::new(["B", "C"]), c.to_vec()));
+            }
+            engine.query_result()
+        };
+        let one = run(1);
+        let five = run(5);
+        let all = run(usize::MAX.min(rows.len().max(1)));
+        prop_assert!(one.approx_eq(&five));
+        prop_assert!(one.approx_eq(&all));
+    }
+}
