@@ -45,11 +45,7 @@ pub trait Catalog {
         f: &mut dyn FnMut(&Tuple, Mult),
     ) {
         self.scan(name, kind, &mut |t, m| {
-            if positions
-                .iter()
-                .zip(key_vals)
-                .all(|(&p, v)| t.get(p) == v)
-            {
+            if positions.iter().zip(key_vals).all(|(&p, v)| t.get(p) == v) {
                 f(t, m);
             }
         });
@@ -128,7 +124,10 @@ impl EvalCounters {
     /// Aggregate "instruction" count: a weighted sum of the storage
     /// operations performed, loosely modelling retired instructions.
     pub fn instructions(&self) -> u64 {
-        self.scans * 8 + self.lookups * 12 + self.slices * 16 + self.tuples_visited * 24
+        self.scans * 8
+            + self.lookups * 12
+            + self.slices * 16
+            + self.tuples_visited * 24
             + self.emissions * 8
     }
 
@@ -183,12 +182,7 @@ impl<'a> Evaluator<'a> {
 
     /// Core continuation-passing evaluation.  Calls `out` once per produced
     /// tuple with the environment extended by this expression's bindings.
-    pub fn stream(
-        &mut self,
-        expr: &Expr,
-        env: &mut Env,
-        out: &mut dyn FnMut(&mut Env, Mult),
-    ) {
+    pub fn stream(&mut self, expr: &Expr, env: &mut Env, out: &mut dyn FnMut(&mut Env, Mult)) {
         match expr {
             Expr::Const(c) => {
                 self.counters.emissions += 1;
@@ -364,10 +358,7 @@ impl<'a> Evaluator<'a> {
         let kind = r.kind;
         let cols = &r.cols;
 
-        let emit = |env: &mut Env,
-                    t: &Tuple,
-                    m: Mult,
-                    out: &mut dyn FnMut(&mut Env, Mult)| {
+        let emit = |env: &mut Env, t: &Tuple, m: Mult, out: &mut dyn FnMut(&mut Env, Mult)| {
             let base = env.len();
             let mut ok = true;
             for (i, col) in cols.iter().enumerate() {
@@ -429,12 +420,7 @@ impl<'a> Evaluator<'a> {
     /// Evaluate `body` and aggregate multiplicities grouped by `group_by`
     /// (whose columns may be bound either by the body or by the outer
     /// environment — correlation).
-    fn aggregate(
-        &mut self,
-        body: &Expr,
-        group_by: &Schema,
-        env: &mut Env,
-    ) -> Vec<(Tuple, Mult)> {
+    fn aggregate(&mut self, body: &Expr, group_by: &Schema, env: &mut Env) -> Vec<(Tuple, Mult)> {
         let mut groups: HashMap<Tuple, Mult> = HashMap::new();
         let base = env.len();
         self.stream(body, env, &mut |env2, m| {
@@ -676,10 +662,7 @@ mod tests {
     #[test]
     fn union_sums_multiplicities() {
         let cat = catalog();
-        let q = sum(
-            ["B"],
-            union(rel("R", ["A", "B"]), rel("R", ["A", "B"])),
-        );
+        let q = sum(["B"], union(rel("R", ["A", "B"]), rel("R", ["A", "B"])));
         let r = evaluate(&q, &cat);
         assert_eq!(r.get(&tuple![10]), 4.0);
     }
@@ -722,7 +705,10 @@ mod tests {
             RelKind::Delta,
             Relation::from_pairs(Schema::new(["A", "B"]), vec![(tuple![9, 10], 1.0)]),
         );
-        let q = sum(["B"], join(delta_rel("R", ["A", "B"]), rel("S", ["B", "C"])));
+        let q = sum(
+            ["B"],
+            join(delta_rel("R", ["A", "B"]), rel("S", ["B", "C"])),
+        );
         let r = evaluate(&q, &cat);
         assert_eq!(r.get(&tuple![10]), 1.0);
         assert_eq!(r.len(), 1);

@@ -119,18 +119,13 @@ impl ValExpr {
     /// Evaluate the term given a variable lookup function.
     pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<Value>) -> Value {
         match self {
-            ValExpr::Var(v) => lookup(v)
-                .unwrap_or_else(|| panic!("unbound variable `{v}` in value term")),
+            ValExpr::Var(v) => {
+                lookup(v).unwrap_or_else(|| panic!("unbound variable `{v}` in value term"))
+            }
             ValExpr::Lit(v) => v.clone(),
-            ValExpr::Add(a, b) => Value::Double(
-                a.eval(lookup).as_f64() + b.eval(lookup).as_f64(),
-            ),
-            ValExpr::Sub(a, b) => Value::Double(
-                a.eval(lookup).as_f64() - b.eval(lookup).as_f64(),
-            ),
-            ValExpr::Mul(a, b) => Value::Double(
-                a.eval(lookup).as_f64() * b.eval(lookup).as_f64(),
-            ),
+            ValExpr::Add(a, b) => Value::Double(a.eval(lookup).as_f64() + b.eval(lookup).as_f64()),
+            ValExpr::Sub(a, b) => Value::Double(a.eval(lookup).as_f64() - b.eval(lookup).as_f64()),
+            ValExpr::Mul(a, b) => Value::Double(a.eval(lookup).as_f64() * b.eval(lookup).as_f64()),
             ValExpr::Div(a, b) => {
                 let d = b.eval(lookup).as_f64();
                 Value::Double(if d == 0.0 {

@@ -36,8 +36,8 @@ pub mod value;
 
 pub use eval::{evaluate, Catalog, Env, EvalCounters, Evaluator, MapCatalog};
 pub use expr::{
-    assign_query, assign_val, cmp, cmp_lit, cmp_vars, delta_rel, exists, join, join_all, neg,
-    rel, sum, sum_total, union, val, val_var, view, CmpOp, Expr, RelKind, RelRef, ValExpr,
+    assign_query, assign_val, cmp, cmp_lit, cmp_vars, delta_rel, exists, join, join_all, neg, rel,
+    sum, sum_total, union, val, val_var, view, CmpOp, Expr, RelKind, RelRef, ValExpr,
 };
 pub use relation::Relation;
 pub use ring::{Mult, Ring};

@@ -29,10 +29,7 @@ impl Relation {
     }
 
     /// Build from (tuple, multiplicity) pairs, merging duplicates.
-    pub fn from_pairs(
-        schema: Schema,
-        pairs: impl IntoIterator<Item = (Tuple, Mult)>,
-    ) -> Self {
+    pub fn from_pairs(schema: Schema, pairs: impl IntoIterator<Item = (Tuple, Mult)>) -> Self {
         let mut rel = Relation::new(schema);
         for (t, m) in pairs {
             rel.add(t, m);
@@ -146,10 +143,7 @@ impl Relation {
     /// Total serialized size in bytes (tuples + 8-byte multiplicities); used
     /// for shuffle accounting in the distributed runtime.
     pub fn serialized_size(&self) -> usize {
-        self.data
-            .iter()
-            .map(|(t, _)| t.serialized_size() + 8)
-            .sum()
+        self.data.keys().map(|t| t.serialized_size() + 8).sum()
     }
 
     /// Two relations are equivalent if they contain the same tuples with

@@ -92,22 +92,22 @@ impl<const N: usize> Ring for AggVec<N> {
     }
     fn add(&self, other: &Self) -> Self {
         let mut out = [0.0; N];
-        for i in 0..N {
-            out[i] = self.0[i] + other.0[i];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.0[i] + other.0[i];
         }
         AggVec(out)
     }
     fn neg(&self) -> Self {
         let mut out = [0.0; N];
-        for i in 0..N {
-            out[i] = -self.0[i];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = -self.0[i];
         }
         AggVec(out)
     }
     fn mul(&self, other: &Self) -> Self {
         let mut out = [0.0; N];
-        for i in 0..N {
-            out[i] = self.0[i] * other.0[i];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.0[i] * other.0[i];
         }
         AggVec(out)
     }

@@ -34,7 +34,7 @@ impl Schema {
 
     /// Append a column if not already present.
     pub fn push(&mut self, col: String) {
-        if !self.cols.iter().any(|c| *c == col) {
+        if !self.cols.contains(&col) {
             self.cols.push(col);
         }
     }

@@ -138,17 +138,15 @@ impl Ord for Value {
     fn cmp(&self, other: &Self) -> Ordering {
         match (self, other) {
             (Value::Long(a), Value::Long(b)) => a.cmp(b),
-            (Value::Double(a), Value::Double(b)) => {
-                a.partial_cmp(b).unwrap_or_else(|| {
-                    Self::normalized_double_bits(*a).cmp(&Self::normalized_double_bits(*b))
-                })
+            (Value::Double(a), Value::Double(b)) => a.partial_cmp(b).unwrap_or_else(|| {
+                Self::normalized_double_bits(*a).cmp(&Self::normalized_double_bits(*b))
+            }),
+            (Value::Long(a), Value::Double(b)) => {
+                (*a as f64).partial_cmp(b).unwrap_or(Ordering::Less)
             }
-            (Value::Long(a), Value::Double(b)) => (*a as f64)
-                .partial_cmp(b)
-                .unwrap_or(Ordering::Less),
-            (Value::Double(a), Value::Long(b)) => a
-                .partial_cmp(&(*b as f64))
-                .unwrap_or(Ordering::Greater),
+            (Value::Double(a), Value::Long(b)) => {
+                a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Greater)
+            }
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             _ => self.rank().cmp(&other.rank()),

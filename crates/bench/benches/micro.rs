@@ -25,7 +25,10 @@ fn bench_record_pool(c: &mut Criterion) {
     });
     let mut pool = RecordPool::with_secondary_indexes(2, &[vec![1]]);
     for i in 0..10_000i64 {
-        pool.update(Tuple::from_values([Value::Long(i), Value::Long(i % 37)]), 1.0);
+        pool.update(
+            Tuple::from_values([Value::Long(i), Value::Long(i % 37)]),
+            1.0,
+        );
     }
     g.bench_function("slice_via_secondary_index", |b| {
         b.iter(|| {
@@ -82,5 +85,10 @@ fn bench_trigger_execution(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_record_pool, bench_compiler, bench_trigger_execution);
+criterion_group!(
+    benches,
+    bench_record_pool,
+    bench_compiler,
+    bench_trigger_execution
+);
 criterion_main!(benches);

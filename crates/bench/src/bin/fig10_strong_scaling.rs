@@ -1,25 +1,39 @@
 //! Figures 10 & 11: strong scalability — fixed batch sizes, growing worker
 //! counts, including the re-evaluation-on-cluster comparison point.
+//!
+//! By default the simulated cluster reports *modelled* latency over the
+//! paper's worker axis.  With `--real` the experiment instead runs on the
+//! `hotdog-runtime` thread-per-worker backend and reports *measured*
+//! wall-clock latency over a worker axis bounded by the machine's cores.
 
 use hotdog::prelude::*;
 use hotdog_bench::*;
 
 fn main() {
+    let backend = Backend::from_args();
     let base: usize = std::env::var("HOTDOG_STRONG_BATCH")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(10_000);
     let batch_sizes = [base / 4, base / 2, base];
-    let workers_axis = [2usize, 4, 8, 16, 32, 64];
+    let workers_axis: &[usize] = match backend {
+        Backend::Simulated => &[2, 4, 8, 16, 32, 64],
+        // Measured scaling only makes sense up to the physical parallelism.
+        Backend::Threaded => &[1, 2, 4, 8],
+    };
+    let queries: &[&str] = match backend {
+        Backend::Simulated => &["Q6", "Q17", "Q3", "Q7", "Q1", "Q12", "Q14", "Q22"],
+        Backend::Threaded => &["Q6", "Q17", "Q3", "Q7"],
+    };
     let mut rows = Vec::new();
-    for id in ["Q6", "Q17", "Q3", "Q7", "Q1", "Q12", "Q14", "Q22"] {
+    for id in queries {
         let q = query(id).unwrap();
         for &batch in &batch_sizes {
             let stream = stream_for(&q, batch * 2, 10);
-            for workers in workers_axis {
-                let run = run_distributed(&q, &stream, workers, batch, OptLevel::O3);
+            for &workers in workers_axis {
+                let run = run_distributed_on(&q, &stream, workers, batch, OptLevel::O3, backend);
                 rows.push(vec![
-                    id.into(),
+                    (*id).into(),
                     batch.to_string(),
                     workers.to_string(),
                     f(run.median_latency_secs * 1e3),
@@ -29,8 +43,17 @@ fn main() {
         }
     }
     print_table(
-        &format!("Figures 10/11 — strong scaling (modelled latency, batches up to {base} tuples)"),
-        &["query", "batch", "workers", "median latency (ms)", "throughput (Ktup/s)"],
+        &format!(
+            "Figures 10/11 — strong scaling ({} latency, batches up to {base} tuples)",
+            backend.label()
+        ),
+        &[
+            "query",
+            "batch",
+            "workers",
+            "median latency (ms)",
+            "throughput (Ktup/s)",
+        ],
         &rows,
     );
 }

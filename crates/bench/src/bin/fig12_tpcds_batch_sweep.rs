@@ -27,7 +27,15 @@ fn main() {
     }
     print_table(
         &format!("Figure 12 — TPC-DS normalized batched throughput ({tuples} tuples)"),
-        &["query", "single t/s", "bs=1", "bs=10", "bs=100", "bs=1k", "bs=10k"],
+        &[
+            "query",
+            "single t/s",
+            "bs=1",
+            "bs=10",
+            "bs=100",
+            "bs=1k",
+            "bs=10k",
+        ],
         &rows,
     );
 }

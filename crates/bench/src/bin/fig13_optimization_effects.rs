@@ -26,7 +26,13 @@ fn main() {
     }
     print_table(
         &format!("Figure 13 — optimization effects on Q3 ({batch}-tuple batches, modelled)"),
-        &["workers", "opt level", "median latency (ms)", "stages", "MB shuffled/worker"],
+        &[
+            "workers",
+            "opt level",
+            "median latency (ms)",
+            "stages",
+            "MB shuffled/worker",
+        ],
         &rows,
     );
 }

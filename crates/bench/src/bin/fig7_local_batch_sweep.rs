@@ -26,8 +26,18 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &format!("Figure 7 — normalized batched throughput vs single-tuple baseline ({tuples} tuples)"),
-        &["query", "single t/s", "bs=1", "bs=10", "bs=100", "bs=1k", "bs=10k"],
+        &format!(
+            "Figure 7 — normalized batched throughput vs single-tuple baseline ({tuples} tuples)"
+        ),
+        &[
+            "query",
+            "single t/s",
+            "bs=1",
+            "bs=10",
+            "bs=100",
+            "bs=1k",
+            "bs=10k",
+        ],
         &rows,
     );
 }

@@ -14,7 +14,11 @@ fn main() {
 
     let mut rows = Vec::new();
     let single = single_tuple_baseline(&q, &stream);
-    rows.push(vec!["RIVM single-tuple".into(), "-".into(), f(single.throughput)]);
+    rows.push(vec![
+        "RIVM single-tuple".into(),
+        "-".into(),
+        f(single.throughput),
+    ]);
     for (label, strategy) in [
         ("Re-eval", Strategy::Reevaluation),
         ("IVM (classical)", Strategy::ClassicalIvm),

@@ -1,22 +1,30 @@
 //! Figure 9: weak scalability of distributed IVM — every worker processes a
 //! fixed batch partition, the worker count grows.
+//!
+//! By default the simulated cluster reports *modelled* latency; with
+//! `--real` the experiment runs on the `hotdog-runtime` thread-per-worker
+//! backend and reports *measured* wall-clock latency.
 
 use hotdog::prelude::*;
 use hotdog_bench::*;
 
 fn main() {
+    let backend = Backend::from_args();
     let per_worker: usize = std::env::var("HOTDOG_PER_WORKER")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2_000);
-    let workers_axis = [2usize, 4, 8, 16, 32, 64];
+    let workers_axis: &[usize] = match backend {
+        Backend::Simulated => &[2, 4, 8, 16, 32, 64],
+        Backend::Threaded => &[1, 2, 4, 8],
+    };
     let mut rows = Vec::new();
     for id in ["Q6", "Q17", "Q3", "Q7"] {
         let q = query(id).unwrap();
-        for workers in workers_axis {
+        for &workers in workers_axis {
             let batch = per_worker * workers;
             let stream = stream_for(&q, batch * 2, 9);
-            let run = run_distributed(&q, &stream, workers, batch, OptLevel::O3);
+            let run = run_distributed_on(&q, &stream, workers, batch, OptLevel::O3, backend);
             rows.push(vec![
                 id.into(),
                 workers.to_string(),
@@ -28,8 +36,18 @@ fn main() {
         }
     }
     print_table(
-        &format!("Figure 9 — weak scaling ({per_worker} tuples/worker/batch, modelled)"),
-        &["query", "workers", "batch", "median latency (ms)", "throughput (Ktup/s)", "MB shuffled/worker"],
+        &format!(
+            "Figure 9 — weak scaling ({per_worker} tuples/worker/batch, {})",
+            backend.label()
+        ),
+        &[
+            "query",
+            "workers",
+            "batch",
+            "median latency (ms)",
+            "throughput (Ktup/s)",
+            "MB shuffled/worker",
+        ],
         &rows,
     );
 }

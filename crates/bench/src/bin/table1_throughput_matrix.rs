@@ -14,7 +14,11 @@ fn main() {
     for q in all_queries() {
         let stream = stream_for(&q, tuples, 13);
         let mut row = vec![q.id.to_string()];
-        for strategy in [Strategy::Reevaluation, Strategy::ClassicalIvm, Strategy::RecursiveIvm] {
+        for strategy in [
+            Strategy::Reevaluation,
+            Strategy::ClassicalIvm,
+            Strategy::RecursiveIvm,
+        ] {
             for bs in batch_sizes {
                 let run = run_local(
                     &q,
@@ -34,9 +38,15 @@ fn main() {
         &format!("Table 1 — throughput in tuples/sec ({tuples} tuples per query)"),
         &[
             "query",
-            "reeval b=1", "reeval b=100", "reeval b=10k",
-            "ivm b=1", "ivm b=100", "ivm b=10k",
-            "rivm b=1", "rivm b=100", "rivm b=10k",
+            "reeval b=1",
+            "reeval b=100",
+            "reeval b=10k",
+            "ivm b=1",
+            "ivm b=100",
+            "ivm b=10k",
+            "rivm b=1",
+            "rivm b=100",
+            "rivm b=10k",
             "rivm single",
         ],
         &rows,

@@ -36,7 +36,12 @@ fn main() {
     }
     print_table(
         &format!("Table 2 — Q3 work counters vs batch size ({tuples} tuples)"),
-        &["config", "instructions (proxy)", "index probes (LLC-ref proxy)", "tuples/s"],
+        &[
+            "config",
+            "instructions (proxy)",
+            "index probes (LLC-ref proxy)",
+            "tuples/s",
+        ],
         &rows,
     );
 }

@@ -94,6 +94,34 @@ pub fn single_tuple_baseline(q: &CatalogQuery, stream: &UpdateStream) -> LocalRu
     run_local(q, stream, Strategy::RecursiveIvm, ExecMode::SingleTuple, 1)
 }
 
+/// Which execution backend a distributed experiment runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// Single-threaded simulator with the modelled cost model (the default).
+    Simulated,
+    /// `hotdog-runtime` thread-per-worker backend; latencies are measured
+    /// wall-clock.
+    Threaded,
+}
+
+impl Backend {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Simulated => "modelled",
+            Backend::Threaded => "measured",
+        }
+    }
+
+    /// Parse `--real` from a binary's argument list.
+    pub fn from_args() -> Backend {
+        if std::env::args().any(|a| a == "--real") {
+            Backend::Threaded
+        } else {
+            Backend::Simulated
+        }
+    }
+}
+
 /// Result of one distributed run.
 #[derive(Clone, Debug)]
 pub struct DistRun {
@@ -101,6 +129,7 @@ pub struct DistRun {
     pub workers: usize,
     pub batch_tuples: usize,
     pub opt: OptLevel,
+    pub backend: Backend,
     pub median_latency_secs: f64,
     pub throughput: f64,
     pub mb_shuffled_per_worker: f64,
@@ -117,27 +146,66 @@ pub fn run_distributed(
     batch_tuples: usize,
     opt: OptLevel,
 ) -> DistRun {
+    run_distributed_on(q, stream, workers, batch_tuples, opt, Backend::Simulated)
+}
+
+/// Run a query on the real thread-per-worker runtime and report measured
+/// wall-clock latency/throughput.
+pub fn run_distributed_real(
+    q: &CatalogQuery,
+    stream: &UpdateStream,
+    workers: usize,
+    batch_tuples: usize,
+    opt: OptLevel,
+) -> DistRun {
+    run_distributed_on(q, stream, workers, batch_tuples, opt, Backend::Threaded)
+}
+
+/// Backend-generic distributed experiment driver.
+pub fn run_distributed_on(
+    q: &CatalogQuery,
+    stream: &UpdateStream,
+    workers: usize,
+    batch_tuples: usize,
+    opt: OptLevel,
+    backend: Backend,
+) -> DistRun {
     let plan = compile_recursive(q.id, &q.expr);
     let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
     let dplan = compile_distributed(&plan, &spec, opt);
     let (jobs, stages) = dplan.complexity();
-    let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(workers));
-    for batch in stream.batches(batch_tuples) {
-        for (rel, delta) in batch {
-            cluster.apply_batch(rel, &delta);
+    let totals = match backend {
+        Backend::Simulated => {
+            let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(workers));
+            for batch in stream.batches(batch_tuples) {
+                for (rel, delta) in batch {
+                    cluster.apply_batch(rel, &delta);
+                }
+            }
+            cluster.totals.clone()
         }
-    }
+        Backend::Threaded => {
+            let mut cluster = ThreadedCluster::new(dplan, workers);
+            for batch in stream.batches(batch_tuples) {
+                for (rel, delta) in batch {
+                    cluster.apply_batch(rel, &delta);
+                }
+            }
+            cluster.totals.clone()
+        }
+    };
     DistRun {
         query: q.id.to_string(),
         workers,
         batch_tuples,
         opt,
-        median_latency_secs: cluster.totals.median_latency(),
-        throughput: cluster.totals.throughput(),
-        mb_shuffled_per_worker: cluster.totals.bytes_shuffled as f64
+        backend,
+        median_latency_secs: totals.median_latency(),
+        throughput: totals.throughput(),
+        mb_shuffled_per_worker: totals.bytes_shuffled as f64
             / 1e6
             / workers as f64
-            / cluster.totals.batches.max(1) as f64,
+            / totals.batches.max(1) as f64,
         jobs,
         stages,
     }

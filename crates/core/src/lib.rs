@@ -13,6 +13,7 @@
 //! | maintenance compilers | [`ivm`] | delta rules, domain extraction, recursive / classical / re-evaluation plans |
 //! | local runtime | [`exec`] | the trigger interpreter (single-tuple & batched modes) |
 //! | distributed compiler & runtime | [`distributed`] | location tags, transformers, block fusion, the simulated cluster |
+//! | threaded runtime | [`runtime`] | the real thread-per-worker execution backend (`ThreadedCluster`) |
 //! | workloads | [`workload`] | TPC-H / TPC-DS style generators, streams and the query catalog |
 //!
 //! ## Quickstart
@@ -39,6 +40,7 @@ pub use hotdog_algebra as algebra;
 pub use hotdog_distributed as distributed;
 pub use hotdog_exec as exec;
 pub use hotdog_ivm as ivm;
+pub use hotdog_runtime as runtime;
 pub use hotdog_storage as storage;
 pub use hotdog_workload as workload;
 
@@ -46,18 +48,19 @@ pub use hotdog_workload as workload;
 pub mod prelude {
     pub use hotdog_algebra::{
         assign_query, assign_val, cmp, cmp_lit, cmp_vars, delta_rel, evaluate, exists, join,
-        join_all, neg, rel, sum, sum_total, union, val, val_var, view, CmpOp, Env, Evaluator,
-        Expr, MapCatalog, Mult, RelKind, Relation, Schema, Tuple, ValExpr, Value,
+        join_all, neg, rel, sum, sum_total, union, val, val_var, view, CmpOp, Env, Evaluator, Expr,
+        MapCatalog, Mult, RelKind, Relation, Schema, Tuple, ValExpr, Value,
     };
     pub use hotdog_distributed::{
         compile_distributed, Cluster, ClusterConfig, DistributedPlan, LocTag, OptLevel,
-        PartitionFn, PartitioningSpec,
+        PartitionFn, PartitioningSpec, WorkerState,
     };
     pub use hotdog_exec::{BatchStats, Database, ExecMode, LocalEngine};
     pub use hotdog_ivm::{
-        compile, compile_classical, compile_recursive, compile_reevaluation, delta,
-        extract_domain, MaintenancePlan, Strategy,
+        compile, compile_classical, compile_recursive, compile_reevaluation, delta, extract_domain,
+        MaintenancePlan, Strategy,
     };
+    pub use hotdog_runtime::ThreadedCluster;
     pub use hotdog_storage::{ColumnarBatch, RecordPool};
     pub use hotdog_workload::{
         all_queries, generate_tpcds, generate_tpch, query, tpcds_queries, tpch_queries,

@@ -12,16 +12,12 @@
 
 use crate::partition::{LocTag, PartitionFn};
 use crate::program::{
-    DistStmtKind, DistStatement, DistributedPlan, StmtMode, Transform, TriggerProgram,
+    DistStatement, DistStmtKind, DistributedPlan, StmtMode, Transform, TriggerProgram,
 };
-use hotdog_algebra::eval::{Catalog, EvalCounters, Evaluator};
-use hotdog_algebra::expr::RelKind;
+use crate::worker::WorkerState;
+use hotdog_algebra::eval::EvalCounters;
 use hotdog_algebra::relation::Relation;
-use hotdog_algebra::ring::Mult;
-use hotdog_algebra::tuple::Tuple;
-use hotdog_algebra::value::Value;
-use hotdog_exec::{relabel, Database};
-use hotdog_ivm::StmtOp;
+use hotdog_exec::relabel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -128,91 +124,12 @@ impl ClusterTotals {
     }
 }
 
-/// One node's transient exchange buffers.
-type Temps = HashMap<String, Relation>;
-
-struct NodeCatalog<'a> {
-    db: &'a Database,
-    temps: &'a Temps,
-    deltas: &'a HashMap<String, Relation>,
-}
-
-impl Catalog for NodeCatalog<'_> {
-    fn scan(&self, name: &str, kind: RelKind, f: &mut dyn FnMut(&Tuple, Mult)) {
-        match kind {
-            RelKind::Delta => {
-                if let Some(rel) = self.deltas.get(name) {
-                    for (t, m) in rel.iter() {
-                        f(t, m);
-                    }
-                }
-            }
-            _ => {
-                if let Some(rel) = self.temps.get(name) {
-                    for (t, m) in rel.iter() {
-                        f(t, m);
-                    }
-                } else if let Some(pool) = self.db.pool(name) {
-                    pool.foreach(f);
-                }
-            }
-        }
-    }
-
-    fn lookup(&self, name: &str, kind: RelKind, key: &Tuple) -> Mult {
-        match kind {
-            RelKind::Delta => self.deltas.get(name).map(|r| r.get(key)).unwrap_or(0.0),
-            _ => {
-                if let Some(rel) = self.temps.get(name) {
-                    rel.get(key)
-                } else {
-                    self.db.pool(name).map(|p| p.get(key)).unwrap_or(0.0)
-                }
-            }
-        }
-    }
-
-    fn slice(
-        &self,
-        name: &str,
-        kind: RelKind,
-        positions: &[usize],
-        key_vals: &[Value],
-        f: &mut dyn FnMut(&Tuple, Mult),
-    ) {
-        match kind {
-            RelKind::Delta => {
-                if let Some(rel) = self.deltas.get(name) {
-                    for (t, m) in rel.iter() {
-                        if positions.iter().zip(key_vals).all(|(&p, v)| t.get(p) == v) {
-                            f(t, m);
-                        }
-                    }
-                }
-            }
-            _ => {
-                if let Some(rel) = self.temps.get(name) {
-                    for (t, m) in rel.iter() {
-                        if positions.iter().zip(key_vals).all(|(&p, v)| t.get(p) == v) {
-                            f(t, m);
-                        }
-                    }
-                } else if let Some(pool) = self.db.pool(name) {
-                    pool.slice(positions, key_vals, f);
-                }
-            }
-        }
-    }
-}
-
 /// The simulated cluster running one distributed plan.
 pub struct Cluster {
     pub config: ClusterConfig,
     dplan: DistributedPlan,
-    driver: Database,
-    driver_temps: Temps,
-    workers: Vec<Database>,
-    worker_temps: Vec<Temps>,
+    driver: WorkerState,
+    workers: Vec<WorkerState>,
     rng: StdRng,
     pub totals: ClusterTotals,
 }
@@ -221,19 +138,16 @@ impl Cluster {
     /// Create a cluster with empty views.
     pub fn new(dplan: DistributedPlan, config: ClusterConfig) -> Self {
         assert!(config.workers > 0);
-        let driver = Database::for_plan(&dplan.plan);
+        let driver = WorkerState::for_plan(&dplan.plan);
         let workers = (0..config.workers)
-            .map(|_| Database::for_plan(&dplan.plan))
+            .map(|_| WorkerState::for_plan(&dplan.plan))
             .collect::<Vec<_>>();
-        let worker_temps = (0..config.workers).map(|_| Temps::new()).collect();
         let rng = StdRng::seed_from_u64(config.seed);
         Cluster {
             config,
             dplan,
             driver,
-            driver_temps: Temps::new(),
             workers,
-            worker_temps,
             rng,
             totals: ClusterTotals::default(),
         }
@@ -248,10 +162,7 @@ impl Cluster {
     /// it (used for result extraction and for checking equivalence with the
     /// local engine).
     pub fn view_contents(&self, name: &str) -> Relation {
-        let schema = self
-            .dplan
-            .schema_of(name)
-            .unwrap_or_default();
+        let schema = self.dplan.schema_of(name).unwrap_or_default();
         let mut out = Relation::new(schema);
         match self.dplan.location(name) {
             LocTag::Local => out.merge(&self.driver.snapshot(name)),
@@ -344,7 +255,14 @@ impl Cluster {
                 StmtMode::Local => {
                     let mut counters = EvalCounters::default();
                     for stmt in &block.statements {
-                        self.run_local_statement(stmt, delta_name, deltas, stats, &mut counters, latency);
+                        self.run_local_statement(
+                            stmt,
+                            delta_name,
+                            deltas,
+                            stats,
+                            &mut counters,
+                            latency,
+                        );
                     }
                     stats.driver_instructions += counters.instructions();
                     *latency += counters.instructions() as f64 * self.config.secs_per_instruction;
@@ -356,7 +274,7 @@ impl Cluster {
                     for w in 0..self.config.workers {
                         let mut counters = EvalCounters::default();
                         for stmt in &block.statements {
-                            self.run_worker_statement(w, stmt, deltas, &mut counters);
+                            self.workers[w].run_compute(stmt, deltas, &mut counters);
                         }
                         max_instr = max_instr.max(counters.instructions());
                     }
@@ -380,19 +298,8 @@ impl Cluster {
         latency: &mut f64,
     ) {
         match &stmt.kind {
-            DistStmtKind::Compute(expr) => {
-                let result = {
-                    let cat = NodeCatalog {
-                        db: &self.driver,
-                        temps: &self.driver_temps,
-                        deltas,
-                    };
-                    let mut ev = Evaluator::new(&cat);
-                    let r = ev.eval(expr);
-                    counters.add(&ev.counters);
-                    r
-                };
-                self.apply_driver(stmt, result);
+            DistStmtKind::Compute(_) => {
+                self.driver.run_compute(stmt, deltas, counters);
             }
             DistStmtKind::Transform { kind, source } => {
                 let bytes = self.run_transform(stmt, kind, source, delta_name, deltas);
@@ -401,64 +308,6 @@ impl Cluster {
                 let per_link = bytes as f64 / self.config.workers as f64;
                 *latency += per_link / self.config.bandwidth_bytes_per_sec
                     + self.config.stage_overhead_secs * 0.25;
-            }
-        }
-    }
-
-    fn run_worker_statement(
-        &mut self,
-        worker: usize,
-        stmt: &DistStatement,
-        deltas: &HashMap<String, Relation>,
-        counters: &mut EvalCounters,
-    ) {
-        if let DistStmtKind::Compute(expr) = &stmt.kind {
-            let result = {
-                let cat = NodeCatalog {
-                    db: &self.workers[worker],
-                    temps: &self.worker_temps[worker],
-                    deltas,
-                };
-                let mut ev = Evaluator::new(&cat);
-                let r = ev.eval(expr);
-                counters.add(&ev.counters);
-                r
-            };
-            self.apply_worker(worker, stmt, result);
-        }
-    }
-
-    fn apply_driver(&mut self, stmt: &DistStatement, result: Relation) {
-        if self.dplan.plan.view(&stmt.target).is_some() {
-            match stmt.op {
-                StmtOp::AddTo => self.driver.merge(&stmt.target, &result),
-                StmtOp::SetTo => self.driver.replace(&stmt.target, &result),
-            }
-        } else {
-            let entry = self
-                .driver_temps
-                .entry(stmt.target.clone())
-                .or_insert_with(|| Relation::new(stmt.target_schema.clone()));
-            match stmt.op {
-                StmtOp::AddTo => entry.merge(&result),
-                StmtOp::SetTo => *entry = result,
-            }
-        }
-    }
-
-    fn apply_worker(&mut self, worker: usize, stmt: &DistStatement, result: Relation) {
-        if self.dplan.plan.view(&stmt.target).is_some() {
-            match stmt.op {
-                StmtOp::AddTo => self.workers[worker].merge(&stmt.target, &result),
-                StmtOp::SetTo => self.workers[worker].replace(&stmt.target, &result),
-            }
-        } else {
-            let entry = self.worker_temps[worker]
-                .entry(stmt.target.clone())
-                .or_insert_with(|| Relation::new(stmt.target_schema.clone()));
-            match stmt.op {
-                StmtOp::AddTo => entry.merge(&result),
-                StmtOp::SetTo => *entry = result,
             }
         }
     }
@@ -477,10 +326,8 @@ impl Cluster {
                 // Driver-resident source: the batch, a local view or a local temp.
                 let src: Relation = if source == delta_name {
                     deltas.values().next().cloned().unwrap_or_default()
-                } else if let Some(r) = self.driver_temps.get(source) {
-                    r.clone()
                 } else {
-                    self.driver.snapshot(source)
+                    self.driver.read(source)
                 };
                 let src = relabel(&src, &stmt.target_schema);
                 self.scatter(pf, &src, stmt)
@@ -489,12 +336,7 @@ impl Cluster {
                 // Collect from all workers, then redistribute.
                 let mut collected = Relation::new(stmt.target_schema.clone());
                 for w in 0..self.config.workers {
-                    let part = if let Some(r) = self.worker_temps[w].get(source) {
-                        r.clone()
-                    } else {
-                        self.workers[w].snapshot(source)
-                    };
-                    collected.merge(&relabel(&part, &stmt.target_schema));
+                    collected.merge(&relabel(&self.workers[w].read(source), &stmt.target_schema));
                 }
                 let moved = collected.serialized_size();
                 self.scatter(pf, &collected, stmt);
@@ -503,15 +345,10 @@ impl Cluster {
             Transform::Gather => {
                 let mut collected = Relation::new(stmt.target_schema.clone());
                 for w in 0..self.config.workers {
-                    let part = if let Some(r) = self.worker_temps[w].get(source) {
-                        r.clone()
-                    } else {
-                        self.workers[w].snapshot(source)
-                    };
-                    collected.merge(&relabel(&part, &stmt.target_schema));
+                    collected.merge(&relabel(&self.workers[w].read(source), &stmt.target_schema));
                 }
                 let bytes = collected.serialized_size();
-                self.apply_driver(stmt, collected);
+                self.driver.apply(stmt, collected);
                 bytes
             }
         }
@@ -521,38 +358,46 @@ impl Cluster {
     /// partition function, writing them into each worker's copy of the
     /// target.  Returns the bytes moved.
     fn scatter(&mut self, pf: &PartitionFn, src: &Relation, stmt: &DistStatement) -> usize {
-        let schema = stmt.target_schema.clone();
-        let workers = self.config.workers;
-        let mut shards: Vec<Relation> = (0..workers).map(|_| Relation::new(schema.clone())).collect();
-        let mut bytes = 0usize;
-        for (t, m) in src.iter() {
-            for w in pf.route(&schema, t, workers) {
-                shards[w].add(t.clone(), m);
-                bytes += t.serialized_size() + 8;
-            }
-        }
+        let (shards, bytes) = partition_shards(pf, src, stmt, self.config.workers);
         for (w, shard) in shards.into_iter().enumerate() {
-            let fake = DistStatement {
-                target: stmt.target.clone(),
-                target_schema: schema.clone(),
-                op: stmt.op,
-                kind: stmt.kind.clone(),
-                mode: stmt.mode,
-            };
             // Scatter targets are exchange buffers refreshed per batch.
-            self.apply_worker(w, &fake, shard);
+            self.workers[w].apply(stmt, shard);
         }
         bytes
     }
 }
 
+/// Split a driver-held relation into per-worker shards under a partition
+/// function; returns the shards and the bytes that cross the network.
+/// Shared by the simulated and the threaded backends so routing (and the
+/// byte accounting of the cost model) cannot diverge.
+pub fn partition_shards(
+    pf: &PartitionFn,
+    src: &Relation,
+    stmt: &DistStatement,
+    workers: usize,
+) -> (Vec<Relation>, usize) {
+    let schema = stmt.target_schema.clone();
+    let mut shards: Vec<Relation> = (0..workers)
+        .map(|_| Relation::new(schema.clone()))
+        .collect();
+    let mut bytes = 0usize;
+    for (t, m) in src.iter() {
+        for w in pf.route(&schema, t, workers) {
+            shards[w].add(t.clone(), m);
+            bytes += t.serialized_size() + 8;
+        }
+    }
+    (shards, bytes)
+}
+
 #[cfg(test)]
 mod tests {
-    use hotdog_algebra::schema::Schema;
     use super::*;
     use crate::partition::PartitioningSpec;
     use crate::program::{compile_distributed, OptLevel};
     use hotdog_algebra::expr::*;
+    use hotdog_algebra::schema::Schema;
     use hotdog_algebra::tuple;
     use hotdog_exec::{ExecMode, LocalEngine};
     use hotdog_ivm::compile_recursive;
@@ -614,7 +459,12 @@ mod tests {
 
     fn local_reference() -> Relation {
         let plan = compile_recursive("Q", &example_query());
-        let mut engine = LocalEngine::new(plan, ExecMode::Batched { preaggregate: false });
+        let mut engine = LocalEngine::new(
+            plan,
+            ExecMode::Batched {
+                preaggregate: false,
+            },
+        );
         for (rel, batch) in batches() {
             engine.apply_batch(rel, &batch);
         }
@@ -686,7 +536,12 @@ mod tests {
         let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(5));
 
         let plan2 = compile_recursive("Q17ish", &q);
-        let mut engine = LocalEngine::new(plan2, ExecMode::Batched { preaggregate: false });
+        let mut engine = LocalEngine::new(
+            plan2,
+            ExecMode::Batched {
+                preaggregate: false,
+            },
+        );
 
         let data = vec![
             (

@@ -10,20 +10,27 @@
 //!   (`Scatter`/`Repart`/`Gather`), intra-statement optimization, CSE/DCE
 //!   and the block-fusion algorithm, staged behind [`program::OptLevel`]
 //!   (O0–O3, matching Figure 13);
+//! * [`worker`] — backend-agnostic per-node state ([`worker::WorkerState`]):
+//!   one node's view partitions, exchange buffers and the statement
+//!   execution/application rules shared by every execution backend;
 //! * [`cluster`] — the simulated synchronous driver/worker cluster that
 //!   executes the distributed programs over real partitioned state and
 //!   models latency (per-stage synchronization, shuffle bandwidth,
-//!   stragglers).
+//!   stragglers).  The real thread-per-worker backend lives in the
+//!   `hotdog-runtime` crate and runs the same programs over the same
+//!   [`worker::WorkerState`] machinery.
 
 #![forbid(unsafe_code)]
 
 pub mod cluster;
 pub mod partition;
 pub mod program;
+pub mod worker;
 
-pub use cluster::{BatchExecution, Cluster, ClusterConfig, ClusterTotals};
+pub use cluster::{partition_shards, BatchExecution, Cluster, ClusterConfig, ClusterTotals};
 pub use partition::{LocTag, PartitionFn, PartitioningSpec};
 pub use program::{
-    compile_distributed, Block, DistStatement, DistStmtKind, DistributedPlan, OptLevel,
-    StmtMode, Transform, TriggerProgram,
+    compile_distributed, Block, DistStatement, DistStmtKind, DistributedPlan, OptLevel, StmtMode,
+    Transform, TriggerProgram,
 };
+pub use worker::{NodeCatalog, Temps, WorkerState};

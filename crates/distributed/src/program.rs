@@ -20,12 +20,12 @@ pub enum OptLevel {
     /// statement, no sharing of transformer outputs.
     O0,
     /// + transformer simplification rules (choose the execution partitioning
-    /// that avoids redundant Repart/Gather rounds).
+    ///   that avoids redundant Repart/Gather rounds).
     O1,
     /// + block fusion (merge commuting statements into compound blocks).
     O2,
     /// + common subexpression and dead code elimination across transformer
-    /// statements.
+    ///   statements.
     O3,
 }
 
@@ -93,11 +93,7 @@ impl DistStatement {
     /// Relation names this statement reads.
     pub fn reads(&self) -> Vec<String> {
         match &self.kind {
-            DistStmtKind::Compute(e) => e
-                .relations()
-                .into_iter()
-                .map(|r| r.name)
-                .collect(),
+            DistStmtKind::Compute(e) => e.relations().into_iter().map(|r| r.name).collect(),
             DistStmtKind::Transform { source, .. } => vec![source.clone()],
         }
     }
@@ -164,8 +160,13 @@ impl TriggerProgram {
             .filter(|s| {
                 matches!(
                     &s.kind,
-                    DistStmtKind::Transform { kind: Transform::Repart(_), .. }
-                        | DistStmtKind::Transform { kind: Transform::Gather, .. }
+                    DistStmtKind::Transform {
+                        kind: Transform::Repart(_),
+                        ..
+                    } | DistStmtKind::Transform {
+                        kind: Transform::Gather,
+                        ..
+                    }
                 )
             })
             .count();
@@ -192,12 +193,20 @@ impl TriggerProgram {
     }
 
     pub fn pretty(&self) -> String {
-        let mut out = format!("-- ON UPDATE {} ({} blocks)\n", self.relation, self.blocks.len());
+        let mut out = format!(
+            "-- ON UPDATE {} ({} blocks)\n",
+            self.relation,
+            self.blocks.len()
+        );
         for (i, b) in self.blocks.iter().enumerate() {
             out.push_str(&format!(
                 "block {} [{}]\n",
                 i,
-                if b.mode == StmtMode::Local { "local" } else { "distributed" }
+                if b.mode == StmtMode::Local {
+                    "local"
+                } else {
+                    "distributed"
+                }
             ));
             for s in &b.statements {
                 out.push_str(&format!("  {s}\n"));
@@ -433,8 +442,13 @@ impl Lowering<'_> {
                     }
                     // Re-partition (or replicate when the key is not part of
                     // the view's schema).
-                    let schema = self.plan.view(&r.name).map(|v| v.schema.clone()).unwrap_or_default();
-                    let pf = if exec_key.iter().all(|c| schema.contains(c)) && !exec_key.is_empty() {
+                    let schema = self
+                        .plan
+                        .view(&r.name)
+                        .map(|v| v.schema.clone())
+                        .unwrap_or_default();
+                    let pf = if exec_key.iter().all(|c| schema.contains(c)) && !exec_key.is_empty()
+                    {
                         any_partitioned_input = true;
                         PartitionFn::by(exec_key.clone())
                     } else {
@@ -472,7 +486,11 @@ impl Lowering<'_> {
                 }
                 LocTag::Local => {
                     // Broadcast a driver-resident view so workers can read it.
-                    let schema = self.plan.view(&r.name).map(|v| v.schema.clone()).unwrap_or_default();
+                    let schema = self
+                        .plan
+                        .view(&r.name)
+                        .map(|v| v.schema.clone())
+                        .unwrap_or_default();
                     let cache_key = format!("bcast:{}", r.name);
                     let temp = if self.opt >= OptLevel::O3 {
                         scatter_cache.get(&cache_key).cloned()
@@ -482,7 +500,8 @@ impl Lowering<'_> {
                     let temp = match temp {
                         Some(t) => t,
                         None => {
-                            let t = self.fresh_temp("broadcast", schema.clone(), LocTag::Replicated);
+                            let t =
+                                self.fresh_temp("broadcast", schema.clone(), LocTag::Replicated);
                             out.push(DistStatement {
                                 target: t.clone(),
                                 target_schema: schema,
@@ -550,7 +569,8 @@ impl Lowering<'_> {
         if !any_partitioned_input {
             // Degenerate case: nothing anchors the computation to a
             // partitioning — run on the driver and push the result out.
-            let result_temp = self.fresh_temp("local_result", stmt.target_schema.clone(), LocTag::Local);
+            let result_temp =
+                self.fresh_temp("local_result", stmt.target_schema.clone(), LocTag::Local);
             out.push(DistStatement {
                 target: result_temp.clone(),
                 target_schema: stmt.target_schema.clone(),
@@ -594,11 +614,8 @@ impl Lowering<'_> {
             // Compute a distributed partial result, then move it to the
             // target's location (Gather for local targets, Repart for
             // differently-partitioned ones).
-            let result_temp = self.fresh_temp(
-                "partial",
-                stmt.target_schema.clone(),
-                LocTag::Random,
-            );
+            let result_temp =
+                self.fresh_temp("partial", stmt.target_schema.clone(), LocTag::Random);
             out.push(DistStatement {
                 target: result_temp.clone(),
                 target_schema: stmt.target_schema.clone(),
@@ -660,9 +677,7 @@ fn dead_code_elimination(statements: &mut Vec<DistStatement>, plan: &Maintenance
             read.extend(s.reads());
         }
         let before = statements.len();
-        statements.retain(|s| {
-            real_views.contains(&s.target.as_str()) || read.iter().any(|r| *r == s.target)
-        });
+        statements.retain(|s| real_views.contains(&s.target.as_str()) || read.contains(&s.target));
         if statements.len() == before {
             break;
         }
@@ -768,11 +783,20 @@ mod tests {
                 .map(|p| p.statements().count())
                 .sum::<usize>()
         };
-        let blocks = |dp: &DistributedPlan| {
-            dp.programs.iter().map(|p| p.blocks.len()).sum::<usize>()
-        };
-        assert!(count(&opt) <= count(&naive), "O3 {} vs O0 {}", count(&opt), count(&naive));
-        assert!(blocks(&opt) < blocks(&naive), "O3 {} vs O0 {}", blocks(&opt), blocks(&naive));
+        let blocks =
+            |dp: &DistributedPlan| dp.programs.iter().map(|p| p.blocks.len()).sum::<usize>();
+        assert!(
+            count(&opt) <= count(&naive),
+            "O3 {} vs O0 {}",
+            count(&opt),
+            count(&naive)
+        );
+        assert!(
+            blocks(&opt) < blocks(&naive),
+            "O3 {} vs O0 {}",
+            blocks(&opt),
+            blocks(&naive)
+        );
     }
 
     #[test]
@@ -801,12 +825,20 @@ mod tests {
         let program = dp.program("R").unwrap();
         // one parallel stage of partial aggregation + one gather stage
         assert_eq!(program.stages(), 2, "{}", program.pretty());
-        assert!(program
-            .statements()
-            .any(|s| matches!(&s.kind, DistStmtKind::Transform { kind: Transform::Scatter(_), .. })));
-        assert!(program
-            .statements()
-            .any(|s| matches!(&s.kind, DistStmtKind::Transform { kind: Transform::Gather, .. })));
+        assert!(program.statements().any(|s| matches!(
+            &s.kind,
+            DistStmtKind::Transform {
+                kind: Transform::Scatter(_),
+                ..
+            }
+        )));
+        assert!(program.statements().any(|s| matches!(
+            &s.kind,
+            DistStmtKind::Transform {
+                kind: Transform::Gather,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -839,8 +871,8 @@ mod tests {
         let spec = spec_for(&plan);
         let dp = compile_distributed(&plan, &spec, OptLevel::O3);
         let (jobs, stages) = dp.complexity();
-        assert!(jobs >= 1 && jobs <= 5, "jobs {jobs}");
-        assert!(stages >= 1 && stages <= 10, "stages {stages}");
+        assert!((1..=5).contains(&jobs), "jobs {jobs}");
+        assert!((1..=10).contains(&stages), "stages {stages}");
     }
 
     #[test]
@@ -855,9 +887,18 @@ mod tests {
             mode,
         };
         let blocks = vec![
-            Block { mode: StmtMode::Local, statements: vec![s("X", "A", StmtMode::Local)] },
-            Block { mode: StmtMode::Distributed, statements: vec![s("Y", "X", StmtMode::Distributed)] },
-            Block { mode: StmtMode::Local, statements: vec![s("Z", "Y", StmtMode::Local)] },
+            Block {
+                mode: StmtMode::Local,
+                statements: vec![s("X", "A", StmtMode::Local)],
+            },
+            Block {
+                mode: StmtMode::Distributed,
+                statements: vec![s("Y", "X", StmtMode::Distributed)],
+            },
+            Block {
+                mode: StmtMode::Local,
+                statements: vec![s("Z", "Y", StmtMode::Local)],
+            },
         ];
         let fused = fuse_blocks(blocks);
         // Z reads Y which is produced by the distributed block, so the two
@@ -875,9 +916,18 @@ mod tests {
             mode: StmtMode::Local,
         };
         let blocks = vec![
-            Block { mode: StmtMode::Local, statements: vec![s("X", "A")] },
-            Block { mode: StmtMode::Local, statements: vec![s("Y", "B")] },
-            Block { mode: StmtMode::Local, statements: vec![s("Z", "C")] },
+            Block {
+                mode: StmtMode::Local,
+                statements: vec![s("X", "A")],
+            },
+            Block {
+                mode: StmtMode::Local,
+                statements: vec![s("Y", "B")],
+            },
+            Block {
+                mode: StmtMode::Local,
+                statements: vec![s("Z", "C")],
+            },
         ];
         assert_eq!(fuse_blocks(blocks).len(), 1);
     }

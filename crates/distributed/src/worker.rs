@@ -1,0 +1,275 @@
+//! Backend-agnostic per-node state and statement execution.
+//!
+//! Both execution backends — the single-threaded simulated [`Cluster`]
+//! (`cluster` module) and the real thread-per-worker runtime
+//! (`hotdog-runtime`) — run the same compiled [`DistributedPlan`]s over the
+//! same node-local machinery: a [`Database`] holding this node's partition
+//! of every materialized view, plus transient exchange buffers (`temps`)
+//! refreshed by the location transformers.  [`WorkerState`] bundles the two
+//! with the statement-application rules so the backends cannot diverge in
+//! semantics, only in scheduling and in how time is accounted.
+//!
+//! [`Cluster`]: crate::cluster::Cluster
+
+use crate::program::{DistStatement, DistStmtKind};
+use hotdog_algebra::eval::{Catalog, EvalCounters, Evaluator};
+use hotdog_algebra::expr::RelKind;
+use hotdog_algebra::relation::Relation;
+use hotdog_algebra::ring::Mult;
+use hotdog_algebra::tuple::Tuple;
+use hotdog_algebra::value::Value;
+use hotdog_exec::Database;
+use hotdog_ivm::{MaintenancePlan, StmtOp};
+use std::collections::{HashMap, HashSet};
+
+/// One node's transient exchange buffers (scattered batches, repartitioned
+/// views, partial results), keyed by temp name.
+pub type Temps = HashMap<String, Relation>;
+
+/// The state of one node (driver or worker): its partition of the
+/// materialized views and its exchange buffers.
+#[derive(Debug)]
+pub struct WorkerState {
+    /// This node's partition of every materialized view.
+    pub db: Database,
+    /// Exchange buffers, refreshed per batch by transformer statements.
+    pub temps: Temps,
+    /// Names of the plan's real (persistent) views; everything else written
+    /// by a statement is an exchange buffer.
+    views: HashSet<String>,
+}
+
+impl WorkerState {
+    /// Create empty node state for a maintenance plan.
+    pub fn for_plan(plan: &MaintenancePlan) -> Self {
+        WorkerState {
+            db: Database::for_plan(plan),
+            temps: Temps::new(),
+            views: plan.views.iter().map(|v| v.name.clone()).collect(),
+        }
+    }
+
+    /// Execute one `Compute` statement against this node's state and apply
+    /// the result; transformer statements are scheduling constructs handled
+    /// by the backend driver, not per-node work.  Evaluator operation counts
+    /// are accumulated into `counters`.
+    pub fn run_compute(
+        &mut self,
+        stmt: &DistStatement,
+        deltas: &HashMap<String, Relation>,
+        counters: &mut EvalCounters,
+    ) {
+        if let DistStmtKind::Compute(expr) = &stmt.kind {
+            let result = {
+                let cat = NodeCatalog {
+                    db: &self.db,
+                    temps: &self.temps,
+                    deltas,
+                };
+                let mut ev = Evaluator::new(&cat);
+                let r = ev.eval(expr);
+                counters.add(&ev.counters);
+                r
+            };
+            self.apply(stmt, result);
+        }
+    }
+
+    /// Apply a computed or received relation to a statement's target:
+    /// persistent views live in the database, everything else is an
+    /// exchange buffer.
+    pub fn apply(&mut self, stmt: &DistStatement, result: Relation) {
+        if self.views.contains(&stmt.target) {
+            match stmt.op {
+                StmtOp::AddTo => self.db.merge(&stmt.target, &result),
+                StmtOp::SetTo => self.db.replace(&stmt.target, &result),
+            }
+        } else {
+            let entry = self
+                .temps
+                .entry(stmt.target.clone())
+                .or_insert_with(|| Relation::new(stmt.target_schema.clone()));
+            match stmt.op {
+                StmtOp::AddTo => entry.merge(&result),
+                StmtOp::SetTo => *entry = result,
+            }
+        }
+    }
+
+    /// Read a named relation for a transformer: an exchange buffer if one
+    /// exists, otherwise this node's partition of the view.
+    pub fn read(&self, name: &str) -> Relation {
+        if let Some(r) = self.temps.get(name) {
+            r.clone()
+        } else {
+            self.db.snapshot(name)
+        }
+    }
+
+    /// Snapshot this node's partition of a view.
+    pub fn snapshot(&self, view: &str) -> Relation {
+        self.db.snapshot(view)
+    }
+}
+
+/// Catalog adapter resolving `Delta` references against the in-flight batch,
+/// temps against the node's exchange buffers, and everything else against
+/// the node's view partitions.
+pub struct NodeCatalog<'a> {
+    pub db: &'a Database,
+    pub temps: &'a Temps,
+    pub deltas: &'a HashMap<String, Relation>,
+}
+
+impl Catalog for NodeCatalog<'_> {
+    fn scan(&self, name: &str, kind: RelKind, f: &mut dyn FnMut(&Tuple, Mult)) {
+        match kind {
+            RelKind::Delta => {
+                if let Some(rel) = self.deltas.get(name) {
+                    for (t, m) in rel.iter() {
+                        f(t, m);
+                    }
+                }
+            }
+            _ => {
+                if let Some(rel) = self.temps.get(name) {
+                    for (t, m) in rel.iter() {
+                        f(t, m);
+                    }
+                } else if let Some(pool) = self.db.pool(name) {
+                    pool.foreach(f);
+                }
+            }
+        }
+    }
+
+    fn lookup(&self, name: &str, kind: RelKind, key: &Tuple) -> Mult {
+        match kind {
+            RelKind::Delta => self.deltas.get(name).map(|r| r.get(key)).unwrap_or(0.0),
+            _ => {
+                if let Some(rel) = self.temps.get(name) {
+                    rel.get(key)
+                } else {
+                    self.db.pool(name).map(|p| p.get(key)).unwrap_or(0.0)
+                }
+            }
+        }
+    }
+
+    fn slice(
+        &self,
+        name: &str,
+        kind: RelKind,
+        positions: &[usize],
+        key_vals: &[Value],
+        f: &mut dyn FnMut(&Tuple, Mult),
+    ) {
+        match kind {
+            RelKind::Delta => {
+                if let Some(rel) = self.deltas.get(name) {
+                    for (t, m) in rel.iter() {
+                        if positions.iter().zip(key_vals).all(|(&p, v)| t.get(p) == v) {
+                            f(t, m);
+                        }
+                    }
+                }
+            }
+            _ => {
+                if let Some(rel) = self.temps.get(name) {
+                    for (t, m) in rel.iter() {
+                        if positions.iter().zip(key_vals).all(|(&p, v)| t.get(p) == v) {
+                            f(t, m);
+                        }
+                    }
+                } else if let Some(pool) = self.db.pool(name) {
+                    pool.slice(positions, key_vals, f);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::StmtMode;
+    use hotdog_algebra::expr::*;
+    use hotdog_algebra::schema::Schema;
+    use hotdog_algebra::tuple;
+    use hotdog_ivm::compile_recursive;
+
+    fn plan() -> MaintenancePlan {
+        compile_recursive(
+            "Q",
+            &sum(["B"], join(rel("R", ["A", "B"]), rel("S", ["B", "C"]))),
+        )
+    }
+
+    #[test]
+    fn apply_routes_views_to_db_and_temps_to_buffers() {
+        let plan = plan();
+        let mut node = WorkerState::for_plan(&plan);
+        let rel = Relation::from_pairs(Schema::new(["B"]), vec![(tuple![1], 2.0)]);
+        let view_stmt = DistStatement {
+            target: "Q".into(),
+            target_schema: Schema::new(["B"]),
+            op: StmtOp::AddTo,
+            kind: DistStmtKind::Compute(view("Q", ["B"])),
+            mode: StmtMode::Local,
+        };
+        node.apply(&view_stmt, rel.clone());
+        assert!(node.snapshot("Q").approx_eq(&rel));
+        assert!(node.temps.is_empty());
+
+        let temp_stmt = DistStatement {
+            target: "scatter_1".into(),
+            ..view_stmt
+        };
+        node.apply(&temp_stmt, rel.clone());
+        assert!(node.temps["scatter_1"].approx_eq(&rel));
+        // SetTo replaces the buffer wholesale.
+        let temp_set = DistStatement {
+            op: StmtOp::SetTo,
+            target: "scatter_1".into(),
+            target_schema: Schema::new(["B"]),
+            kind: DistStmtKind::Compute(view("Q", ["B"])),
+            mode: StmtMode::Local,
+        };
+        let other = Relation::from_pairs(Schema::new(["B"]), vec![(tuple![9], 1.0)]);
+        node.apply(&temp_set, other.clone());
+        assert!(node.temps["scatter_1"].approx_eq(&other));
+    }
+
+    #[test]
+    fn read_prefers_exchange_buffers_over_view_partitions() {
+        let plan = plan();
+        let mut node = WorkerState::for_plan(&plan);
+        let in_db = Relation::from_pairs(Schema::new(["B"]), vec![(tuple![1], 1.0)]);
+        node.db.merge("Q", &in_db);
+        assert!(node.read("Q").approx_eq(&in_db));
+        let buffered = Relation::from_pairs(Schema::new(["B"]), vec![(tuple![2], 5.0)]);
+        node.temps.insert("Q".into(), buffered.clone());
+        assert!(node.read("Q").approx_eq(&buffered));
+    }
+
+    #[test]
+    fn run_compute_evaluates_against_node_state() {
+        let plan = plan();
+        let mut node = WorkerState::for_plan(&plan);
+        node.db.merge(
+            "Q",
+            &Relation::from_pairs(Schema::new(["B"]), vec![(tuple![3], 4.0)]),
+        );
+        let stmt = DistStatement {
+            target: "copy_1".into(),
+            target_schema: Schema::new(["B"]),
+            op: StmtOp::SetTo,
+            kind: DistStmtKind::Compute(view("Q", ["B"])),
+            mode: StmtMode::Local,
+        };
+        let mut counters = EvalCounters::default();
+        node.run_compute(&stmt, &HashMap::new(), &mut counters);
+        assert!(node.temps["copy_1"].approx_eq(&node.snapshot("Q")));
+        assert!(counters.instructions() > 0);
+    }
+}

@@ -26,7 +26,8 @@ impl Database {
     pub fn for_plan(plan: &MaintenancePlan) -> Self {
         let mut db = Database::default();
         for v in &plan.views {
-            db.pools.insert(v.name.clone(), RecordPool::new(v.schema.len()));
+            db.pools
+                .insert(v.name.clone(), RecordPool::new(v.schema.len()));
             db.schemas.insert(v.name.clone(), v.schema.clone());
         }
         for spec in plan.index_requirements() {
@@ -208,7 +209,9 @@ mod tests {
         let db = Database::for_plan(&plan);
         for spec in plan.index_requirements() {
             assert!(
-                db.pool(&spec.view).unwrap().has_secondary_index(&spec.positions),
+                db.pool(&spec.view)
+                    .unwrap()
+                    .has_secondary_index(&spec.positions),
                 "missing index {:?} on {}",
                 spec.positions,
                 spec.view
@@ -220,10 +223,8 @@ mod tests {
     fn snapshot_merge_replace_round_trip() {
         let plan = sample_plan();
         let mut db = Database::for_plan(&plan);
-        let rel = Relation::from_pairs(
-            Schema::new(["B"]),
-            vec![(tuple![1], 2.0), (tuple![2], 3.0)],
-        );
+        let rel =
+            Relation::from_pairs(Schema::new(["B"]), vec![(tuple![1], 2.0), (tuple![2], 3.0)]);
         db.merge("Q", &rel);
         assert!(db.snapshot("Q").approx_eq(&rel));
         let rel2 = Relation::from_pairs(Schema::new(["B"]), vec![(tuple![9], 1.0)]);
@@ -245,7 +246,10 @@ mod tests {
             "R".to_string(),
             Relation::from_pairs(Schema::new(["A", "B"]), vec![(tuple![1, 5], 1.0)]),
         );
-        let cat = ExecCatalog { db: &db, deltas: &deltas };
+        let cat = ExecCatalog {
+            db: &db,
+            deltas: &deltas,
+        };
         assert_eq!(cat.lookup("Q", RelKind::View, &tuple![5]), 7.0);
         assert_eq!(cat.lookup("R", RelKind::Delta, &tuple![1, 5]), 1.0);
         let mut n = 0;

@@ -31,7 +31,9 @@ impl ExecMode {
         match self {
             ExecMode::SingleTuple => "single-tuple",
             ExecMode::Batched { preaggregate: true } => "batched+preagg",
-            ExecMode::Batched { preaggregate: false } => "batched",
+            ExecMode::Batched {
+                preaggregate: false,
+            } => "batched",
         }
     }
 }
@@ -198,10 +200,8 @@ impl LocalEngine {
         match self.mode {
             ExecMode::SingleTuple => {
                 for (t, m) in batch.iter() {
-                    let single = Relation::from_pairs(
-                        trigger.relation_schema.clone(),
-                        [(t.clone(), m)],
-                    );
+                    let single =
+                        Relation::from_pairs(trigger.relation_schema.clone(), [(t.clone(), m)]);
                     self.run_trigger(relation, &trigger, &single, &mut stats);
                     stats.processed_tuples += 1;
                 }
@@ -323,13 +323,13 @@ fn rewrite_delta_refs(expr: &Expr, canonical: &Schema, used: &Schema) -> Expr {
                 .cols
                 .iter()
                 .enumerate()
-                .filter(|(i, _)|
-
+                .filter(|(i, _)| {
                     canonical
                         .columns()
                         .get(*i)
                         .map(|c| used.contains(c))
-                        .unwrap_or(true))
+                        .unwrap_or(true)
+                })
                 .map(|(_, c)| c.clone())
                 .collect();
             Expr::Rel(RelRef {
@@ -386,7 +386,11 @@ mod tests {
                 "R",
                 Relation::from_pairs(
                     Schema::new(["A", "B"]),
-                    vec![(tuple![1, 10], 1.0), (tuple![2, 20], 1.0), (tuple![7, 10], 1.0)],
+                    vec![
+                        (tuple![1, 10], 1.0),
+                        (tuple![2, 20], 1.0),
+                        (tuple![7, 10], 1.0),
+                    ],
                 ),
             ),
             (
@@ -463,7 +467,9 @@ mod tests {
         check_engine(
             three_way_join(),
             Strategy::RecursiveIvm,
-            ExecMode::Batched { preaggregate: false },
+            ExecMode::Batched {
+                preaggregate: false,
+            },
         );
     }
 
@@ -478,7 +484,11 @@ mod tests {
 
     #[test]
     fn recursive_single_tuple_matches_reference_three_way_join() {
-        check_engine(three_way_join(), Strategy::RecursiveIvm, ExecMode::SingleTuple);
+        check_engine(
+            three_way_join(),
+            Strategy::RecursiveIvm,
+            ExecMode::SingleTuple,
+        );
     }
 
     #[test]
@@ -486,7 +496,9 @@ mod tests {
         check_engine(
             three_way_join(),
             Strategy::ClassicalIvm,
-            ExecMode::Batched { preaggregate: false },
+            ExecMode::Batched {
+                preaggregate: false,
+            },
         );
     }
 
@@ -495,7 +507,9 @@ mod tests {
         check_engine(
             three_way_join(),
             Strategy::Reevaluation,
-            ExecMode::Batched { preaggregate: false },
+            ExecMode::Batched {
+                preaggregate: false,
+            },
         );
     }
 
@@ -504,13 +518,19 @@ mod tests {
         check_engine(
             nested_query(),
             Strategy::RecursiveIvm,
-            ExecMode::Batched { preaggregate: false },
+            ExecMode::Batched {
+                preaggregate: false,
+            },
         );
     }
 
     #[test]
     fn recursive_single_tuple_matches_reference_nested_query() {
-        check_engine(nested_query(), Strategy::RecursiveIvm, ExecMode::SingleTuple);
+        check_engine(
+            nested_query(),
+            Strategy::RecursiveIvm,
+            ExecMode::SingleTuple,
+        );
     }
 
     #[test]
@@ -518,7 +538,9 @@ mod tests {
         check_engine(
             nested_query(),
             Strategy::ClassicalIvm,
-            ExecMode::Batched { preaggregate: false },
+            ExecMode::Batched {
+                preaggregate: false,
+            },
         );
     }
 
@@ -527,7 +549,9 @@ mod tests {
         check_engine(
             distinct_query(),
             Strategy::RecursiveIvm,
-            ExecMode::Batched { preaggregate: false },
+            ExecMode::Batched {
+                preaggregate: false,
+            },
         );
     }
 
@@ -572,7 +596,12 @@ mod tests {
     #[test]
     fn counters_accumulate_across_batches() {
         let plan = compile("Q", &three_way_join(), Strategy::RecursiveIvm);
-        let mut engine = LocalEngine::new(plan, ExecMode::Batched { preaggregate: false });
+        let mut engine = LocalEngine::new(
+            plan,
+            ExecMode::Batched {
+                preaggregate: false,
+            },
+        );
         for (rel, batch) in batches() {
             engine.apply_batch(rel, &batch);
         }

@@ -54,7 +54,9 @@ pub fn compile_recursive(name: &str, query: &Expr) -> MaintenancePlan {
     };
     for r in query.relations() {
         if r.kind == RelKind::Base {
-            c.base_schemas.entry(r.name.clone()).or_insert(r.cols.clone());
+            c.base_schemas
+                .entry(r.name.clone())
+                .or_insert(r.cols.clone());
         }
     }
 
@@ -72,7 +74,10 @@ pub fn compile_recursive(name: &str, query: &Expr) -> MaintenancePlan {
     let mut processed = 0usize;
     while let Some(vi) = queue.pop_front() {
         processed += 1;
-        assert!(processed < 10_000, "recursive compilation did not terminate");
+        assert!(
+            processed < 10_000,
+            "recursive compilation did not terminate"
+        );
         let vdef = c.views[vi].clone();
         for base in base_relations(&vdef.definition) {
             let d = delta(&vdef.definition, &base.name);
@@ -108,7 +113,13 @@ pub fn compile_recursive(name: &str, query: &Expr) -> MaintenancePlan {
         }
     }
 
-    build_plan(name, Strategy::RecursiveIvm, c.views, c.statements, &c.base_schemas)
+    build_plan(
+        name,
+        Strategy::RecursiveIvm,
+        c.views,
+        c.statements,
+        &c.base_schemas,
+    )
 }
 
 impl RecursiveCompiler {
@@ -186,15 +197,15 @@ impl RecursiveCompiler {
         let mut rest_factors: Vec<Expr> = Vec::new();
         for f in factors {
             let flat = is_flat_stored(&f);
-            if !f.has_delta_relations()
-                && f.degree() >= 1
-                && flat
-                && f.input_variables().is_empty()
+            if !f.has_delta_relations() && f.degree() >= 1 && flat && f.input_variables().is_empty()
             {
                 groupable.push(f);
             } else if f.has_delta_relations() {
                 delta_factors.push(f);
-            } else if matches!(f, Expr::AssignVal { .. } | Expr::AssignQuery { .. } | Expr::Exists(_)) {
+            } else if matches!(
+                f,
+                Expr::AssignVal { .. } | Expr::AssignQuery { .. } | Expr::Exists(_)
+            ) {
                 assign_factors.push(f);
             } else if f.degree() >= 1 {
                 // Delta-free but nested (e.g. an uncorrelated stored nested
@@ -453,9 +464,9 @@ fn connected_components(factors: &[Expr]) -> Vec<Vec<Expr>> {
         }
     }
     let mut groups: BTreeMap<usize, Vec<Expr>> = BTreeMap::new();
-    for i in 0..n {
+    for (i, factor) in factors.iter().enumerate() {
         let root = find(&mut parent, i);
-        groups.entry(root).or_default().push(factors[i].clone());
+        groups.entry(root).or_default().push(factor.clone());
     }
     groups.into_values().collect()
 }
@@ -545,7 +556,13 @@ pub fn compile_classical(name: &str, query: &Expr) -> MaintenancePlan {
             idx * 2 + 1,
         ));
     }
-    build_plan(name, Strategy::ClassicalIvm, views, statements, &base_schemas)
+    build_plan(
+        name,
+        Strategy::ClassicalIvm,
+        views,
+        statements,
+        &base_schemas,
+    )
 }
 
 /// Compile the re-evaluation plan (refresh the base tables, then recompute
@@ -593,7 +610,13 @@ pub fn compile_reevaluation(name: &str, query: &Expr) -> MaintenancePlan {
             idx * 2 + 1,
         ));
     }
-    build_plan(name, Strategy::Reevaluation, views, statements, &base_schemas)
+    build_plan(
+        name,
+        Strategy::Reevaluation,
+        views,
+        statements,
+        &base_schemas,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -664,7 +687,10 @@ mod tests {
         assert_eq!(trig.statements[0].target, "Q");
         let first = trig.statements[0].expr.to_string();
         assert!(first.contains("ΔR"), "got {first}");
-        assert!(!first.contains("S("), "S must be materialized away: {first}");
+        assert!(
+            !first.contains("S("),
+            "S must be materialized away: {first}"
+        );
         // All three relations have triggers.
         assert_eq!(plan.triggers.len(), 3);
     }
@@ -674,7 +700,10 @@ mod tests {
         for q in [
             example_query(),
             sum_total(join(rel("R", ["A", "B"]), cmp_lit("B", CmpOp::Gt, 3))),
-            exists(sum(["A"], join(rel("R", ["A", "B"]), cmp_lit("B", CmpOp::Gt, 3)))),
+            exists(sum(
+                ["A"],
+                join(rel("R", ["A", "B"]), cmp_lit("B", CmpOp::Gt, 3)),
+            )),
         ] {
             let plan = compile_recursive("Q", &q);
             for t in &plan.triggers {
@@ -700,7 +729,11 @@ mod tests {
             let degrees: Vec<usize> = t
                 .statements
                 .iter()
-                .map(|s| plan.view(&s.target).map(|v| v.definition.degree()).unwrap_or(0))
+                .map(|s| {
+                    plan.view(&s.target)
+                        .map(|v| v.definition.degree())
+                        .unwrap_or(0)
+                })
                 .collect();
             let mut sorted = degrees.clone();
             sorted.sort_by(|a, b| b.cmp(a));
@@ -724,7 +757,10 @@ mod tests {
         assert_eq!(view_refs.len(), 2, "stmt: {top_stmt}");
         for v in view_refs {
             let def = &plan.view(&v.name).unwrap().definition;
-            assert!(def.degree() == 1, "component view should hold one relation: {def}");
+            assert!(
+                def.degree() == 1,
+                "component view should hold one relation: {def}"
+            );
         }
     }
 
@@ -792,9 +828,18 @@ mod tests {
     #[test]
     fn compile_dispatches_on_strategy() {
         let q = example_query();
-        assert_eq!(compile("Q", &q, Strategy::Reevaluation).strategy, Strategy::Reevaluation);
-        assert_eq!(compile("Q", &q, Strategy::ClassicalIvm).strategy, Strategy::ClassicalIvm);
-        assert_eq!(compile("Q", &q, Strategy::RecursiveIvm).strategy, Strategy::RecursiveIvm);
+        assert_eq!(
+            compile("Q", &q, Strategy::Reevaluation).strategy,
+            Strategy::Reevaluation
+        );
+        assert_eq!(
+            compile("Q", &q, Strategy::ClassicalIvm).strategy,
+            Strategy::ClassicalIvm
+        );
+        assert_eq!(
+            compile("Q", &q, Strategy::RecursiveIvm).strategy,
+            Strategy::RecursiveIvm
+        );
     }
 
     #[test]

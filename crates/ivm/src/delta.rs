@@ -81,7 +81,10 @@ pub fn delta_bound(expr: &Expr, relation: &str, bound: &Schema) -> Expr {
             };
             let diff = Expr::Union(
                 Box::new(new_assign),
-                Box::new(Expr::Join(Box::new(Expr::Const(-1.0)), Box::new(old_assign))),
+                Box::new(Expr::Join(
+                    Box::new(Expr::Const(-1.0)),
+                    Box::new(old_assign),
+                )),
             );
             Expr::Join(Box::new(guard), Box::new(diff))
         }
@@ -91,14 +94,15 @@ pub fn delta_bound(expr: &Expr, relation: &str, bound: &Schema) -> Expr {
                 return Expr::Const(0.0);
             }
             let guard = domain_guard(&dq, q, bound);
-            let new_exists = Expr::Exists(Box::new(Expr::Union(
-                Box::new((**q).clone()),
-                Box::new(dq),
-            )));
+            let new_exists =
+                Expr::Exists(Box::new(Expr::Union(Box::new((**q).clone()), Box::new(dq))));
             let old_exists = Expr::Exists(q.clone());
             let diff = Expr::Union(
                 Box::new(new_exists),
-                Box::new(Expr::Join(Box::new(Expr::Const(-1.0)), Box::new(old_exists))),
+                Box::new(Expr::Join(
+                    Box::new(Expr::Const(-1.0)),
+                    Box::new(old_exists),
+                )),
             );
             Expr::Join(Box::new(guard), Box::new(diff))
         }
@@ -205,7 +209,11 @@ mod tests {
         // base catalog, delta catalog (base + registered deltas), merged catalog
         let r = Relation::from_pairs(
             Schema::new(["A", "B"]),
-            vec![(tuple![1, 10], 1.0), (tuple![2, 20], 1.0), (tuple![4, 20], 1.0)],
+            vec![
+                (tuple![1, 10], 1.0),
+                (tuple![2, 20], 1.0),
+                (tuple![4, 20], 1.0),
+            ],
         );
         let s = Relation::from_pairs(
             Schema::new(["B", "C"]),

@@ -64,8 +64,8 @@ fn extract(e: &Expr) -> Expr {
             }
         }
         Expr::Exists(q) => extract(q),
-        Expr::AssignQuery { query, .. } if query.has_stored_relations()
-            || query.has_delta_relations() =>
+        Expr::AssignQuery { query, .. }
+            if query.has_stored_relations() || query.has_delta_relations() =>
         {
             extract(query)
         }

@@ -41,10 +41,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn rel_strategy(arity: usize) -> impl Strategy<Value = Vec<(Vec<i64>, i64)>> {
-        prop::collection::vec(
-            (prop::collection::vec(0i64..6, arity), -2i64..3),
-            0..25,
-        )
+        prop::collection::vec((prop::collection::vec(0i64..6, arity), -2i64..3), 0..25)
     }
 
     fn to_relation(cols: &[&str], rows: &[(Vec<i64>, i64)]) -> Relation {

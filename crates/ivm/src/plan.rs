@@ -71,7 +71,11 @@ impl fmt::Display for Statement {
             StmtOp::AddTo => "+=",
             StmtOp::SetTo => ":=",
         };
-        write!(f, "{}({:?}) {} {}", self.target, self.target_schema, op, self.expr)
+        write!(
+            f,
+            "{}({:?}) {} {}",
+            self.target, self.target_schema, op, self.expr
+        )
     }
 }
 
@@ -202,11 +206,7 @@ impl MaintenancePlan {
 /// Walk an expression in evaluation order, tracking which columns are bound,
 /// and report every access to a `View`-kind relation along with the bound
 /// key positions at that point.
-pub fn collect_access(
-    expr: &Expr,
-    bound: &mut Schema,
-    report: &mut dyn FnMut(&str, Vec<usize>),
-) {
+pub fn collect_access(expr: &Expr, bound: &mut Schema, report: &mut dyn FnMut(&str, Vec<usize>)) {
     match expr {
         Expr::Rel(r) => {
             if r.kind == RelKind::View {

@@ -146,9 +146,7 @@ pub fn join_of(factors: Vec<Expr>) -> Expr {
     let mut it = factors.into_iter();
     match it.next() {
         None => Expr::Const(1.0),
-        Some(first) => it.fold(first, |acc, f| {
-            Expr::Join(Box::new(acc), Box::new(f))
-        }),
+        Some(first) => it.fold(first, |acc, f| Expr::Join(Box::new(acc), Box::new(f))),
     }
 }
 
@@ -203,10 +201,7 @@ mod tests {
 
     #[test]
     fn union_terms_flatten() {
-        let e = union(
-            union(rel("R", ["A"]), Expr::Const(0.0)),
-            rel("S", ["A"]),
-        );
+        let e = union(union(rel("R", ["A"]), Expr::Const(0.0)), rel("S", ["A"]));
         assert_eq!(union_terms(&e).len(), 2);
     }
 

@@ -1,0 +1,565 @@
+//! # hotdog-runtime
+//!
+//! The real execution backend for compiled [`DistributedPlan`]s: a
+//! thread-per-worker runtime that actually runs the distributed maintenance
+//! programs in parallel, in contrast to the single-threaded simulated
+//! [`Cluster`](hotdog_distributed::Cluster) which executes the same
+//! programs sequentially and *models* time.
+//!
+//! Architecture (mirroring the paper's driver/worker deployment):
+//!
+//! * every worker is one OS thread owning a [`WorkerState`] — its
+//!   hash-partitioned shard of the distributed views plus per-batch
+//!   exchange buffers — and a command channel;
+//! * the driver (the caller's thread) owns the driver-resident views and
+//!   runs each [`TriggerProgram`] epoch-synchronously: `Local` blocks
+//!   execute on the driver, transformer statements move relations between
+//!   driver and workers (scatter / repartition / gather), and every
+//!   `Distributed` block is broadcast to all workers and barriered before
+//!   the next block starts — the mpsc channels play the role of the
+//!   cluster fabric;
+//! * routing reuses the exact `PartitionFn` shard assignment of the
+//!   simulator (via [`hotdog_distributed::partition_shards`]), and workers
+//!   run statements through the same [`WorkerState`] interpreter, so both
+//!   backends produce identical view contents — only the *time* differs:
+//!   [`BatchExecution::latency_secs`] here is measured wall-clock, not a
+//!   cost model.
+//!
+//! [`BatchExecution::latency_secs`]: hotdog_distributed::BatchExecution
+
+#![forbid(unsafe_code)]
+
+use hotdog_algebra::eval::EvalCounters;
+use hotdog_algebra::relation::Relation;
+use hotdog_distributed::{
+    partition_shards, BatchExecution, ClusterTotals, DistStatement, DistStmtKind, DistributedPlan,
+    LocTag, PartitionFn, StmtMode, Transform, TriggerProgram, WorkerState,
+};
+use hotdog_exec::relabel;
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Commands the driver sends to a worker thread.  Per-channel FIFO order is
+/// the synchronization contract: an `Apply` enqueued before a `RunBlock` is
+/// guaranteed to be installed before the block executes.
+enum Request {
+    /// Execute one distributed block over this worker's shard and report
+    /// the interpreter work performed.
+    RunBlock {
+        statements: Arc<Vec<DistStatement>>,
+        deltas: Arc<HashMap<String, Relation>>,
+    },
+    /// Install a scattered shard into the statement's target.
+    Apply {
+        stmt: Arc<DistStatement>,
+        shard: Relation,
+    },
+    /// Send back an exchange buffer (or this worker's view partition).
+    Fetch { name: String },
+    /// Send back this worker's partition of a materialized view.
+    Snapshot { view: String },
+    /// Acknowledge that everything enqueued so far has been processed
+    /// (drains trailing `Apply`s so measured batch latency includes them).
+    Barrier,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Worker responses (one per `RunBlock`/`Fetch`/`Snapshot`/`Barrier`
+/// request).
+enum Reply {
+    Ran { instructions: u64 },
+    Rel(Relation),
+    Ack,
+}
+
+fn worker_loop(mut state: WorkerState, rx: Receiver<Request>, tx: Sender<Reply>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Request::RunBlock { statements, deltas } => {
+                let mut counters = EvalCounters::default();
+                for stmt in statements.iter() {
+                    state.run_compute(stmt, &deltas, &mut counters);
+                }
+                let _ = tx.send(Reply::Ran {
+                    instructions: counters.instructions(),
+                });
+            }
+            Request::Apply { stmt, shard } => state.apply(&stmt, shard),
+            Request::Fetch { name } => {
+                let _ = tx.send(Reply::Rel(state.read(&name)));
+            }
+            Request::Snapshot { view } => {
+                let _ = tx.send(Reply::Rel(state.snapshot(&view)));
+            }
+            Request::Barrier => {
+                let _ = tx.send(Reply::Ack);
+            }
+            Request::Shutdown => break,
+        }
+    }
+}
+
+/// A distributed block with its statements shared once, so per-batch
+/// broadcasts are an `Arc` bump instead of a deep clone.
+struct SharedBlock {
+    mode: StmtMode,
+    statements: Arc<Vec<DistStatement>>,
+}
+
+struct SharedProgram {
+    relation_schema: hotdog_algebra::schema::Schema,
+    blocks: Vec<SharedBlock>,
+    stages: usize,
+    jobs: usize,
+}
+
+fn share_program(p: &TriggerProgram) -> SharedProgram {
+    SharedProgram {
+        relation_schema: p.relation_schema.clone(),
+        blocks: p
+            .blocks
+            .iter()
+            .map(|b| SharedBlock {
+                mode: b.mode,
+                statements: Arc::new(b.statements.clone()),
+            })
+            .collect(),
+        stages: p.stages(),
+        jobs: p.jobs(),
+    }
+}
+
+/// One driver + N worker threads executing a distributed plan for real.
+///
+/// Public surface matches the simulated
+/// [`Cluster`](hotdog_distributed::Cluster) (`apply_batch`,
+/// `view_contents`, `query_result`, `plan`, `totals`) so the two backends
+/// are drop-in interchangeable; [`BatchExecution`] fields that model time in
+/// the simulator hold *measured* wall-clock values here.
+pub struct ThreadedCluster {
+    /// Number of worker threads.
+    pub workers: usize,
+    dplan: DistributedPlan,
+    driver: WorkerState,
+    programs: HashMap<String, SharedProgram>,
+    requests: Vec<Sender<Request>>,
+    replies: Vec<Receiver<Reply>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Whether `Apply` messages have been enqueued with no barrier behind
+    /// them yet (a trailing scatter must be drained before the batch's
+    /// wall clock stops, or its cost leaks into the next batch).
+    applies_in_flight: bool,
+    /// Accumulated measured totals (same shape as the simulator's).
+    pub totals: ClusterTotals,
+}
+
+impl ThreadedCluster {
+    /// Spawn `workers` worker threads with empty view partitions.
+    pub fn new(dplan: DistributedPlan, workers: usize) -> Self {
+        assert!(workers > 0);
+        let driver = WorkerState::for_plan(&dplan.plan);
+        let programs = dplan
+            .programs
+            .iter()
+            .map(|p| (p.relation.clone(), share_program(p)))
+            .collect();
+        let mut requests = Vec::with_capacity(workers);
+        let mut replies = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let state = WorkerState::for_plan(&dplan.plan);
+            let (req_tx, req_rx) = channel();
+            let (rep_tx, rep_rx) = channel();
+            let handle = thread::Builder::new()
+                .name(format!("hotdog-worker-{i}"))
+                .spawn(move || worker_loop(state, req_rx, rep_tx))
+                .expect("failed to spawn worker thread");
+            requests.push(req_tx);
+            replies.push(rep_rx);
+            handles.push(handle);
+        }
+        ThreadedCluster {
+            workers,
+            dplan,
+            driver,
+            programs,
+            requests,
+            replies,
+            handles,
+            applies_in_flight: false,
+            totals: ClusterTotals::default(),
+        }
+    }
+
+    /// The compiled distributed plan this cluster runs.
+    pub fn plan(&self) -> &DistributedPlan {
+        &self.dplan
+    }
+
+    /// Fetch one relation from every worker, in worker order (the merge
+    /// order must match the simulator's sequential 0..N loop so float
+    /// accumulation is identical).
+    fn fetch_all(&self, make: impl Fn() -> Request) -> Vec<Relation> {
+        for tx in &self.requests {
+            tx.send(make()).expect("worker thread died");
+        }
+        self.replies
+            .iter()
+            .map(|rx| match rx.recv().expect("worker thread died") {
+                Reply::Rel(r) => r,
+                _ => unreachable!("expected relation reply"),
+            })
+            .collect()
+    }
+
+    /// Full contents of a view, merged across all nodes holding a piece.
+    pub fn view_contents(&self, name: &str) -> Relation {
+        let schema = self.dplan.schema_of(name).unwrap_or_default();
+        let mut out = Relation::new(schema);
+        match self.dplan.location(name) {
+            LocTag::Local => out.merge(&self.driver.snapshot(name)),
+            LocTag::Replicated => {
+                // Every worker holds an identical copy; read one.
+                if let Some(rx) = self.replies.first() {
+                    self.requests[0]
+                        .send(Request::Snapshot {
+                            view: name.to_string(),
+                        })
+                        .expect("worker thread died");
+                    match rx.recv().expect("worker thread died") {
+                        Reply::Rel(r) => out.merge(&r),
+                        _ => unreachable!("expected relation reply"),
+                    }
+                }
+            }
+            _ => {
+                for part in self.fetch_all(|| Request::Snapshot {
+                    view: name.to_string(),
+                }) {
+                    out.merge(&part);
+                }
+            }
+        }
+        out
+    }
+
+    /// Current contents of the top-level query view.
+    pub fn query_result(&self) -> Relation {
+        self.view_contents(&self.dplan.plan.top_view)
+    }
+
+    /// Process one batch of updates to `relation`, returning **measured**
+    /// execution statistics.
+    pub fn apply_batch(&mut self, relation: &str, batch: &Relation) -> BatchExecution {
+        let wall_start = Instant::now();
+        let mut stats = BatchExecution {
+            input_tuples: batch.len(),
+            ..Default::default()
+        };
+        let Some(program) = self.programs.get(relation) else {
+            return stats;
+        };
+
+        let canonical = relabel(batch, &program.relation_schema);
+        let mut deltas = HashMap::new();
+        deltas.insert(relation.to_string(), canonical);
+        let deltas = Arc::new(deltas);
+        let delta_name = format!("Δ{relation}");
+
+        let mut driver_counters = EvalCounters::default();
+        for block_idx in 0..self.programs[relation].blocks.len() {
+            let (mode, statements) = {
+                let b = &self.programs[relation].blocks[block_idx];
+                (b.mode, b.statements.clone())
+            };
+            match mode {
+                StmtMode::Local => {
+                    for stmt in statements.iter() {
+                        match &stmt.kind {
+                            DistStmtKind::Compute(_) => {
+                                self.driver.run_compute(stmt, &deltas, &mut driver_counters);
+                            }
+                            DistStmtKind::Transform { kind, source } => {
+                                let bytes =
+                                    self.run_transform(stmt, kind, source, &delta_name, &deltas);
+                                stats.bytes_shuffled += bytes;
+                            }
+                        }
+                    }
+                }
+                StmtMode::Distributed => {
+                    // One epoch: broadcast the block, barrier on completion.
+                    for tx in &self.requests {
+                        tx.send(Request::RunBlock {
+                            statements: statements.clone(),
+                            deltas: deltas.clone(),
+                        })
+                        .expect("worker thread died");
+                    }
+                    let mut max_instr = 0u64;
+                    for rx in &self.replies {
+                        match rx.recv().expect("worker thread died") {
+                            Reply::Ran { instructions } => max_instr = max_instr.max(instructions),
+                            _ => unreachable!("expected run reply"),
+                        }
+                    }
+                    stats.max_worker_instructions = stats.max_worker_instructions.max(max_instr);
+                    // The block barrier also drained any earlier applies.
+                    self.applies_in_flight = false;
+                }
+            }
+        }
+
+        // A program ending in scatter/repart leaves Apply messages queued;
+        // drain them so the measured latency covers shard installation
+        // instead of leaking it into the next batch.
+        if self.applies_in_flight {
+            for tx in &self.requests {
+                tx.send(Request::Barrier).expect("worker thread died");
+            }
+            for rx in &self.replies {
+                match rx.recv().expect("worker thread died") {
+                    Reply::Ack => {}
+                    _ => unreachable!("expected barrier ack"),
+                }
+            }
+            self.applies_in_flight = false;
+        }
+
+        let program = &self.programs[relation];
+        stats.driver_instructions = driver_counters.instructions();
+        stats.stages = program.stages;
+        stats.jobs = program.jobs;
+        stats.bytes_per_worker = stats.bytes_shuffled as f64 / self.workers as f64;
+        // Measured, not modelled: the batch's wall-clock time is its latency.
+        stats.wall_secs = wall_start.elapsed().as_secs_f64();
+        stats.latency_secs = stats.wall_secs;
+
+        self.totals.batches += 1;
+        self.totals.tuples += stats.input_tuples;
+        self.totals.latency_secs += stats.latency_secs;
+        self.totals.bytes_shuffled += stats.bytes_shuffled;
+        self.totals.latencies.push(stats.latency_secs);
+        stats
+    }
+
+    /// Execute a transformer statement; returns the bytes moved.
+    fn run_transform(
+        &mut self,
+        stmt: &DistStatement,
+        kind: &Transform,
+        source: &str,
+        delta_name: &str,
+        deltas: &HashMap<String, Relation>,
+    ) -> usize {
+        match kind {
+            Transform::Scatter(pf) => {
+                let src: Relation = if source == delta_name {
+                    deltas.values().next().cloned().unwrap_or_default()
+                } else {
+                    self.driver.read(source)
+                };
+                let src = relabel(&src, &stmt.target_schema);
+                self.scatter(pf, &src, stmt)
+            }
+            Transform::Repart(pf) => {
+                let mut collected = Relation::new(stmt.target_schema.clone());
+                for part in self.fetch_all(|| Request::Fetch {
+                    name: source.to_string(),
+                }) {
+                    collected.merge(&relabel(&part, &stmt.target_schema));
+                }
+                let moved = collected.serialized_size();
+                self.scatter(pf, &collected, stmt);
+                moved + collected.serialized_size()
+            }
+            Transform::Gather => {
+                let mut collected = Relation::new(stmt.target_schema.clone());
+                for part in self.fetch_all(|| Request::Fetch {
+                    name: source.to_string(),
+                }) {
+                    collected.merge(&relabel(&part, &stmt.target_schema));
+                }
+                let bytes = collected.serialized_size();
+                self.driver.apply(stmt, collected);
+                bytes
+            }
+        }
+    }
+
+    /// Ship per-worker shards of a driver-held relation.  Empty shards are
+    /// shipped too: a `SetTo` scatter must clear stale buffers on workers
+    /// that receive no rows this batch.
+    fn scatter(&mut self, pf: &PartitionFn, src: &Relation, stmt: &DistStatement) -> usize {
+        let (shards, bytes) = partition_shards(pf, src, stmt, self.workers);
+        let stmt = Arc::new(stmt.clone());
+        for (tx, shard) in self.requests.iter().zip(shards) {
+            tx.send(Request::Apply {
+                stmt: stmt.clone(),
+                shard,
+            })
+            .expect("worker thread died");
+        }
+        self.applies_in_flight = true;
+        bytes
+    }
+}
+
+impl Drop for ThreadedCluster {
+    fn drop(&mut self) {
+        for tx in &self.requests {
+            let _ = tx.send(Request::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotdog_algebra::expr::*;
+    use hotdog_algebra::schema::Schema;
+    use hotdog_algebra::tuple;
+    use hotdog_distributed::{
+        compile_distributed, Cluster, ClusterConfig, OptLevel, PartitioningSpec,
+    };
+    use hotdog_ivm::compile_recursive;
+
+    fn example_query() -> Expr {
+        sum(
+            ["B"],
+            join_all([
+                rel("R", ["OK", "B"]),
+                rel("S", ["B", "CK"]),
+                rel("T", ["CK", "D"]),
+            ]),
+        )
+    }
+
+    fn batches() -> Vec<(&'static str, Relation)> {
+        vec![
+            (
+                "R",
+                Relation::from_pairs(
+                    Schema::new(["OK", "B"]),
+                    (0..40i64).map(|i| (tuple![i, i % 5], 1.0)),
+                ),
+            ),
+            (
+                "S",
+                Relation::from_pairs(
+                    Schema::new(["B", "CK"]),
+                    (0..20i64).map(|i| (tuple![i % 5, i], 1.0)),
+                ),
+            ),
+            (
+                "T",
+                Relation::from_pairs(
+                    Schema::new(["CK", "D"]),
+                    (0..20i64).map(|i| (tuple![i, i * 10], 1.0)),
+                ),
+            ),
+            (
+                "R",
+                Relation::from_pairs(
+                    Schema::new(["OK", "B"]),
+                    vec![(tuple![1, 1], -1.0), (tuple![100, 2], 1.0)],
+                ),
+            ),
+        ]
+    }
+
+    #[test]
+    fn threaded_matches_simulator_at_every_opt_level() {
+        let plan = compile_recursive("Q", &example_query());
+        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
+        for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+            for workers in [1usize, 2, 5] {
+                let dplan = compile_distributed(&plan, &spec, opt);
+                let mut sim = Cluster::new(dplan.clone(), ClusterConfig::with_workers(workers));
+                let mut real = ThreadedCluster::new(dplan, workers);
+                for (rel, batch) in batches() {
+                    sim.apply_batch(rel, &batch);
+                    real.apply_batch(rel, &batch);
+                }
+                assert_eq!(
+                    real.query_result().sorted(),
+                    sim.query_result().sorted(),
+                    "threaded diverged from simulator at {opt:?} with {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measured_stats_are_populated() {
+        let plan = compile_recursive("Q", &example_query());
+        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
+        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let mut cluster = ThreadedCluster::new(dplan, 3);
+        let mut stages = 0;
+        for (rel, batch) in batches() {
+            let stats = cluster.apply_batch(rel, &batch);
+            assert!(stats.latency_secs > 0.0, "latency must be measured");
+            assert_eq!(stats.latency_secs, stats.wall_secs);
+            stages += stats.stages;
+        }
+        assert!(stages > 0);
+        assert!(cluster.totals.batches == batches().len());
+        assert!(cluster.totals.bytes_shuffled > 0);
+        assert!(cluster.totals.throughput() > 0.0);
+    }
+
+    #[test]
+    fn intermediate_view_contents_match_simulator() {
+        let plan = compile_recursive("Q", &example_query());
+        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
+        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let view_names: Vec<String> = dplan.plan.views.iter().map(|v| v.name.clone()).collect();
+        let mut sim = Cluster::new(dplan.clone(), ClusterConfig::with_workers(4));
+        let mut real = ThreadedCluster::new(dplan, 4);
+        for (rel, batch) in batches() {
+            sim.apply_batch(rel, &batch);
+            real.apply_batch(rel, &batch);
+        }
+        for v in view_names {
+            assert_eq!(
+                real.view_contents(&v).sorted(),
+                sim.view_contents(&v).sorted(),
+                "view {v} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_relation_batches_are_ignored() {
+        let plan = compile_recursive("Q", &example_query());
+        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
+        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let mut cluster = ThreadedCluster::new(dplan, 2);
+        let stats = cluster.apply_batch(
+            "UNRELATED",
+            &Relation::from_pairs(Schema::new(["X"]), vec![(tuple![1], 1.0)]),
+        );
+        assert_eq!(stats.stages, 0);
+        assert!(cluster.query_result().is_empty());
+    }
+
+    #[test]
+    fn workers_shut_down_cleanly_on_drop() {
+        let plan = compile_recursive("Q", &example_query());
+        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
+        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let mut cluster = ThreadedCluster::new(dplan, 8);
+        for (rel, batch) in batches() {
+            cluster.apply_batch(rel, &batch);
+        }
+        drop(cluster); // must not hang or panic
+    }
+}

@@ -46,7 +46,10 @@ impl ColumnarBatch {
 
     /// Convert a [`Relation`] into a columnar batch.
     pub fn from_relation(rel: &Relation) -> Self {
-        ColumnarBatch::from_rows(rel.schema().clone(), rel.iter().map(|(t, m)| (t.clone(), m)))
+        ColumnarBatch::from_rows(
+            rel.schema().clone(),
+            rel.iter().map(|(t, m)| (t.clone(), m)),
+        )
     }
 
     /// Append one row.
@@ -86,7 +89,9 @@ impl ColumnarBatch {
 
     /// Column accessor by name.
     pub fn column(&self, name: &str) -> Option<&[Value]> {
-        self.schema.position(name).map(|i| self.columns[i].as_slice())
+        self.schema
+            .position(name)
+            .map(|i| self.columns[i].as_slice())
     }
 
     /// Multiplicity column.
@@ -102,7 +107,7 @@ impl ColumnarBatch {
             .schema
             .position(name)
             .unwrap_or_else(|| panic!("column {name} not in batch schema"));
-        let keep: Vec<bool> = self.columns[idx].iter().map(|v| pred(v)).collect();
+        let keep: Vec<bool> = self.columns[idx].iter().map(pred).collect();
         self.retain_rows(&keep)
     }
 
@@ -140,7 +145,12 @@ impl ColumnarBatch {
             .collect();
         let mut acc: HashMap<Tuple, Mult> = HashMap::new();
         for i in 0..self.len() {
-            let key = Tuple(positions.iter().map(|&p| self.columns[p][i].clone()).collect());
+            let key = Tuple(
+                positions
+                    .iter()
+                    .map(|&p| self.columns[p][i].clone())
+                    .collect(),
+            );
             *acc.entry(key).or_insert(0.0) += self.mults[i];
         }
         Relation::from_pairs(columns.clone(), acc)
@@ -165,8 +175,9 @@ impl ColumnarBatch {
     /// spread a batch over workers).
     pub fn split(&self, n: usize) -> Vec<ColumnarBatch> {
         assert!(n > 0);
-        let mut out: Vec<ColumnarBatch> =
-            (0..n).map(|_| ColumnarBatch::new(self.schema.clone())).collect();
+        let mut out: Vec<ColumnarBatch> = (0..n)
+            .map(|_| ColumnarBatch::new(self.schema.clone()))
+            .collect();
         for i in 0..self.len() {
             let (t, m) = self.row(i);
             out[i % n].push(&t, m);

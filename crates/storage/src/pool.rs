@@ -41,7 +41,10 @@ impl SecondaryIndex {
     }
 
     fn insert(&mut self, key: &Tuple, slot: usize) {
-        self.buckets.entry(self.project(key)).or_default().push(slot);
+        self.buckets
+            .entry(self.project(key))
+            .or_default()
+            .push(slot);
     }
 
     fn remove(&mut self, key: &Tuple, slot: usize) {
@@ -138,7 +141,10 @@ impl RecordPool {
 
     /// Positions covered by each secondary index (for introspection/tests).
     pub fn secondary_index_specs(&self) -> Vec<Vec<usize>> {
-        self.secondary.iter().map(|ix| ix.positions.clone()).collect()
+        self.secondary
+            .iter()
+            .map(|ix| ix.positions.clone())
+            .collect()
     }
 
     pub fn arity(&self) -> usize {
@@ -223,7 +229,10 @@ impl RecordPool {
             self.delete(&key);
         } else if let Some(&slot) = self.primary.get(&key) {
             self.bump(|c| c.updates += 1);
-            self.slots[slot].as_mut().expect("dangling primary entry").value = value;
+            self.slots[slot]
+                .as_mut()
+                .expect("dangling primary entry")
+                .value = value;
         } else {
             self.insert(key, value);
         }
@@ -271,11 +280,8 @@ impl RecordPool {
         }
         self.free.clear();
         for (i, s) in self.slots.iter_mut().enumerate() {
-            if s.take().is_some() {
-                self.free.push(i);
-            } else {
-                self.free.push(i);
-            }
+            *s = None;
+            self.free.push(i);
         }
     }
 
@@ -293,12 +299,7 @@ impl RecordPool {
     /// Iterate over records whose key columns at `positions` equal
     /// `key_vals`.  Uses a matching secondary index when available and falls
     /// back to a filtered scan otherwise.
-    pub fn slice(
-        &self,
-        positions: &[usize],
-        key_vals: &[Value],
-        f: &mut dyn FnMut(&Tuple, Mult),
-    ) {
+    pub fn slice(&self, positions: &[usize], key_vals: &[Value], f: &mut dyn FnMut(&Tuple, Mult)) {
         if let Some(ix) = self.secondary.iter().find(|ix| ix.positions == positions) {
             self.bump(|c| c.slices += 1);
             let probe = Tuple(key_vals.to_vec());

@@ -160,22 +160,22 @@ pub fn generate_tpch(seed: u64, total_tuples: usize) -> UpdateStream {
     let mut orders = Vec::with_capacity(n_orders);
     for k in 1..=n_orders as i64 {
         orders.push(Tuple(vec![
-            lng(k),                                        // o_orderkey
-            lng(rng.gen_range(1..=n_customer as i64)),     // o_custkey
-            lng(rng.gen_range(0..3i64)),                   // o_orderstatus
-            dbl(rng.gen_range(1_000.0..500_000.0)),        // o_totalprice
-            lng(date(&mut rng, 1992, 1998)),               // o_orderdate
-            lng(rng.gen_range(0..5i64)),                   // o_orderpriority
-            lng(0),                                        // o_shippriority
+            lng(k),                                    // o_orderkey
+            lng(rng.gen_range(1..=n_customer as i64)), // o_custkey
+            lng(rng.gen_range(0..3i64)),               // o_orderstatus
+            dbl(rng.gen_range(1_000.0..500_000.0)),    // o_totalprice
+            lng(date(&mut rng, 1992, 1998)),           // o_orderdate
+            lng(rng.gen_range(0..5i64)),               // o_orderpriority
+            lng(0),                                    // o_shippriority
         ]));
     }
 
     let mut customer = Vec::with_capacity(n_customer);
     for k in 1..=n_customer as i64 {
         customer.push(Tuple(vec![
-            lng(k),                          // c_custkey
-            lng(rng.gen_range(0..25i64)),    // c_nationkey
-            lng(rng.gen_range(0..5i64)),     // c_mktsegment
+            lng(k),                       // c_custkey
+            lng(rng.gen_range(0..25i64)), // c_nationkey
+            lng(rng.gen_range(0..5i64)),  // c_mktsegment
             dbl(rng.gen_range(-999.0..10_000.0)),
         ]));
     }
@@ -192,11 +192,11 @@ pub fn generate_tpch(seed: u64, total_tuples: usize) -> UpdateStream {
     let mut part = Vec::with_capacity(n_part);
     for k in 1..=n_part as i64 {
         part.push(Tuple(vec![
-            lng(k),                          // p_partkey
-            lng(rng.gen_range(0..25i64)),    // p_brand
-            lng(rng.gen_range(0..150i64)),   // p_type
-            lng(rng.gen_range(1..=50i64)),   // p_size
-            lng(rng.gen_range(0..40i64)),    // p_container
+            lng(k),                        // p_partkey
+            lng(rng.gen_range(0..25i64)),  // p_brand
+            lng(rng.gen_range(0..150i64)), // p_type
+            lng(rng.gen_range(1..=50i64)), // p_size
+            lng(rng.gen_range(0..40i64)),  // p_container
             dbl(rng.gen_range(900.0..2_000.0)),
         ]));
     }
@@ -264,10 +264,10 @@ pub fn generate_tpcds(seed: u64, total_tuples: usize) -> UpdateStream {
     for k in 1..=n_date as i64 {
         date_dim.push(Tuple(vec![
             lng(k),
-            lng(1998 + (k % 7)),          // d_year
-            lng(1 + (k % 12)),            // d_moy
-            lng(1 + (k % 28)),            // d_dom
-            lng(k % 7),                   // d_dow
+            lng(1998 + (k % 7)), // d_year
+            lng(1 + (k % 12)),   // d_moy
+            lng(1 + (k % 28)),   // d_dom
+            lng(k % 7),          // d_dow
         ]));
     }
     let mut item = Vec::with_capacity(n_item);
@@ -292,14 +292,7 @@ pub fn generate_tpcds(seed: u64, total_tuples: usize) -> UpdateStream {
         ]));
     }
     let demographics: Vec<Tuple> = (1..=n_demo as i64)
-        .map(|k| {
-            Tuple(vec![
-                lng(k),
-                lng(k % 2),
-                lng(k % 5),
-                lng(k % 7),
-            ])
-        })
+        .map(|k| Tuple(vec![lng(k), lng(k % 2), lng(k % 5), lng(k % 7)]))
         .collect();
     let hdemo: Vec<Tuple> = (1..=n_hdemo as i64)
         .map(|k| Tuple(vec![lng(k), lng(k % 10), lng(k % 5)]))
@@ -401,7 +394,12 @@ mod tests {
         let s = generate_tpch(3, 1_000);
         for ev in &s.events {
             let def = crate::schema::table(ev.relation).unwrap();
-            assert_eq!(ev.tuple.arity(), def.arity(), "arity mismatch for {}", ev.relation);
+            assert_eq!(
+                ev.tuple.arity(),
+                def.arity(),
+                "arity mismatch for {}",
+                ev.relation
+            );
         }
     }
 }

@@ -102,6 +102,7 @@ fn q(
 // ---------------------------------------------------------------------------
 
 /// The TPC-H-style catalog.
+#[allow(clippy::vec_init_then_push)] // one `push` per catalog entry reads best
 pub fn tpch_queries() -> Vec<CatalogQuery> {
     let mut out = Vec::new();
 
@@ -177,7 +178,10 @@ pub fn tpch_queries() -> Vec<CatalogQuery> {
                 assign_query(
                     "XC",
                     sum_total(join(
-                        t("LINEITEM", &[("l_orderkey", "OK"), ("l_shipdate", "l_shipdate4")]),
+                        t(
+                            "LINEITEM",
+                            &[("l_orderkey", "OK"), ("l_shipdate", "l_shipdate4")],
+                        ),
                         cmp_lit("l_shipdate4", CmpOp::Gt, 19930801i64),
                     )),
                 ),
@@ -261,7 +265,14 @@ pub fn tpch_queries() -> Vec<CatalogQuery> {
             join_all([
                 t("PART", &[("p_partkey", "PK")]),
                 cmp_lit("p_type", CmpOp::Eq, 42i64),
-                t("LINEITEM", &[("l_orderkey", "OK"), ("l_partkey", "PK"), ("l_suppkey", "SK")]),
+                t(
+                    "LINEITEM",
+                    &[
+                        ("l_orderkey", "OK"),
+                        ("l_partkey", "PK"),
+                        ("l_suppkey", "SK"),
+                    ],
+                ),
                 t("SUPPLIER", &[("s_suppkey", "SK"), ("s_nationkey", "NK")]),
                 t("ORDERS", &[("o_orderkey", "OK"), ("o_custkey", "CK")]),
                 cmp_lit("o_orderdate", CmpOp::Ge, 19950101i64),
@@ -286,7 +297,14 @@ pub fn tpch_queries() -> Vec<CatalogQuery> {
                 t("PART", &[("p_partkey", "PK")]),
                 cmp_lit("p_type", CmpOp::Lt, 25i64),
                 t("PARTSUPP", &[("ps_partkey", "PK"), ("ps_suppkey", "SK")]),
-                t("LINEITEM", &[("l_orderkey", "OK"), ("l_partkey", "PK"), ("l_suppkey", "SK")]),
+                t(
+                    "LINEITEM",
+                    &[
+                        ("l_orderkey", "OK"),
+                        ("l_partkey", "PK"),
+                        ("l_suppkey", "SK"),
+                    ],
+                ),
                 t("SUPPLIER", &[("s_suppkey", "SK"), ("s_nationkey", "NK")]),
                 t("ORDERS", &[("o_orderkey", "OK")]),
                 val(sub(
@@ -336,7 +354,12 @@ pub fn tpch_queries() -> Vec<CatalogQuery> {
                     sum_total(join(
                         t(
                             "PARTSUPP",
-                            &[("ps_partkey", "PK"), ("ps_suppkey", "SK11"), ("ps_availqty", "aq11"), ("ps_supplycost", "sc11")],
+                            &[
+                                ("ps_partkey", "PK"),
+                                ("ps_suppkey", "SK11"),
+                                ("ps_availqty", "aq11"),
+                                ("ps_supplycost", "sc11"),
+                            ],
                         ),
                         val(mul(v("sc11"), v("aq11"))),
                     )),
@@ -346,7 +369,12 @@ pub fn tpch_queries() -> Vec<CatalogQuery> {
                     sum_total(join(
                         t(
                             "PARTSUPP",
-                            &[("ps_partkey", "PK12"), ("ps_suppkey", "SK12"), ("ps_availqty", "aq12"), ("ps_supplycost", "sc12")],
+                            &[
+                                ("ps_partkey", "PK12"),
+                                ("ps_suppkey", "SK12"),
+                                ("ps_availqty", "aq12"),
+                                ("ps_supplycost", "sc12"),
+                            ],
                         ),
                         val(mul(v("sc12"), v("aq12"))),
                     )),
@@ -386,7 +414,14 @@ pub fn tpch_queries() -> Vec<CatalogQuery> {
             assign_query(
                 "OC",
                 sum_total(join(
-                    t("ORDERS", &[("o_orderkey", "OK13"), ("o_custkey", "CK"), ("o_orderpriority", "op13")]),
+                    t(
+                        "ORDERS",
+                        &[
+                            ("o_orderkey", "OK13"),
+                            ("o_custkey", "CK"),
+                            ("o_orderpriority", "op13"),
+                        ],
+                    ),
                     cmp_lit("op13", CmpOp::Ne, 0i64),
                 )),
             ),
@@ -599,7 +634,12 @@ pub fn tpch_queries() -> Vec<CatalogQuery> {
                     sum_total(join_all([
                         t(
                             "LINEITEM",
-                            &[("l_partkey", "PK"), ("l_suppkey", "SK"), ("l_quantity", "qty20"), ("l_shipdate", "sd20")],
+                            &[
+                                ("l_partkey", "PK"),
+                                ("l_suppkey", "SK"),
+                                ("l_quantity", "qty20"),
+                                ("l_shipdate", "sd20"),
+                            ],
                         ),
                         cmp_lit("sd20", CmpOp::Ge, 19940101i64),
                         cmp_lit("sd20", CmpOp::Lt, 19950101i64),
@@ -708,6 +748,7 @@ pub fn tpch_queries() -> Vec<CatalogQuery> {
 // ---------------------------------------------------------------------------
 
 /// The TPC-DS-style catalog (the star-join subset evaluated by the paper).
+#[allow(clippy::vec_init_then_push)] // one `push` per catalog entry reads best
 pub fn tpcds_queries() -> Vec<CatalogQuery> {
     let mut out = Vec::new();
 
@@ -721,7 +762,10 @@ pub fn tpcds_queries() -> Vec<CatalogQuery> {
             join_all([
                 t("DATE_DIM", &[("d_date_sk", "DK")]),
                 cmp_lit("d_moy", CmpOp::Eq, 12i64),
-                t("STORE_SALES", &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK")]),
+                t(
+                    "STORE_SALES",
+                    &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK")],
+                ),
                 t("ITEM", &[("i_item_sk", "IK")]),
                 cmp_lit("i_manufact_id", CmpOp::Eq, 100i64),
                 val(v("ss_ext_sales_price")),
@@ -738,7 +782,14 @@ pub fn tpcds_queries() -> Vec<CatalogQuery> {
         sum(
             ["IK"],
             join_all([
-                t("STORE_SALES", &[("ss_item_sk", "IK"), ("ss_cdemo_sk", "CDK"), ("ss_sold_date_sk", "DK")]),
+                t(
+                    "STORE_SALES",
+                    &[
+                        ("ss_item_sk", "IK"),
+                        ("ss_cdemo_sk", "CDK"),
+                        ("ss_sold_date_sk", "DK"),
+                    ],
+                ),
                 t("CUSTOMER_DEMOGRAPHICS", &[("de_demo_sk", "CDK")]),
                 cmp_lit("de_gender", CmpOp::Eq, 1i64),
                 cmp_lit("de_marital_status", CmpOp::Eq, 2i64),
@@ -761,7 +812,15 @@ pub fn tpcds_queries() -> Vec<CatalogQuery> {
             join_all([
                 t("DATE_DIM", &[("d_date_sk", "DK")]),
                 cmp_lit("d_moy", CmpOp::Eq, 11i64),
-                t("STORE_SALES", &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK"), ("ss_customer_sk", "CK"), ("ss_store_sk", "STK")]),
+                t(
+                    "STORE_SALES",
+                    &[
+                        ("ss_sold_date_sk", "DK"),
+                        ("ss_item_sk", "IK"),
+                        ("ss_customer_sk", "CK"),
+                        ("ss_store_sk", "STK"),
+                    ],
+                ),
                 t("ITEM", &[("i_item_sk", "IK")]),
                 cmp_lit("i_manager_id", CmpOp::Eq, 8i64),
                 t("CUSTOMER_DS", &[("cd_customer_sk", "CK")]),
@@ -780,7 +839,15 @@ pub fn tpcds_queries() -> Vec<CatalogQuery> {
         sum(
             ["IK", "st_state"],
             join_all([
-                t("STORE_SALES", &[("ss_item_sk", "IK"), ("ss_cdemo_sk", "CDK"), ("ss_store_sk", "STK"), ("ss_sold_date_sk", "DK")]),
+                t(
+                    "STORE_SALES",
+                    &[
+                        ("ss_item_sk", "IK"),
+                        ("ss_cdemo_sk", "CDK"),
+                        ("ss_store_sk", "STK"),
+                        ("ss_sold_date_sk", "DK"),
+                    ],
+                ),
                 t("CUSTOMER_DEMOGRAPHICS", &[("de_demo_sk", "CDK")]),
                 cmp_lit("de_gender", CmpOp::Eq, 0i64),
                 t("DATE_DIM", &[("d_date_sk", "DK")]),
@@ -803,7 +870,14 @@ pub fn tpcds_queries() -> Vec<CatalogQuery> {
         sum(
             ["CK"],
             join_all([
-                t("STORE_SALES", &[("ss_customer_sk", "CK"), ("ss_hdemo_sk", "HDK"), ("ss_ticket_number", "TN")]),
+                t(
+                    "STORE_SALES",
+                    &[
+                        ("ss_customer_sk", "CK"),
+                        ("ss_hdemo_sk", "HDK"),
+                        ("ss_ticket_number", "TN"),
+                    ],
+                ),
                 t("HOUSEHOLD_DEMOGRAPHICS", &[("hd_demo_sk", "HDK")]),
                 cmp_lit("hd_dep_count", CmpOp::Ge, 5i64),
                 assign_query(
@@ -841,7 +915,10 @@ pub fn tpcds_queries() -> Vec<CatalogQuery> {
                 t("DATE_DIM", &[("d_date_sk", "DK")]),
                 cmp_lit("d_year", CmpOp::Eq, 2001i64),
                 cmp_lit("d_moy", CmpOp::Eq, 11i64),
-                t("STORE_SALES", &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK")]),
+                t(
+                    "STORE_SALES",
+                    &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK")],
+                ),
                 t("ITEM", &[("i_item_sk", "IK")]),
                 val(v("ss_ext_sales_price")),
             ]),
@@ -859,7 +936,10 @@ pub fn tpcds_queries() -> Vec<CatalogQuery> {
             join_all([
                 t("DATE_DIM", &[("d_date_sk", "DK")]),
                 cmp_lit("d_year", CmpOp::Eq, 2000i64),
-                t("STORE_SALES", &[("ss_sold_date_sk", "DK"), ("ss_store_sk", "STK")]),
+                t(
+                    "STORE_SALES",
+                    &[("ss_sold_date_sk", "DK"), ("ss_store_sk", "STK")],
+                ),
                 t("STORE", &[("st_store_sk", "STK")]),
                 val(v("ss_sales_price")),
             ]),
@@ -878,7 +958,10 @@ pub fn tpcds_queries() -> Vec<CatalogQuery> {
                 t("DATE_DIM", &[("d_date_sk", "DK")]),
                 cmp_lit("d_year", CmpOp::Eq, 2000i64),
                 cmp_lit("d_moy", CmpOp::Eq, 12i64),
-                t("STORE_SALES", &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK")]),
+                t(
+                    "STORE_SALES",
+                    &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK")],
+                ),
                 t("ITEM", &[("i_item_sk", "IK")]),
                 val(v("ss_ext_sales_price")),
             ]),
@@ -897,7 +980,10 @@ pub fn tpcds_queries() -> Vec<CatalogQuery> {
                 t("DATE_DIM", &[("d_date_sk", "DK")]),
                 cmp_lit("d_moy", CmpOp::Eq, 11i64),
                 cmp_lit("d_year", CmpOp::Eq, 1999i64),
-                t("STORE_SALES", &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK")]),
+                t(
+                    "STORE_SALES",
+                    &[("ss_sold_date_sk", "DK"), ("ss_item_sk", "IK")],
+                ),
                 t("ITEM", &[("i_item_sk", "IK")]),
                 cmp_lit("i_manager_id", CmpOp::Eq, 28i64),
                 val(v("ss_ext_sales_price")),
@@ -915,7 +1001,16 @@ pub fn tpcds_queries() -> Vec<CatalogQuery> {
         sum(
             ["CK", "TN"],
             join_all([
-                t("STORE_SALES", &[("ss_customer_sk", "CK"), ("ss_hdemo_sk", "HDK"), ("ss_store_sk", "STK"), ("ss_ticket_number", "TN"), ("ss_sold_date_sk", "DK")]),
+                t(
+                    "STORE_SALES",
+                    &[
+                        ("ss_customer_sk", "CK"),
+                        ("ss_hdemo_sk", "HDK"),
+                        ("ss_store_sk", "STK"),
+                        ("ss_ticket_number", "TN"),
+                        ("ss_sold_date_sk", "DK"),
+                    ],
+                ),
                 t("DATE_DIM", &[("d_date_sk", "DK")]),
                 cmp_lit("d_year", CmpOp::Eq, 1998i64),
                 t("STORE", &[("st_store_sk", "STK")]),
@@ -970,7 +1065,8 @@ mod tests {
     fn every_query_references_known_tables_with_correct_arity() {
         for cq in all_queries() {
             for r in cq.expr.relations() {
-                let def = table(&r.name).unwrap_or_else(|| panic!("{}: unknown table {}", cq.id, r.name));
+                let def =
+                    table(&r.name).unwrap_or_else(|| panic!("{}: unknown table {}", cq.id, r.name));
                 assert_eq!(
                     r.cols.len(),
                     def.arity(),
@@ -985,7 +1081,11 @@ mod tests {
     #[test]
     fn every_query_compiles_under_all_strategies() {
         for cq in all_queries() {
-            for strategy in [Strategy::Reevaluation, Strategy::ClassicalIvm, Strategy::RecursiveIvm] {
+            for strategy in [
+                Strategy::Reevaluation,
+                Strategy::ClassicalIvm,
+                Strategy::RecursiveIvm,
+            ] {
                 let plan = compile(cq.id, &cq.expr, strategy);
                 assert!(!plan.triggers.is_empty(), "{} has no triggers", cq.id);
                 assert!(plan.statement_count() > 0, "{} has no statements", cq.id);

@@ -66,7 +66,14 @@ pub const TPCH_TABLES: &[TableDef] = &[
     },
     TableDef {
         name: "PART",
-        columns: &["p_partkey", "p_brand", "p_type", "p_size", "p_container", "p_retailprice"],
+        columns: &[
+            "p_partkey",
+            "p_brand",
+            "p_type",
+            "p_size",
+            "p_container",
+            "p_retailprice",
+        ],
     },
     TableDef {
         name: "PARTSUPP",
@@ -105,7 +112,13 @@ pub const TPCDS_TABLES: &[TableDef] = &[
     },
     TableDef {
         name: "ITEM",
-        columns: &["i_item_sk", "i_brand_id", "i_category_id", "i_manufact_id", "i_manager_id"],
+        columns: &[
+            "i_item_sk",
+            "i_brand_id",
+            "i_category_id",
+            "i_manufact_id",
+            "i_manager_id",
+        ],
     },
     TableDef {
         name: "STORE",
@@ -117,7 +130,12 @@ pub const TPCDS_TABLES: &[TableDef] = &[
     },
     TableDef {
         name: "CUSTOMER_DEMOGRAPHICS",
-        columns: &["de_demo_sk", "de_gender", "de_marital_status", "de_education"],
+        columns: &[
+            "de_demo_sk",
+            "de_gender",
+            "de_marital_status",
+            "de_education",
+        ],
     },
     TableDef {
         name: "HOUSEHOLD_DEMOGRAPHICS",
@@ -160,7 +178,10 @@ mod tests {
     fn column_names_are_globally_unique_across_tpch() {
         // The algebra is name-based: equal names imply natural-join keys, so
         // no two TPC-H tables may accidentally share a column name.
-        let mut cols: Vec<&str> = TPCH_TABLES.iter().flat_map(|t| t.columns.iter().copied()).collect();
+        let mut cols: Vec<&str> = TPCH_TABLES
+            .iter()
+            .flat_map(|t| t.columns.iter().copied())
+            .collect();
         let n = cols.len();
         cols.sort();
         cols.dedup();
@@ -169,7 +190,10 @@ mod tests {
 
     #[test]
     fn column_names_are_globally_unique_across_tpcds() {
-        let mut cols: Vec<&str> = TPCDS_TABLES.iter().flat_map(|t| t.columns.iter().copied()).collect();
+        let mut cols: Vec<&str> = TPCDS_TABLES
+            .iter()
+            .flat_map(|t| t.columns.iter().copied())
+            .collect();
         let n = cols.len();
         cols.sort();
         cols.dedup();

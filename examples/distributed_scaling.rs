@@ -1,7 +1,9 @@
 //! Compile a TPC-H query for distributed execution, print the generated
 //! distributed program (scatter/repartition/gather structure and fused
-//! statement blocks, cf. Figure 5), and run it on the simulated cluster at
-//! several worker counts (cf. Figures 9 and 10).
+//! statement blocks, cf. Figure 5), then run it on both execution backends:
+//! the simulated cluster (modelled latency, arbitrary worker counts) and
+//! the real `hotdog-runtime` thread-per-worker backend (measured wall-clock
+//! latency, workers bounded by your cores).
 //!
 //! Run with: `cargo run --release --example distributed_scaling [query] [tuples]`
 
@@ -24,6 +26,7 @@ fn main() {
     println!("{}", dplan.pretty());
     println!("jobs: {jobs}, stages: {stages}\n");
 
+    println!("simulated cluster (modelled time):");
     println!(
         "{:>8} {:>16} {:>18} {:>16}",
         "workers", "median latency", "throughput (t/s)", "MB shuffled"
@@ -42,6 +45,31 @@ fn main() {
             cluster.totals.median_latency() * 1e3,
             cluster.totals.throughput(),
             cluster.totals.bytes_shuffled as f64 / 1e6,
+        );
+    }
+
+    println!("\nthreaded runtime (measured wall-clock):");
+    println!(
+        "{:>8} {:>16} {:>18} {:>10}",
+        "workers", "median latency", "throughput (t/s)", "speedup"
+    );
+    let mut baseline = None;
+    for workers in [1usize, 2, 4, 8] {
+        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let mut cluster = ThreadedCluster::new(dplan, workers);
+        for batch in stream.batches(5_000) {
+            for (rel, delta) in batch {
+                cluster.apply_batch(rel, &delta);
+            }
+        }
+        let total = cluster.totals.latency_secs;
+        let speedup = *baseline.get_or_insert(total) / total;
+        println!(
+            "{:>8} {:>14.1}ms {:>18.0} {:>9.2}x",
+            workers,
+            cluster.totals.median_latency() * 1e3,
+            cluster.totals.throughput(),
+            speedup,
         );
     }
 }

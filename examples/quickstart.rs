@@ -29,15 +29,30 @@ fn main() {
 
     let r_batch = Relation::from_pairs(
         Schema::new(["A", "B"]),
-        (0..1000i64).map(|i| (Tuple::from_values([Value::Long(i), Value::Long(i % 10)]), 1.0)),
+        (0..1000i64).map(|i| {
+            (
+                Tuple::from_values([Value::Long(i), Value::Long(i % 10)]),
+                1.0,
+            )
+        }),
     );
     let s_batch = Relation::from_pairs(
         Schema::new(["B", "C"]),
-        (0..100i64).map(|i| (Tuple::from_values([Value::Long(i % 10), Value::Long(i)]), 1.0)),
+        (0..100i64).map(|i| {
+            (
+                Tuple::from_values([Value::Long(i % 10), Value::Long(i)]),
+                1.0,
+            )
+        }),
     );
     let t_batch = Relation::from_pairs(
         Schema::new(["C", "D"]),
-        (0..100i64).map(|i| (Tuple::from_values([Value::Long(i), Value::Long(i * 7)]), 1.0)),
+        (0..100i64).map(|i| {
+            (
+                Tuple::from_values([Value::Long(i), Value::Long(i * 7)]),
+                1.0,
+            )
+        }),
     );
 
     let stats_r = engine.apply_batch("R", &r_batch);

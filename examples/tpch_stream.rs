@@ -25,10 +25,30 @@ fn main() {
     for id in query_ids {
         let cq = query(id).expect("query in catalog");
         for (label, strategy, mode) in [
-            ("reeval", Strategy::Reevaluation, ExecMode::Batched { preaggregate: false }),
-            ("classical ivm", Strategy::ClassicalIvm, ExecMode::Batched { preaggregate: false }),
-            ("rivm single-tuple", Strategy::RecursiveIvm, ExecMode::SingleTuple),
-            ("rivm batched", Strategy::RecursiveIvm, ExecMode::Batched { preaggregate: true }),
+            (
+                "reeval",
+                Strategy::Reevaluation,
+                ExecMode::Batched {
+                    preaggregate: false,
+                },
+            ),
+            (
+                "classical ivm",
+                Strategy::ClassicalIvm,
+                ExecMode::Batched {
+                    preaggregate: false,
+                },
+            ),
+            (
+                "rivm single-tuple",
+                Strategy::RecursiveIvm,
+                ExecMode::SingleTuple,
+            ),
+            (
+                "rivm batched",
+                Strategy::RecursiveIvm,
+                ExecMode::Batched { preaggregate: true },
+            ),
         ] {
             let plan = compile(cq.id, &cq.expr, strategy);
             let mut engine = LocalEngine::new(plan, mode);

@@ -1,0 +1,7 @@
+//! Root crate of the workspace: re-exports the [`hotdog`] facade so the
+//! integration tests under `tests/` and the examples under `examples/`
+//! have a single dependency.
+
+#![forbid(unsafe_code)]
+
+pub use hotdog::*;

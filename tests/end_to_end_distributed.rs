@@ -13,7 +13,12 @@ fn stream_for(q: &CatalogQuery, tuples: usize) -> UpdateStream {
 
 fn local_result(q: &CatalogQuery, stream: &UpdateStream, batch_size: usize) -> Relation {
     let plan = compile_recursive(q.id, &q.expr);
-    let mut engine = LocalEngine::new(plan, ExecMode::Batched { preaggregate: false });
+    let mut engine = LocalEngine::new(
+        plan,
+        ExecMode::Batched {
+            preaggregate: false,
+        },
+    );
     for batch in stream.batches(batch_size) {
         for (rel, delta) in batch {
             engine.apply_batch(rel, &delta);
@@ -64,10 +69,7 @@ fn optimization_levels_do_not_change_results() {
     let expected = local_result(&q, &stream, 100);
     for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
         let (got, _) = cluster_result(&q, &stream, 100, 4, opt);
-        assert!(
-            got.approx_eq_eps(&expected, 1e-3),
-            "Q3 diverged at {opt:?}"
-        );
+        assert!(got.approx_eq_eps(&expected, 1e-3), "Q3 diverged at {opt:?}");
     }
 }
 
@@ -92,9 +94,8 @@ fn block_fusion_reduces_blocks_on_tpch_q3() {
     let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
     let unfused = compile_distributed(&plan, &spec, OptLevel::O1);
     let fused = compile_distributed(&plan, &spec, OptLevel::O2);
-    let blocks = |dp: &DistributedPlan| -> usize {
-        dp.programs.iter().map(|p| p.blocks.len()).sum()
-    };
+    let blocks =
+        |dp: &DistributedPlan| -> usize { dp.programs.iter().map(|p| p.blocks.len()).sum() };
     assert!(
         blocks(&fused) < blocks(&unfused),
         "block fusion had no effect: {} vs {}",
@@ -111,7 +112,11 @@ fn distributed_plans_report_jobs_and_stages_for_all_tpch_queries() {
         let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
         let (jobs, stages) = dplan.complexity();
         assert!(jobs >= 1, "{}: zero jobs", q.id);
-        assert!(stages >= jobs.min(1), "{}: stages {stages} < jobs {jobs}", q.id);
+        assert!(
+            stages >= jobs.min(1),
+            "{}: stages {stages} < jobs {jobs}",
+            q.id
+        );
         assert!(stages <= 24, "{}: implausibly many stages ({stages})", q.id);
     }
 }
@@ -124,7 +129,7 @@ fn shuffled_bytes_scale_with_batch_size() {
     let small_stream = stream_for(&q, 200);
     let big_stream = stream_for(&q, 800);
 
-    let mut run = |stream: &UpdateStream| {
+    let run = |stream: &UpdateStream| {
         let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
         let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(4));
         for batch in stream.batches(stream.len()) {
@@ -136,5 +141,8 @@ fn shuffled_bytes_scale_with_batch_size() {
     };
     let small = run(&small_stream);
     let big = run(&big_stream);
-    assert!(big > small, "bytes shuffled should grow with input: {big} vs {small}");
+    assert!(
+        big > small,
+        "bytes shuffled should grow with input: {big} vs {small}"
+    );
 }

@@ -51,7 +51,9 @@ fn recursive_batched_matches_reference_on_core_queries() {
             &q,
             &stream,
             Strategy::RecursiveIvm,
-            ExecMode::Batched { preaggregate: false },
+            ExecMode::Batched {
+                preaggregate: false,
+            },
             150,
         );
         assert!(
@@ -87,7 +89,13 @@ fn recursive_single_tuple_matches_reference() {
         let q = query(id).unwrap();
         let stream = stream_for(&q, 500);
         let expected = reference_result(&q, &stream);
-        let got = run_engine(&q, &stream, Strategy::RecursiveIvm, ExecMode::SingleTuple, 100);
+        let got = run_engine(
+            &q,
+            &stream,
+            Strategy::RecursiveIvm,
+            ExecMode::SingleTuple,
+            100,
+        );
         assert!(
             got.approx_eq_eps(&expected, 1e-4),
             "{id} diverged (single-tuple)\nexpected {expected:?}\ngot {got:?}"
@@ -105,7 +113,9 @@ fn classical_ivm_matches_reference() {
             &q,
             &stream,
             Strategy::ClassicalIvm,
-            ExecMode::Batched { preaggregate: false },
+            ExecMode::Batched {
+                preaggregate: false,
+            },
             100,
         );
         assert!(
@@ -125,7 +135,9 @@ fn reevaluation_matches_reference() {
             &q,
             &stream,
             Strategy::Reevaluation,
-            ExecMode::Batched { preaggregate: false },
+            ExecMode::Batched {
+                preaggregate: false,
+            },
             100,
         );
         assert!(
@@ -143,7 +155,12 @@ fn deletions_are_maintained_correctly() {
     let q = query("Q3").unwrap();
     let stream = generate_tpch(7, 600);
     let plan = compile(q.id, &q.expr, Strategy::RecursiveIvm);
-    let mut engine = LocalEngine::new(plan, ExecMode::Batched { preaggregate: false });
+    let mut engine = LocalEngine::new(
+        plan,
+        ExecMode::Batched {
+            preaggregate: false,
+        },
+    );
 
     let mut net: HashMap<&str, Relation> = stream.accumulate();
     for batch in stream.batches(100) {

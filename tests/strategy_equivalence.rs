@@ -5,12 +5,7 @@
 
 use hotdog::prelude::*;
 
-fn run(
-    q: &CatalogQuery,
-    stream: &UpdateStream,
-    strategy: Strategy,
-    mode: ExecMode,
-) -> Relation {
+fn run(q: &CatalogQuery, stream: &UpdateStream, strategy: Strategy, mode: ExecMode) -> Relation {
     let plan = compile(q.id, &q.expr, strategy);
     let mut engine = LocalEngine::new(plan, mode);
     for batch in stream.batches(120) {
@@ -32,8 +27,22 @@ fn stream_for(q: &CatalogQuery, tuples: usize) -> UpdateStream {
 fn recursive_equals_classical_on_full_tpch_catalog() {
     for q in tpch_queries() {
         let stream = stream_for(&q, 350);
-        let rivm = run(&q, &stream, Strategy::RecursiveIvm, ExecMode::Batched { preaggregate: false });
-        let ivm = run(&q, &stream, Strategy::ClassicalIvm, ExecMode::Batched { preaggregate: false });
+        let rivm = run(
+            &q,
+            &stream,
+            Strategy::RecursiveIvm,
+            ExecMode::Batched {
+                preaggregate: false,
+            },
+        );
+        let ivm = run(
+            &q,
+            &stream,
+            Strategy::ClassicalIvm,
+            ExecMode::Batched {
+                preaggregate: false,
+            },
+        );
         assert!(
             rivm.approx_eq_eps(&ivm, 1e-3),
             "{}: recursive vs classical diverged\nrivm {rivm:?}\nivm {ivm:?}",
@@ -46,8 +55,22 @@ fn recursive_equals_classical_on_full_tpch_catalog() {
 fn recursive_equals_classical_on_full_tpcds_catalog() {
     for q in tpcds_queries() {
         let stream = stream_for(&q, 350);
-        let rivm = run(&q, &stream, Strategy::RecursiveIvm, ExecMode::Batched { preaggregate: false });
-        let ivm = run(&q, &stream, Strategy::ClassicalIvm, ExecMode::Batched { preaggregate: false });
+        let rivm = run(
+            &q,
+            &stream,
+            Strategy::RecursiveIvm,
+            ExecMode::Batched {
+                preaggregate: false,
+            },
+        );
+        let ivm = run(
+            &q,
+            &stream,
+            Strategy::ClassicalIvm,
+            ExecMode::Batched {
+                preaggregate: false,
+            },
+        );
         assert!(
             rivm.approx_eq_eps(&ivm, 1e-3),
             "{}: recursive vs classical diverged",
@@ -62,7 +85,12 @@ fn single_tuple_equals_batched_on_tpch_subset() {
         let q = query(id).unwrap();
         let stream = stream_for(&q, 300);
         let st = run(&q, &stream, Strategy::RecursiveIvm, ExecMode::SingleTuple);
-        let batched = run(&q, &stream, Strategy::RecursiveIvm, ExecMode::Batched { preaggregate: true });
+        let batched = run(
+            &q,
+            &stream,
+            Strategy::RecursiveIvm,
+            ExecMode::Batched { preaggregate: true },
+        );
         assert!(
             st.approx_eq_eps(&batched, 1e-3),
             "{id}: single-tuple vs batched diverged\nst {st:?}\nbatched {batched:?}"
@@ -72,11 +100,27 @@ fn single_tuple_equals_batched_on_tpch_subset() {
 
 #[test]
 fn reevaluation_equals_recursive_on_nested_queries() {
-    for id in ["Q4", "Q11", "Q13", "Q15", "Q16", "Q17", "Q18", "Q20", "Q21", "Q22", "DS34"] {
+    for id in [
+        "Q4", "Q11", "Q13", "Q15", "Q16", "Q17", "Q18", "Q20", "Q21", "Q22", "DS34",
+    ] {
         let q = query(id).unwrap();
         let stream = stream_for(&q, 300);
-        let reeval = run(&q, &stream, Strategy::Reevaluation, ExecMode::Batched { preaggregate: false });
-        let rivm = run(&q, &stream, Strategy::RecursiveIvm, ExecMode::Batched { preaggregate: false });
+        let reeval = run(
+            &q,
+            &stream,
+            Strategy::Reevaluation,
+            ExecMode::Batched {
+                preaggregate: false,
+            },
+        );
+        let rivm = run(
+            &q,
+            &stream,
+            Strategy::RecursiveIvm,
+            ExecMode::Batched {
+                preaggregate: false,
+            },
+        );
         assert!(
             reeval.approx_eq_eps(&rivm, 1e-3),
             "{id}: re-evaluation vs recursive diverged\nreeval {reeval:?}\nrivm {rivm:?}"

@@ -1,0 +1,154 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! provides exactly the API surface the workspace uses: a seedable
+//! deterministic [`rngs::StdRng`] and [`Rng::gen_range`] over integer and
+//! float ranges.  The generator is SplitMix64 — statistically fine for
+//! synthetic workload generation, deterministic per seed, but it does NOT
+//! reproduce the upstream `rand` bit streams.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// Deterministic seeded generator (SplitMix64 core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// Random-value generation (subset of `rand::Rng`).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Ranges a value can be uniformly sampled from (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn sample_u64_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Modulo bias is irrelevant for workload synthesis.
+    rng.next_u64() % span
+}
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(sample_u64_below(rng, span) as i64)
+    }
+}
+
+impl SampleRange<i64> for RangeInclusive<i64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as i64;
+        }
+        lo.wrapping_add(sample_u64_below(rng, span + 1) as i64)
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + sample_u64_below(rng, span) as usize
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + sample_u64_below(rng, (hi - lo) as u64 + 1) as usize
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v: i64 = rng.gen_range(-5..17i64);
+            assert!((-5..17).contains(&v));
+            let w: i64 = rng.gen_range(3..=3i64);
+            assert_eq!(w, 3);
+            let f: f64 = rng.gen_range(0.25..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let u: usize = rng.gen_range(0..9usize);
+            assert!(u < 9);
+        }
+    }
+
+    #[test]
+    fn integer_sampling_covers_the_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(rng.gen_range(0..8i64));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+}
