@@ -1,0 +1,93 @@
+//! Deterministic hashing for the data path.
+//!
+//! `std::collections::HashMap` seeds every instance with a fresh random
+//! `RandomState`, so two maps holding the same entries iterate in different
+//! orders — across instances, processes and runs.  Iteration order feeds
+//! floating-point accumulation (joins, group-bys, scatters), so with random
+//! seeds the low-order bits of aggregate multiplicities are not reproducible
+//! even between two runs of the *same* backend.
+//!
+//! [`DetMap`]/[`DetSet`] fix the hasher to `DefaultHasher::new()`'s
+//! documented fixed keys.  With every container on the data path hashed
+//! deterministically, iteration order becomes a pure function of the
+//! insertion history — and since all execution backends (local engine,
+//! simulated cluster, threaded runtime, pipelined runtime) perform identical
+//! per-node statement sequences over identically-ordered inputs, they
+//! perform *bit-identical* float arithmetic.  That is what lets the
+//! equivalence suites assert exact equality on float workloads instead of
+//! epsilon comparisons.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
+
+/// Fixed-key build-hasher: every hasher it builds produces the same hash for
+/// the same input, within and across processes.
+pub type DetState = BuildHasherDefault<DefaultHasher>;
+
+/// A `HashMap` with deterministic iteration order (given an insertion
+/// history).
+pub type DetMap<K, V> = HashMap<K, V, DetState>;
+
+/// A `HashSet` with deterministic iteration order (given an insertion
+/// history).
+pub type DetSet<T> = HashSet<T, DetState>;
+
+/// 64-bit FNV-1a, the digest primitive of [`Relation::checksum`]
+/// (order-sensitive, so callers must feed it canonically ordered bytes).
+///
+/// [`Relation::checksum`]: crate::relation::Relation::checksum
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv1a(pub u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_map_iteration_is_reproducible_across_instances() {
+        let build = |order: &[i64]| {
+            let mut m: DetMap<i64, i64> = DetMap::default();
+            for &k in order {
+                m.insert(k, k);
+            }
+            m.keys().copied().collect::<Vec<_>>()
+        };
+        // Same insertion history => same iteration order, every time.
+        assert_eq!(
+            build(&[3, 1, 4, 1, 5, 9, 2, 6]),
+            build(&[3, 1, 4, 1, 5, 9, 2, 6])
+        );
+    }
+
+    #[test]
+    fn fnv_is_order_sensitive() {
+        let mut a = Fnv1a::default();
+        a.write(&[1, 2]);
+        let mut b = Fnv1a::default();
+        b.write(&[2, 1]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

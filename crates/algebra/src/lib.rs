@@ -28,6 +28,7 @@
 
 pub mod eval;
 pub mod expr;
+pub mod hash;
 pub mod relation;
 pub mod ring;
 pub mod schema;
@@ -39,7 +40,8 @@ pub use expr::{
     assign_query, assign_val, cmp, cmp_lit, cmp_vars, delta_rel, exists, join, join_all, neg, rel,
     sum, sum_total, union, val, val_var, view, CmpOp, Expr, RelKind, RelRef, ValExpr,
 };
-pub use relation::Relation;
+pub use hash::{DetMap, DetSet, DetState};
+pub use relation::{Relation, ViewChecksum};
 pub use ring::{Mult, Ring};
 pub use schema::Schema;
 pub use tuple::Tuple;

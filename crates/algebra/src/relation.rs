@@ -6,17 +6,23 @@
 //! stores materialized views in the specialized record pools of
 //! `hotdog-storage` instead.
 
+use crate::hash::{DetMap, Fnv1a};
 use crate::ring::{Mult, MULT_EPSILON};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
-use std::collections::HashMap;
+use crate::value::Value;
 use std::fmt;
 
 /// A generalized multiset relation: unique tuples with non-zero multiplicity.
+///
+/// The backing map uses the fixed-seed hasher of [`crate::hash`]: iteration
+/// order is a deterministic function of the insertion history, which makes
+/// the floating-point accumulation it feeds (joins, group-bys, scatters)
+/// reproducible across backends and runs.
 #[derive(Clone, Default)]
 pub struct Relation {
     schema: Schema,
-    data: HashMap<Tuple, Mult>,
+    data: DetMap<Tuple, Mult>,
 }
 
 impl Relation {
@@ -24,7 +30,7 @@ impl Relation {
     pub fn new(schema: Schema) -> Self {
         Relation {
             schema,
-            data: HashMap::new(),
+            data: DetMap::default(),
         }
     }
 
@@ -146,6 +152,46 @@ impl Relation {
         self.data.keys().map(|t| t.serialized_size() + 8).sum()
     }
 
+    /// Order-canonical, bit-exact digest of the relation's contents.
+    ///
+    /// Tuples are folded in sorted key order — never in map iteration order —
+    /// so two relations holding bit-identical (tuple, multiplicity) pairs
+    /// produce the same checksum no matter how their backing maps happen to
+    /// be laid out.  Multiplicities enter via their raw IEEE-754 bits, which
+    /// is what lets the equivalence suites assert *bit-for-bit* equality on
+    /// floating-point workloads (deterministic hashing makes the backends'
+    /// arithmetic identical; the sorted fold makes the comparison
+    /// representation-independent).
+    pub fn checksum(&self) -> ViewChecksum {
+        let mut digest = Fnv1a::default();
+        for (t, m) in self.sorted() {
+            for v in &t.0 {
+                match v {
+                    Value::Long(x) => {
+                        digest.write(&[0]);
+                        digest.write_u64(*x as u64);
+                    }
+                    Value::Double(x) => {
+                        digest.write(&[1]);
+                        digest.write_u64(x.to_bits());
+                    }
+                    Value::Str(s) => {
+                        digest.write(&[2]);
+                        digest.write_u64(s.len() as u64);
+                        digest.write(s.as_bytes());
+                    }
+                    Value::Bool(b) => digest.write(&[3, *b as u8]),
+                }
+            }
+            digest.write(&[0xFF]);
+            digest.write_u64(m.to_bits());
+        }
+        ViewChecksum {
+            tuples: self.data.len(),
+            digest: digest.finish(),
+        }
+    }
+
     /// Two relations are equivalent if they contain the same tuples with
     /// multiplicities equal up to a small tolerance.
     pub fn approx_eq(&self, other: &Relation) -> bool {
@@ -170,6 +216,21 @@ impl Relation {
             }
         }
         true
+    }
+}
+
+/// Bit-exact digest of one view's contents (see [`Relation::checksum`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ViewChecksum {
+    /// Number of tuples with non-zero multiplicity.
+    pub tuples: usize,
+    /// FNV-1a digest over the sorted (tuple, multiplicity-bits) sequence.
+    pub digest: u64,
+}
+
+impl fmt::Display for ViewChecksum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} tuples, digest {:016x}", self.tuples, self.digest)
     }
 }
 
@@ -255,6 +316,41 @@ mod tests {
             })
             .collect();
         assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn checksum_is_order_canonical_and_value_sensitive() {
+        let a = Relation::from_pairs(
+            Schema::new(["a"]),
+            vec![(tuple![1], 1.0), (tuple![2], 2.0), (tuple![3], 3.0)],
+        );
+        let b = Relation::from_pairs(
+            Schema::new(["a"]),
+            vec![(tuple![3], 3.0), (tuple![1], 1.0), (tuple![2], 2.0)],
+        );
+        assert_eq!(a.checksum(), b.checksum());
+        let c = Relation::from_pairs(
+            Schema::new(["a"]),
+            vec![(tuple![1], 1.0 + 1e-12), (tuple![2], 2.0), (tuple![3], 3.0)],
+        );
+        assert_ne!(a.checksum(), c.checksum(), "checksum must catch ulp drift");
+        assert_eq!(a.checksum().tuples, 3);
+    }
+
+    #[test]
+    fn iteration_order_is_deterministic_across_instances() {
+        let build = || {
+            let mut r = Relation::new(Schema::new(["a"]));
+            for i in [7i64, 3, 9, 1, 5, 2, 8] {
+                r.add(tuple![i], 1.0);
+            }
+            r.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(
+            build(),
+            build(),
+            "fixed-seed hasher must fix iteration order"
+        );
     }
 
     #[test]

@@ -3,29 +3,33 @@
 //!
 //! By default the simulated cluster reports *modelled* latency over the
 //! paper's worker axis.  With `--real` the experiment instead runs on the
-//! `hotdog-runtime` thread-per-worker backend and reports *measured*
-//! wall-clock latency over a worker axis bounded by the machine's cores.
+//! `hotdog-runtime` thread-per-worker backend (measured wall-clock, worker
+//! axis bounded by the machine's cores); `--pipeline` / `--coalesce=N`
+//! select its pipelined ingestion path.  Every run appends a
+//! `fig10_strong_scaling` section to `BENCH_runtime.json` so the perf
+//! trajectory is tracked across PRs.
 
 use hotdog::prelude::*;
 use hotdog_bench::*;
 
 fn main() {
-    let backend = Backend::from_args();
+    let backend = BackendKind::from_args();
     let base: usize = std::env::var("HOTDOG_STRONG_BATCH")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(10_000);
     let batch_sizes = [base / 4, base / 2, base];
     let workers_axis: &[usize] = match backend {
-        Backend::Simulated => &[2, 4, 8, 16, 32, 64],
+        BackendKind::Simulated => &[2, 4, 8, 16, 32, 64],
         // Measured scaling only makes sense up to the physical parallelism.
-        Backend::Threaded => &[1, 2, 4, 8],
+        _ => &[1, 2, 4, 8],
     };
     let queries: &[&str] = match backend {
-        Backend::Simulated => &["Q6", "Q17", "Q3", "Q7", "Q1", "Q12", "Q14", "Q22"],
-        Backend::Threaded => &["Q6", "Q17", "Q3", "Q7"],
+        BackendKind::Simulated => &["Q6", "Q17", "Q3", "Q7", "Q1", "Q12", "Q14", "Q22"],
+        _ => &["Q6", "Q17", "Q3", "Q7"],
     };
     let mut rows = Vec::new();
+    let mut runs = Vec::new();
     for id in queries {
         let q = query(id).unwrap();
         for &batch in &batch_sizes {
@@ -39,6 +43,7 @@ fn main() {
                     f(run.median_latency_secs * 1e3),
                     f(run.throughput / 1e3),
                 ]);
+                runs.push(run);
             }
         }
     }
@@ -51,9 +56,10 @@ fn main() {
             "query",
             "batch",
             "workers",
-            "median latency (ms)",
+            backend.latency_column(),
             "throughput (Ktup/s)",
         ],
         &rows,
     );
+    emit_bench_json("fig10_strong_scaling", &runs);
 }

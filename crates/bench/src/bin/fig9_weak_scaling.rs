@@ -3,22 +3,29 @@
 //!
 //! By default the simulated cluster reports *modelled* latency; with
 //! `--real` the experiment runs on the `hotdog-runtime` thread-per-worker
-//! backend and reports *measured* wall-clock latency.
+//! backend (measured wall-clock), and with `--pipeline` (optionally
+//! `--coalesce=N`) on its pipelined ingestion path.  Every run also
+//! appends a `fig9_weak_scaling` section to `BENCH_runtime.json`
+//! (machine-readable throughput and latency percentiles), plus a
+//! `pipeline_stream` section comparing the epoch-synchronous and
+//! pipelined+coalescing paths head-to-head on a many-small-batch stream —
+//! the number tracked across PRs for the runtime's streaming throughput.
 
 use hotdog::prelude::*;
 use hotdog_bench::*;
 
 fn main() {
-    let backend = Backend::from_args();
+    let backend = BackendKind::from_args();
     let per_worker: usize = std::env::var("HOTDOG_PER_WORKER")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2_000);
     let workers_axis: &[usize] = match backend {
-        Backend::Simulated => &[2, 4, 8, 16, 32, 64],
-        Backend::Threaded => &[1, 2, 4, 8],
+        BackendKind::Simulated => &[2, 4, 8, 16, 32, 64],
+        _ => &[1, 2, 4, 8],
     };
     let mut rows = Vec::new();
+    let mut runs = Vec::new();
     for id in ["Q6", "Q17", "Q3", "Q7"] {
         let q = query(id).unwrap();
         for &workers in workers_axis {
@@ -33,6 +40,7 @@ fn main() {
                 f(run.throughput / 1e3),
                 f(run.mb_shuffled_per_worker),
             ]);
+            runs.push(run);
         }
     }
     print_table(
@@ -44,10 +52,56 @@ fn main() {
             "query",
             "workers",
             "batch",
-            "median latency (ms)",
+            backend.latency_column(),
             "throughput (Ktup/s)",
             "MB shuffled/worker",
         ],
         &rows,
     );
+    emit_bench_json("fig9_weak_scaling", &runs);
+
+    // Streaming head-to-head (the acceptance number for the pipelined
+    // runtime): 64 small batches through the epoch-synchronous path vs. the
+    // pipelined path coalescing up to 64 batches into one trigger.
+    let tuples_per_batch: usize = std::env::var("HOTDOG_STREAM_BATCH")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let workers = num_cpus_capped(4);
+    let mut cmp_rows = Vec::new();
+    let mut cmp_json = Vec::new();
+    for id in ["Q3", "Q6"] {
+        let q = query(id).unwrap();
+        let cmp =
+            compare_stream_throughput(&q, workers, 64, tuples_per_batch, 64 * tuples_per_batch);
+        cmp_rows.push(vec![
+            id.into(),
+            workers.to_string(),
+            format!("64 x {tuples_per_batch}"),
+            f(cmp.sync.throughput / 1e3),
+            f(cmp.pipelined.throughput / 1e3),
+            format!("{:.2}x", cmp.speedup()),
+            cmp.pipelined
+                .coalesce
+                .as_ref()
+                .map(|c| format!("{} -> {}", c.batches_admitted, c.batches_executed))
+                .unwrap_or_default(),
+        ]);
+        cmp_json.push(cmp.to_json());
+    }
+    print_table(
+        "Pipelined stream throughput (epoch-synchronous vs pipelined+coalescing)",
+        &[
+            "query",
+            "workers",
+            "stream",
+            "sync (Ktup/s)",
+            "pipelined (Ktup/s)",
+            "speedup",
+            "triggers",
+        ],
+        &cmp_rows,
+    );
+    let path = json::bench_json_path();
+    let _ = json::update_bench_json(&path, "pipeline_stream", &json::jarray(cmp_json));
 }

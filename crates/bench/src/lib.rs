@@ -11,9 +11,12 @@
 //! reproduce the *shapes*: which strategy wins, how throughput moves with
 //! batch size, and how latency scales with workers.
 
+use hotdog::distributed::ClusterTotals;
 use hotdog::ivm::Strategy;
 use hotdog::prelude::*;
 use std::time::Instant;
+
+pub mod json;
 
 /// How many stream tuples the local experiments process by default.  Can be
 /// overridden with the `HOTDOG_TUPLES` environment variable.
@@ -94,30 +97,81 @@ pub fn single_tuple_baseline(q: &CatalogQuery, stream: &UpdateStream) -> LocalRu
     run_local(q, stream, Strategy::RecursiveIvm, ExecMode::SingleTuple, 1)
 }
 
-/// Which execution backend a distributed experiment runs on.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Backend {
+/// Which execution backend a distributed experiment runs on.  All three
+/// implement the [`Backend`](hotdog::distributed::Backend) trait, so the
+/// experiment driver ([`run_distributed_on`]) is written once.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum BackendKind {
     /// Single-threaded simulator with the modelled cost model (the default).
     Simulated,
-    /// `hotdog-runtime` thread-per-worker backend; latencies are measured
-    /// wall-clock.
+    /// `hotdog-runtime` epoch-synchronous thread-per-worker backend;
+    /// latencies are measured wall-clock.
     Threaded,
+    /// `hotdog-runtime` pipelined thread-per-worker backend with delta
+    /// coalescing up to the given tuple threshold; throughput is measured
+    /// over the whole stream's wall-clock.
+    Pipelined { coalesce_tuples: usize },
 }
 
-impl Backend {
+impl BackendKind {
     pub fn label(&self) -> &'static str {
         match self {
-            Backend::Simulated => "modelled",
-            Backend::Threaded => "measured",
+            BackendKind::Simulated => "modelled",
+            BackendKind::Threaded => "measured",
+            BackendKind::Pipelined { .. } => "pipelined",
         }
     }
 
-    /// Parse `--real` from a binary's argument list.
-    pub fn from_args() -> Backend {
-        if std::env::args().any(|a| a == "--real") {
-            Backend::Threaded
+    /// What the latency percentiles of a run on this backend measure.
+    /// Simulated/threaded runs report end-to-end batch latencies; the
+    /// pipelined backend executes batches asynchronously, so its per-batch
+    /// numbers are *driver-side issue times* (worker execution overlaps
+    /// and is excluded) — not comparable across backends.  Throughput is
+    /// comparable everywhere (pipelined throughput is stream wall-clock).
+    pub fn latency_kind(&self) -> &'static str {
+        match self {
+            BackendKind::Simulated => "modelled_batch",
+            BackendKind::Threaded => "measured_batch_wall",
+            BackendKind::Pipelined { .. } => "driver_issue_time",
+        }
+    }
+
+    /// Table column header for this backend's latency percentiles (flags
+    /// the pipelined backend's issue-time semantics, see
+    /// [`BackendKind::latency_kind`]).
+    pub fn latency_column(&self) -> &'static str {
+        match self {
+            BackendKind::Pipelined { .. } => "median issue (ms)",
+            _ => "median latency (ms)",
+        }
+    }
+
+    /// Parse `--real`, `--pipeline` and `--coalesce=N` from a binary's
+    /// argument list (`--coalesce` implies `--pipeline`).
+    pub fn from_args() -> BackendKind {
+        let mut pipeline = false;
+        let mut real = false;
+        let mut coalesce = PipelineConfig::default().coalesce_tuples;
+        for arg in std::env::args() {
+            match arg.as_str() {
+                "--real" => real = true,
+                "--pipeline" => pipeline = true,
+                a => {
+                    if let Some(n) = a.strip_prefix("--coalesce=") {
+                        pipeline = true;
+                        coalesce = n.parse().unwrap_or(coalesce);
+                    }
+                }
+            }
+        }
+        if pipeline {
+            BackendKind::Pipelined {
+                coalesce_tuples: coalesce,
+            }
+        } else if real {
+            BackendKind::Threaded
         } else {
-            Backend::Simulated
+            BackendKind::Simulated
         }
     }
 }
@@ -129,12 +183,84 @@ pub struct DistRun {
     pub workers: usize,
     pub batch_tuples: usize,
     pub opt: OptLevel,
-    pub backend: Backend,
+    pub backend: BackendKind,
     pub median_latency_secs: f64,
+    pub p95_latency_secs: f64,
+    pub p99_latency_secs: f64,
     pub throughput: f64,
     pub mb_shuffled_per_worker: f64,
     pub jobs: usize,
     pub stages: usize,
+    /// Pipelined-ingestion counters (`None` for synchronous backends).
+    pub coalesce: Option<PipelineStats>,
+}
+
+impl DistRun {
+    /// One JSON object per run, for `BENCH_runtime.json` sections.
+    pub fn to_json(&self) -> String {
+        let mut obj = json::JsonObj::new()
+            .str("query", &self.query)
+            .str("backend", self.backend.label())
+            .str("opt", self.opt.label())
+            .int("workers", self.workers as u64)
+            .int("batch_tuples", self.batch_tuples as u64)
+            .num("throughput_tps", self.throughput)
+            .str("latency_kind", self.backend.latency_kind())
+            .num("median_latency_secs", self.median_latency_secs)
+            .num("p95_latency_secs", self.p95_latency_secs)
+            .num("p99_latency_secs", self.p99_latency_secs)
+            .num("mb_shuffled_per_worker", self.mb_shuffled_per_worker)
+            .int("jobs", self.jobs as u64)
+            .int("stages", self.stages as u64);
+        if let Some(c) = &self.coalesce {
+            obj = obj.raw(
+                "coalesce",
+                json::JsonObj::new()
+                    .int("batches_admitted", c.batches_admitted as u64)
+                    .int("batches_coalesced", c.batches_coalesced as u64)
+                    .int("batches_executed", c.batches_executed as u64)
+                    .int("tuples_admitted", c.tuples_admitted as u64)
+                    .int("tuples_executed", c.tuples_executed as u64)
+                    .int("max_queue_depth", c.max_queue_depth as u64)
+                    .render(),
+            );
+        }
+        obj.render()
+    }
+}
+
+/// Write one experiment's runs as a section of `BENCH_runtime.json` (path
+/// overridable via `BENCH_JSON`), preserving other experiments' sections.
+pub fn emit_bench_json(section: &str, runs: &[DistRun]) {
+    let value = json::JsonObj::new()
+        .raw("rows", json::jarray(runs.iter().map(|r| r.to_json())))
+        .render();
+    let path = json::bench_json_path();
+    if let Err(e) = json::update_bench_json(&path, section, &value) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote section {section:?} ({} rows) to {path}", runs.len());
+    }
+}
+
+/// Available hardware parallelism, capped (measured experiments only make
+/// sense up to the physical core count).
+pub fn num_cpus_capped(cap: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, cap.max(1))
+}
+
+/// Drive any execution backend over a pre-batched stream (the generic
+/// experiment loop shared by benches and tests).
+pub fn drive_backend<B: hotdog::distributed::Backend>(
+    backend: &mut B,
+    stream: &UpdateStream,
+    batch_tuples: usize,
+) -> ClusterTotals {
+    backend.apply_stream(&stream.batches(batch_tuples));
+    backend.totals().clone()
 }
 
 /// Run a query on the simulated cluster, chunking the stream into batches of
@@ -146,7 +272,14 @@ pub fn run_distributed(
     batch_tuples: usize,
     opt: OptLevel,
 ) -> DistRun {
-    run_distributed_on(q, stream, workers, batch_tuples, opt, Backend::Simulated)
+    run_distributed_on(
+        q,
+        stream,
+        workers,
+        batch_tuples,
+        opt,
+        BackendKind::Simulated,
+    )
 }
 
 /// Run a query on the real thread-per-worker runtime and report measured
@@ -158,7 +291,7 @@ pub fn run_distributed_real(
     batch_tuples: usize,
     opt: OptLevel,
 ) -> DistRun {
-    run_distributed_on(q, stream, workers, batch_tuples, opt, Backend::Threaded)
+    run_distributed_on(q, stream, workers, batch_tuples, opt, BackendKind::Threaded)
 }
 
 /// Backend-generic distributed experiment driver.
@@ -168,30 +301,29 @@ pub fn run_distributed_on(
     workers: usize,
     batch_tuples: usize,
     opt: OptLevel,
-    backend: Backend,
+    backend: BackendKind,
 ) -> DistRun {
     let plan = compile_recursive(q.id, &q.expr);
     let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
     let dplan = compile_distributed(&plan, &spec, opt);
     let (jobs, stages) = dplan.complexity();
-    let totals = match backend {
-        Backend::Simulated => {
+    let (totals, coalesce) = match backend {
+        BackendKind::Simulated => {
             let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(workers));
-            for batch in stream.batches(batch_tuples) {
-                for (rel, delta) in batch {
-                    cluster.apply_batch(rel, &delta);
-                }
-            }
-            cluster.totals.clone()
+            (drive_backend(&mut cluster, stream, batch_tuples), None)
         }
-        Backend::Threaded => {
+        BackendKind::Threaded => {
             let mut cluster = ThreadedCluster::new(dplan, workers);
-            for batch in stream.batches(batch_tuples) {
-                for (rel, delta) in batch {
-                    cluster.apply_batch(rel, &delta);
-                }
-            }
-            cluster.totals.clone()
+            (drive_backend(&mut cluster, stream, batch_tuples), None)
+        }
+        BackendKind::Pipelined { coalesce_tuples } => {
+            let mut cluster = ThreadedCluster::pipelined(
+                dplan,
+                workers,
+                PipelineConfig::with_coalesce(coalesce_tuples),
+            );
+            let totals = drive_backend(&mut cluster, stream, batch_tuples);
+            (totals, Some(cluster.stats.clone()))
         }
     };
     DistRun {
@@ -201,6 +333,8 @@ pub fn run_distributed_on(
         opt,
         backend,
         median_latency_secs: totals.median_latency(),
+        p95_latency_secs: totals.latency_percentile(0.95),
+        p99_latency_secs: totals.latency_percentile(0.99),
         throughput: totals.throughput(),
         mb_shuffled_per_worker: totals.bytes_shuffled as f64
             / 1e6
@@ -208,6 +342,80 @@ pub fn run_distributed_on(
             / totals.batches.max(1) as f64,
         jobs,
         stages,
+        coalesce,
+    }
+}
+
+/// Head-to-head stream throughput: the same many-small-batch stream pushed
+/// through the epoch-synchronous path and through the pipelined+coalescing
+/// path on the same host (the runtime-layer version of the paper's batching
+/// thesis: fewer, larger triggers amortize per-batch overhead).
+#[derive(Clone, Debug)]
+pub struct StreamComparison {
+    pub query: String,
+    pub workers: usize,
+    pub n_batches: usize,
+    pub tuples_per_batch: usize,
+    pub sync: DistRun,
+    pub pipelined: DistRun,
+}
+
+impl StreamComparison {
+    pub fn speedup(&self) -> f64 {
+        if self.sync.throughput == 0.0 {
+            0.0
+        } else {
+            self.pipelined.throughput / self.sync.throughput
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        json::JsonObj::new()
+            .str("query", &self.query)
+            .int("workers", self.workers as u64)
+            .int("n_batches", self.n_batches as u64)
+            .int("tuples_per_batch", self.tuples_per_batch as u64)
+            .num("speedup", self.speedup())
+            .raw("sync", self.sync.to_json())
+            .raw("pipelined", self.pipelined.to_json())
+            .render()
+    }
+}
+
+/// Push a `n_batches`×`tuples_per_batch` stream through both threaded
+/// paths; the pipelined path may coalesce up to `coalesce_tuples` per
+/// trigger.
+pub fn compare_stream_throughput(
+    q: &CatalogQuery,
+    workers: usize,
+    n_batches: usize,
+    tuples_per_batch: usize,
+    coalesce_tuples: usize,
+) -> StreamComparison {
+    let stream = stream_for(q, n_batches * tuples_per_batch, 64);
+    let sync = run_distributed_on(
+        q,
+        &stream,
+        workers,
+        tuples_per_batch,
+        OptLevel::O3,
+        BackendKind::Threaded,
+    );
+    let pipelined = run_distributed_on(
+        q,
+        &stream,
+        workers,
+        tuples_per_batch,
+        OptLevel::O3,
+        BackendKind::Pipelined { coalesce_tuples },
+    );
+    StreamComparison {
+        query: q.id.to_string(),
+        workers,
+        n_batches,
+        tuples_per_batch,
+        sync,
+        pipelined,
     }
 }
 

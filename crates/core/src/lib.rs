@@ -49,10 +49,10 @@ pub mod prelude {
     pub use hotdog_algebra::{
         assign_query, assign_val, cmp, cmp_lit, cmp_vars, delta_rel, evaluate, exists, join,
         join_all, neg, rel, sum, sum_total, union, val, val_var, view, CmpOp, Env, Evaluator, Expr,
-        MapCatalog, Mult, RelKind, Relation, Schema, Tuple, ValExpr, Value,
+        MapCatalog, Mult, RelKind, Relation, Schema, Tuple, ValExpr, Value, ViewChecksum,
     };
     pub use hotdog_distributed::{
-        compile_distributed, Cluster, ClusterConfig, DistributedPlan, LocTag, OptLevel,
+        compile_distributed, Backend, Cluster, ClusterConfig, DistributedPlan, LocTag, OptLevel,
         PartitionFn, PartitioningSpec, WorkerState,
     };
     pub use hotdog_exec::{BatchStats, Database, ExecMode, LocalEngine};
@@ -60,7 +60,7 @@ pub mod prelude {
         compile, compile_classical, compile_recursive, compile_reevaluation, delta, extract_domain,
         MaintenancePlan, Strategy,
     };
-    pub use hotdog_runtime::ThreadedCluster;
+    pub use hotdog_runtime::{PipelineConfig, PipelineStats, ThreadedCluster};
     pub use hotdog_storage::{ColumnarBatch, RecordPool};
     pub use hotdog_workload::{
         all_queries, generate_tpcds, generate_tpch, query, tpcds_queries, tpch_queries,

@@ -1,0 +1,132 @@
+//! The execution-backend abstraction.
+//!
+//! Three backends run compiled [`DistributedPlan`]s over the same
+//! [`WorkerState`](crate::worker::WorkerState) machinery: the single-threaded
+//! simulated [`Cluster`] (modelled time), the epoch-synchronous
+//! thread-per-worker runtime, and the pipelined runtime with delta
+//! coalescing (both in `hotdog-runtime`, measured time).  [`Backend`] is the
+//! surface they share, so benches and differential tests are written once
+//! and run against every backend.
+//!
+//! The trait is deliberately *streaming-shaped*: [`Backend::apply_batch`]
+//! admits one delta batch (a pipelined backend may only enqueue it), and
+//! [`Backend::flush`] is the barrier that forces every admitted batch to be
+//! fully executed.  Reads ([`Backend::view_contents`],
+//! [`Backend::query_result`]) take `&mut self` because a pipelined backend
+//! must synchronize to its watermark before exposing view state.
+
+use crate::cluster::{BatchExecution, Cluster, ClusterTotals};
+use crate::program::DistributedPlan;
+use hotdog_algebra::relation::Relation;
+
+/// A distributed execution backend: admits delta batches against one
+/// compiled [`DistributedPlan`] and serves consistent view reads.
+pub trait Backend {
+    /// Short human-readable backend name (for tables and JSON output).
+    fn backend_name(&self) -> &'static str;
+
+    /// The compiled distributed plan this backend runs.
+    fn plan(&self) -> &DistributedPlan;
+
+    /// Admit one batch of updates to `relation`.  Synchronous backends
+    /// execute it to completion and return measured/modelled statistics; a
+    /// pipelined backend may coalesce and defer it, returning admission-time
+    /// statistics only.
+    fn apply_batch(&mut self, relation: &str, batch: &Relation) -> BatchExecution;
+
+    /// Force every admitted batch to be fully executed (no-op for
+    /// synchronous backends).  After `flush`, reads observe the entire
+    /// admitted stream.
+    fn flush(&mut self) {}
+
+    /// Full contents of a view, merged across all nodes holding a piece.
+    /// Pipelined backends synchronize to a consistent batch boundary first.
+    fn view_contents(&mut self, name: &str) -> Relation;
+
+    /// Current contents of the top-level query view.
+    fn query_result(&mut self) -> Relation {
+        let top = self.plan().plan.top_view.clone();
+        self.view_contents(&top)
+    }
+
+    /// Accumulated execution totals.
+    fn totals(&self) -> &ClusterTotals;
+
+    /// Stream-apply: admit a pre-batched update stream in order, then flush.
+    fn apply_stream<S: AsRef<str>>(&mut self, batches: &[Vec<(S, Relation)>]) {
+        for batch in batches {
+            for (rel, delta) in batch {
+                self.apply_batch(rel.as_ref(), delta);
+            }
+        }
+        self.flush();
+    }
+}
+
+impl Backend for Cluster {
+    fn backend_name(&self) -> &'static str {
+        "simulated"
+    }
+
+    fn plan(&self) -> &DistributedPlan {
+        Cluster::plan(self)
+    }
+
+    fn apply_batch(&mut self, relation: &str, batch: &Relation) -> BatchExecution {
+        Cluster::apply_batch(self, relation, batch)
+    }
+
+    fn view_contents(&mut self, name: &str) -> Relation {
+        Cluster::view_contents(self, name)
+    }
+
+    fn totals(&self) -> &ClusterTotals {
+        &self.totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::partition::PartitioningSpec;
+    use crate::program::{compile_distributed, OptLevel};
+    use hotdog_algebra::expr::*;
+    use hotdog_algebra::schema::Schema;
+    use hotdog_algebra::tuple;
+    use hotdog_ivm::compile_recursive;
+
+    fn run_generic<B: Backend>(backend: &mut B) -> Relation {
+        let batches: Vec<Vec<(&str, Relation)>> = vec![vec![
+            (
+                "R",
+                Relation::from_pairs(
+                    Schema::new(["A", "B"]),
+                    (0..10i64).map(|i| (tuple![i, i % 3], 1.0)),
+                ),
+            ),
+            (
+                "S",
+                Relation::from_pairs(
+                    Schema::new(["B", "C"]),
+                    (0..6i64).map(|i| (tuple![i % 3, i], 1.0)),
+                ),
+            ),
+        ]];
+        backend.apply_stream(&batches);
+        backend.query_result()
+    }
+
+    #[test]
+    fn cluster_implements_backend() {
+        let q = sum(["B"], join(rel("R", ["A", "B"]), rel("S", ["B", "C"])));
+        let plan = compile_recursive("Q", &q);
+        let spec = PartitioningSpec::heuristic(&plan, &["A"]);
+        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(3));
+        let result = run_generic(&mut cluster);
+        assert!(!result.is_empty());
+        assert_eq!(cluster.backend_name(), "simulated");
+        assert_eq!(Backend::totals(&cluster).batches, 2);
+    }
+}

@@ -115,12 +115,18 @@ impl ClusterTotals {
 
     /// Median batch latency in seconds.
     pub fn median_latency(&self) -> f64 {
+        self.latency_percentile(0.50)
+    }
+
+    /// Batch latency percentile in seconds (`p` in `[0, 1]`, nearest-rank).
+    pub fn latency_percentile(&self, p: f64) -> f64 {
         if self.latencies.is_empty() {
             return 0.0;
         }
         let mut v = self.latencies.clone();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        v[v.len() / 2]
+        let idx = ((v.len() as f64 * p) as usize).min(v.len() - 1);
+        v[idx]
     }
 }
 

@@ -18,15 +18,20 @@
 //!   models latency (per-stage synchronization, shuffle bandwidth,
 //!   stragglers).  The real thread-per-worker backend lives in the
 //!   `hotdog-runtime` crate and runs the same programs over the same
-//!   [`worker::WorkerState`] machinery.
+//!   [`worker::WorkerState`] machinery;
+//! * [`backend`] — the [`Backend`] trait shared by every execution backend
+//!   (simulated, synchronous-threaded, pipelined), so benches and
+//!   differential tests are written once.
 
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod cluster;
 pub mod partition;
 pub mod program;
 pub mod worker;
 
+pub use backend::Backend;
 pub use cluster::{partition_shards, BatchExecution, Cluster, ClusterConfig, ClusterTotals};
 pub use partition::{LocTag, PartitionFn, PartitioningSpec};
 pub use program::{

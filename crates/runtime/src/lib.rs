@@ -12,11 +12,10 @@
 //!   hash-partitioned shard of the distributed views plus per-batch
 //!   exchange buffers — and a command channel;
 //! * the driver (the caller's thread) owns the driver-resident views and
-//!   runs each [`TriggerProgram`] epoch-synchronously: `Local` blocks
-//!   execute on the driver, transformer statements move relations between
-//!   driver and workers (scatter / repartition / gather), and every
-//!   `Distributed` block is broadcast to all workers and barriered before
-//!   the next block starts — the mpsc channels play the role of the
+//!   runs each [`TriggerProgram`]: `Local` blocks execute on the driver,
+//!   transformer statements move relations between driver and workers
+//!   (scatter / repartition / gather), and every `Distributed` block is
+//!   broadcast to all workers — the mpsc channels play the role of the
 //!   cluster fabric;
 //! * routing reuses the exact `PartitionFn` shard assignment of the
 //!   simulator (via [`hotdog_distributed::partition_shards`]), and workers
@@ -25,6 +24,52 @@
 //!   [`BatchExecution::latency_secs`] here is measured wall-clock, not a
 //!   cost model.
 //!
+//! ## Execution modes
+//!
+//! [`ThreadedCluster::new`] builds the **epoch-synchronous** runtime: each
+//! [`ThreadedCluster::apply_batch`] executes the batch to completion,
+//! barriering after every distributed block, exactly one batch in the
+//! system at a time.
+//!
+//! [`ThreadedCluster::pipelined`] builds the **pipelined** runtime for
+//! sustained update streams (the workload of the paper's batch-size
+//! sweeps).  Three mechanisms amortize per-batch overhead:
+//!
+//! 1. **Admission queue with delta coalescing** — `apply_batch` only
+//!    *admits* a batch.  An admitted batch is ring-summed into the latest
+//!    queued delta of the same base relation (up to
+//!    [`PipelineConfig::coalesce_tuples`]; batched IVM triggers are exact
+//!    for any delta, so same-relation deltas commute past other
+//!    relations' batches), so a stream of tiny batches triggers the
+//!    maintenance program far fewer times — the paper's batching thesis
+//!    applied at the runtime layer.  Coalescing preserves the maintained
+//!    state exactly in real arithmetic; it only re-associates float
+//!    additions (disable it for bit-identical runs).
+//! 2. **Bounded in-flight window** — when a queued batch is executed, the
+//!    driver broadcasts each distributed block and moves on *without
+//!    collecting the workers' completion replies*; per-channel FIFO order
+//!    keeps every worker's statement sequence identical to the synchronous
+//!    schedule.  Up to [`PipelineConfig::inflight_blocks`] block replies
+//!    per worker may be uncollected, so the driver runs `Local` blocks (and
+//!    scatters) of batch *k+1* while workers still execute the
+//!    `Distributed` blocks of batch *k*.  Replies are collected lazily — at
+//!    the window bound, before any data is fetched back (repartition /
+//!    gather), and at watermark commits.
+//! 3. **Watermark tracking** — the cluster counts admitted, issued and
+//!    committed batches.  Reads ([`ThreadedCluster::view_contents`],
+//!    [`ThreadedCluster::query_result`]) first commit the watermark (drain
+//!    outstanding replies and barrier trailing scatters), so they always
+//!    observe a *consistent batch boundary*: every issued batch
+//!    completely, no batch partially.  With coalescing disabled, the
+//!    issued batches are exactly a prefix of the admitted stream; with
+//!    coalescing enabled they form a prefix of a commuted schedule in
+//!    which per-relation admission order is preserved but a same-relation
+//!    delta may have been ring-summed past later-admitted batches of
+//!    *other* relations (the flushed end state is identical either way).
+//!    Queued-but-unissued batches become visible after
+//!    [`ThreadedCluster::flush`], which drains the admission queue and
+//!    finalizes stream timing.
+//!
 //! [`BatchExecution::latency_secs`]: hotdog_distributed::BatchExecution
 
 #![forbid(unsafe_code)]
@@ -32,11 +77,11 @@
 use hotdog_algebra::eval::EvalCounters;
 use hotdog_algebra::relation::Relation;
 use hotdog_distributed::{
-    partition_shards, BatchExecution, ClusterTotals, DistStatement, DistStmtKind, DistributedPlan,
-    LocTag, PartitionFn, StmtMode, Transform, TriggerProgram, WorkerState,
+    partition_shards, Backend, BatchExecution, ClusterTotals, DistStatement, DistStmtKind,
+    DistributedPlan, LocTag, PartitionFn, StmtMode, Transform, TriggerProgram, WorkerState,
 };
 use hotdog_exec::relabel;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -44,7 +89,8 @@ use std::time::Instant;
 
 /// Commands the driver sends to a worker thread.  Per-channel FIFO order is
 /// the synchronization contract: an `Apply` enqueued before a `RunBlock` is
-/// guaranteed to be installed before the block executes.
+/// guaranteed to be installed before the block executes, and a `Fetch`
+/// enqueued after a `RunBlock` observes the block's writes.
 enum Request {
     /// Execute one distributed block over this worker's shard and report
     /// the interpreter work performed.
@@ -133,13 +179,74 @@ fn share_program(p: &TriggerProgram) -> SharedProgram {
     }
 }
 
+/// Configuration of the pipelined ingestion path
+/// ([`ThreadedCluster::pipelined`]).
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Ring-sum each admitted batch into the latest queued delta of the
+    /// same relation until that delta would exceed this many tuples.  `0`
+    /// disables coalescing (making pipelined execution bit-identical to
+    /// the synchronous schedule; with coalescing the state is identical in
+    /// real arithmetic but float additions associate differently).
+    pub coalesce_tuples: usize,
+    /// Maximum admitted-but-unissued batches held in the admission queue;
+    /// admitting beyond it drives execution of the queue front.
+    pub admit_capacity: usize,
+    /// Maximum uncollected distributed-block completions per worker before
+    /// the driver must collect the oldest one.
+    pub inflight_blocks: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            coalesce_tuples: 4096,
+            admit_capacity: 16,
+            inflight_blocks: 4,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Config with a specific coalescing threshold (in tuples).
+    pub fn with_coalesce(coalesce_tuples: usize) -> Self {
+        PipelineConfig {
+            coalesce_tuples,
+            ..Default::default()
+        }
+    }
+}
+
+/// Counters of the pipelined ingestion path (all zero in epoch-synchronous
+/// mode).
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Batches admitted via `apply_batch`.
+    pub batches_admitted: usize,
+    /// Admitted batches that were ring-summed into an already-queued delta
+    /// instead of triggering on their own.
+    pub batches_coalesced: usize,
+    /// Maintenance-program executions actually triggered.
+    pub batches_executed: usize,
+    /// Tuples admitted (pre-coalescing).
+    pub tuples_admitted: usize,
+    /// Tuples in the executed deltas (post-coalescing; cancellation shrinks
+    /// this below `tuples_admitted`).
+    pub tuples_executed: usize,
+    /// High-water mark of the admission queue depth.
+    pub max_queue_depth: usize,
+    /// Slowest worker's interpreter work observed across lazy reply drains.
+    pub max_worker_instructions: u64,
+}
+
 /// One driver + N worker threads executing a distributed plan for real.
 ///
 /// Public surface matches the simulated
 /// [`Cluster`](hotdog_distributed::Cluster) (`apply_batch`,
 /// `view_contents`, `query_result`, `plan`, `totals`) so the two backends
 /// are drop-in interchangeable; [`BatchExecution`] fields that model time in
-/// the simulator hold *measured* wall-clock values here.
+/// the simulator hold *measured* wall-clock values here.  See the crate
+/// docs for the epoch-synchronous vs. pipelined execution modes.
 pub struct ThreadedCluster {
     /// Number of worker threads.
     pub workers: usize,
@@ -150,16 +257,44 @@ pub struct ThreadedCluster {
     replies: Vec<Receiver<Reply>>,
     handles: Vec<JoinHandle<()>>,
     /// Whether `Apply` messages have been enqueued with no barrier behind
-    /// them yet (a trailing scatter must be drained before the batch's
-    /// wall clock stops, or its cost leaks into the next batch).
+    /// them yet (a trailing scatter must be drained before worker state is
+    /// read, or before a synchronous batch's wall clock stops).
     applies_in_flight: bool,
+    /// `Some` iff this cluster runs the pipelined ingestion path.
+    pipeline: Option<PipelineConfig>,
+    /// Admitted-but-unissued (relation, coalesced delta) batches.
+    queue: VecDeque<(String, Relation)>,
+    /// Per worker: distributed-block completions not yet collected.
+    outstanding: Vec<usize>,
+    /// Batches whose execution has been fully issued to driver and workers.
+    issued: u64,
+    /// Batches guaranteed visible to reads (issued + drained + barriered).
+    watermark: u64,
+    /// First admission since the last `flush` (stream wall-clock origin).
+    stream_start: Option<Instant>,
+    /// Pipelined-ingestion counters (all zero in epoch-synchronous mode).
+    pub stats: PipelineStats,
     /// Accumulated measured totals (same shape as the simulator's).
     pub totals: ClusterTotals,
 }
 
 impl ThreadedCluster {
-    /// Spawn `workers` worker threads with empty view partitions.
+    /// Spawn `workers` worker threads with empty view partitions, in
+    /// epoch-synchronous mode (one batch in the system at a time).
     pub fn new(dplan: DistributedPlan, workers: usize) -> Self {
+        Self::build(dplan, workers, None)
+    }
+
+    /// Spawn `workers` worker threads with empty view partitions, in
+    /// pipelined mode: `apply_batch` admits into a coalescing queue and
+    /// execution overlaps driver and worker work within the configured
+    /// in-flight window.  Call [`ThreadedCluster::flush`] (or read a view)
+    /// to force admitted batches through.
+    pub fn pipelined(dplan: DistributedPlan, workers: usize, config: PipelineConfig) -> Self {
+        Self::build(dplan, workers, Some(config))
+    }
+
+    fn build(dplan: DistributedPlan, workers: usize, pipeline: Option<PipelineConfig>) -> Self {
         assert!(workers > 0);
         let driver = WorkerState::for_plan(&dplan.plan);
         let programs = dplan
@@ -191,6 +326,13 @@ impl ThreadedCluster {
             replies,
             handles,
             applies_in_flight: false,
+            pipeline,
+            queue: VecDeque::new(),
+            outstanding: vec![0; workers],
+            issued: 0,
+            watermark: 0,
+            stream_start: None,
+            stats: PipelineStats::default(),
             totals: ClusterTotals::default(),
         }
     }
@@ -200,10 +342,85 @@ impl ThreadedCluster {
         &self.dplan
     }
 
+    /// Whether this cluster runs the pipelined ingestion path.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// Number of batches guaranteed visible to reads: reads observe
+    /// exactly this many *issued* batches (post-coalescing), a prefix of
+    /// the admitted stream when coalescing is off and of its commuted
+    /// schedule otherwise (see [`ThreadedCluster::view_contents`]).
+    /// Advanced by reads and by `flush`.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Collect `n` outstanding block completions from worker `w`, folding
+    /// the reported interpreter work into the pipeline stats.
+    fn collect_from(&mut self, w: usize, n: usize) {
+        for _ in 0..n {
+            match self.replies[w].recv().expect("worker thread died") {
+                Reply::Ran { instructions } => {
+                    self.stats.max_worker_instructions =
+                        self.stats.max_worker_instructions.max(instructions);
+                }
+                _ => unreachable!("expected run reply"),
+            }
+            self.outstanding[w] -= 1;
+        }
+    }
+
+    /// Collect every outstanding block completion (all workers).
+    fn drain_outstanding(&mut self) {
+        for w in 0..self.workers {
+            let n = self.outstanding[w];
+            self.collect_from(w, n);
+        }
+    }
+
+    /// Commit the watermark: after this, every issued batch is fully
+    /// applied on every node and safe to read.
+    fn commit_watermark(&mut self) {
+        self.drain_outstanding();
+        if self.applies_in_flight {
+            for tx in &self.requests {
+                tx.send(Request::Barrier).expect("worker thread died");
+            }
+            for rx in &self.replies {
+                match rx.recv().expect("worker thread died") {
+                    Reply::Ack => {}
+                    _ => unreachable!("expected barrier ack"),
+                }
+            }
+            self.applies_in_flight = false;
+        }
+        self.watermark = self.issued;
+    }
+
+    /// Execute every queued batch, commit the watermark and fold the stream
+    /// wall-clock into the totals.  After `flush`, reads observe the entire
+    /// admitted stream.  No-op in epoch-synchronous mode.
+    pub fn flush(&mut self) {
+        while let Some((relation, delta)) = self.queue.pop_front() {
+            self.execute_canonical(&relation, delta, true);
+        }
+        self.commit_watermark();
+        if let Some(start) = self.stream_start.take() {
+            // Pipelined latency accounting is stream-scoped: the admitted
+            // stream's wall-clock (first admission to flush), not a sum of
+            // per-batch latencies.
+            self.totals.latency_secs += start.elapsed().as_secs_f64();
+        }
+    }
+
     /// Fetch one relation from every worker, in worker order (the merge
     /// order must match the simulator's sequential 0..N loop so float
-    /// accumulation is identical).
-    fn fetch_all(&self, make: impl Fn() -> Request) -> Vec<Relation> {
+    /// accumulation is identical).  Collects outstanding block completions
+    /// first: replies are FIFO per channel, so fetched relations can only
+    /// be read from behind the pending `Ran` replies.
+    fn fetch_all(&mut self, make: impl Fn() -> Request) -> Vec<Relation> {
+        self.drain_outstanding();
         for tx in &self.requests {
             tx.send(make()).expect("worker thread died");
         }
@@ -217,7 +434,17 @@ impl ThreadedCluster {
     }
 
     /// Full contents of a view, merged across all nodes holding a piece.
-    pub fn view_contents(&self, name: &str) -> Relation {
+    /// In pipelined mode this commits the watermark first, so the read
+    /// observes a consistent batch boundary: every issued batch completely,
+    /// no batch partially.  With coalescing disabled the issued batches are
+    /// exactly a prefix of the admitted stream; with coalescing enabled
+    /// they are a prefix of a *commuted* schedule (same-relation deltas may
+    /// have been ring-summed past later-admitted batches of other
+    /// relations, preserving per-relation admission order — see the crate
+    /// docs).  Admitted-but-queued batches require a
+    /// [`ThreadedCluster::flush`] to become visible.
+    pub fn view_contents(&mut self, name: &str) -> Relation {
+        self.commit_watermark();
         let schema = self.dplan.schema_of(name).unwrap_or_default();
         let mut out = Relation::new(schema);
         match self.dplan.location(name) {
@@ -247,26 +474,135 @@ impl ThreadedCluster {
         out
     }
 
-    /// Current contents of the top-level query view.
-    pub fn query_result(&self) -> Relation {
-        self.view_contents(&self.dplan.plan.top_view)
+    /// Current contents of the top-level query view (watermark-consistent
+    /// in pipelined mode, see [`ThreadedCluster::view_contents`]).
+    pub fn query_result(&mut self) -> Relation {
+        self.view_contents(&self.dplan.plan.top_view.clone())
     }
 
-    /// Process one batch of updates to `relation`, returning **measured**
-    /// execution statistics.
+    /// Process one batch of updates to `relation`.
+    ///
+    /// Epoch-synchronous mode: executes the batch to completion and returns
+    /// **measured** execution statistics.  Pipelined mode: *admits* the
+    /// batch (possibly ring-summing it into an already-queued delta) and
+    /// returns admission statistics; execution overlaps subsequent
+    /// admissions and is forced by [`ThreadedCluster::flush`] or any view
+    /// read.
     pub fn apply_batch(&mut self, relation: &str, batch: &Relation) -> BatchExecution {
-        let wall_start = Instant::now();
-        let mut stats = BatchExecution {
+        match self.pipeline {
+            None => self.execute_program(relation, batch),
+            Some(_) => self.admit(relation, batch),
+        }
+    }
+
+    /// Pipelined admission: coalesce into the queue tail or enqueue, then
+    /// drive execution while the queue exceeds the admission capacity.
+    ///
+    /// Queued deltas are kept in the trigger's canonical schema (`relabel`
+    /// is positional, so canonicalizing is one `add` per tuple), which
+    /// makes coalescing a plain ring-sum into the tail and lets execution
+    /// move the delta straight into the trigger with no further copy — the
+    /// admission path costs the same tuple copies as the synchronous path.
+    fn admit(&mut self, relation: &str, batch: &Relation) -> BatchExecution {
+        let config = self.pipeline.clone().expect("admit requires pipeline mode");
+        self.stream_start.get_or_insert_with(Instant::now);
+        self.stats.batches_admitted += 1;
+        self.stats.tuples_admitted += batch.len();
+        let stats = BatchExecution {
             input_tuples: batch.len(),
             ..Default::default()
         };
+        // Batches to relations the plan has no trigger for are no-ops; do
+        // not let them split a coalescing run.
         let Some(program) = self.programs.get(relation) else {
             return stats;
         };
+        let canonical_schema = program.relation_schema.clone();
+        self.totals.tuples += batch.len();
 
+        // Merge into the *latest* queued delta of the same relation (not
+        // just the queue tail).  Batched IVM triggers are exact for any
+        // delta against any current state, so same-relation deltas commute
+        // past other relations' batches: the flushed state is identical in
+        // real arithmetic, and interleaved streams (where consecutive
+        // same-relation batches are rare) still coalesce well.  Per-relation
+        // admission order is preserved.
+        let coalesced = match self
+            .queue
+            .iter_mut()
+            .rev()
+            .find(|(queued_rel, _)| queued_rel == relation)
+        {
+            Some((_, queued))
+                if config.coalesce_tuples > 0
+                    && queued.len() + batch.len() <= config.coalesce_tuples =>
+            {
+                queued.merge(batch);
+                true
+            }
+            _ => false,
+        };
+        if coalesced {
+            self.stats.batches_coalesced += 1;
+        } else {
+            // Same canonicalization as the synchronous path, so a
+            // non-coalesced pipelined run is bit-identical to it.
+            let canonical = relabel(batch, &canonical_schema);
+            self.queue.push_back((relation.to_string(), canonical));
+        }
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+
+        while self.queue.len() > config.admit_capacity {
+            let (rel, delta) = self.queue.pop_front().expect("queue length checked");
+            self.execute_canonical(&rel, delta, true);
+        }
+        stats
+    }
+
+    /// Epoch-synchronous execution of one maintenance program over a batch
+    /// (canonicalizes the batch's schema, then delegates).
+    fn execute_program(&mut self, relation: &str, batch: &Relation) -> BatchExecution {
+        let Some(program) = self.programs.get(relation) else {
+            return BatchExecution {
+                input_tuples: batch.len(),
+                ..Default::default()
+            };
+        };
         let canonical = relabel(batch, &program.relation_schema);
+        self.execute_canonical(relation, canonical, false)
+    }
+
+    /// Run one maintenance program over an owned, canonical-schema delta.
+    ///
+    /// `pipelined = false` is the epoch-synchronous schedule: every
+    /// distributed block is barriered before the next starts and trailing
+    /// scatters are drained, so the returned stats carry the batch's full
+    /// measured wall-clock latency.  `pipelined = true` issues distributed
+    /// blocks without collecting their completions (up to the in-flight
+    /// window) and leaves trailing scatters un-barriered; completion is
+    /// deferred to the next fetch, watermark commit or window bound.
+    fn execute_canonical(
+        &mut self,
+        relation: &str,
+        delta: Relation,
+        pipelined: bool,
+    ) -> BatchExecution {
+        let wall_start = Instant::now();
+        let mut stats = BatchExecution {
+            input_tuples: delta.len(),
+            ..Default::default()
+        };
+        if !self.programs.contains_key(relation) {
+            return stats;
+        }
+        let inflight_blocks = self
+            .pipeline
+            .as_ref()
+            .map(|c| c.inflight_blocks)
+            .unwrap_or(0);
+
         let mut deltas = HashMap::new();
-        deltas.insert(relation.to_string(), canonical);
+        deltas.insert(relation.to_string(), delta);
         let deltas = Arc::new(deltas);
         let delta_name = format!("Δ{relation}");
 
@@ -292,32 +628,57 @@ impl ThreadedCluster {
                     }
                 }
                 StmtMode::Distributed => {
-                    // One epoch: broadcast the block, barrier on completion.
-                    for tx in &self.requests {
-                        tx.send(Request::RunBlock {
-                            statements: statements.clone(),
-                            deltas: deltas.clone(),
-                        })
-                        .expect("worker thread died");
-                    }
-                    let mut max_instr = 0u64;
-                    for rx in &self.replies {
-                        match rx.recv().expect("worker thread died") {
-                            Reply::Ran { instructions } => max_instr = max_instr.max(instructions),
-                            _ => unreachable!("expected run reply"),
+                    if pipelined {
+                        // Respect the in-flight window, then issue the block
+                        // and move on; completions are collected lazily.
+                        for w in 0..self.workers {
+                            if self.outstanding[w] >= inflight_blocks.max(1) {
+                                let excess = self.outstanding[w] + 1 - inflight_blocks.max(1);
+                                self.collect_from(w, excess);
+                            }
                         }
+                        for (w, tx) in self.requests.iter().enumerate() {
+                            tx.send(Request::RunBlock {
+                                statements: statements.clone(),
+                                deltas: deltas.clone(),
+                            })
+                            .expect("worker thread died");
+                            self.outstanding[w] += 1;
+                        }
+                    } else {
+                        // One epoch: broadcast the block, barrier on
+                        // completion.
+                        for tx in &self.requests {
+                            tx.send(Request::RunBlock {
+                                statements: statements.clone(),
+                                deltas: deltas.clone(),
+                            })
+                            .expect("worker thread died");
+                        }
+                        let mut max_instr = 0u64;
+                        for rx in &self.replies {
+                            match rx.recv().expect("worker thread died") {
+                                Reply::Ran { instructions } => {
+                                    max_instr = max_instr.max(instructions)
+                                }
+                                _ => unreachable!("expected run reply"),
+                            }
+                        }
+                        stats.max_worker_instructions =
+                            stats.max_worker_instructions.max(max_instr);
+                        // The block barrier also drained any earlier applies.
+                        self.applies_in_flight = false;
                     }
-                    stats.max_worker_instructions = stats.max_worker_instructions.max(max_instr);
-                    // The block barrier also drained any earlier applies.
-                    self.applies_in_flight = false;
                 }
             }
         }
 
-        // A program ending in scatter/repart leaves Apply messages queued;
-        // drain them so the measured latency covers shard installation
-        // instead of leaking it into the next batch.
-        if self.applies_in_flight {
+        // A program ending in scatter/repart leaves Apply messages queued.
+        // The synchronous schedule drains them so the measured latency
+        // covers shard installation; the pipelined schedule leaves them in
+        // flight (FIFO order protects the next batch) and the watermark
+        // commit drains them before any read.
+        if !pipelined && self.applies_in_flight {
             for tx in &self.requests {
                 tx.send(Request::Barrier).expect("worker thread died");
             }
@@ -335,13 +696,25 @@ impl ThreadedCluster {
         stats.stages = program.stages;
         stats.jobs = program.jobs;
         stats.bytes_per_worker = stats.bytes_shuffled as f64 / self.workers as f64;
-        // Measured, not modelled: the batch's wall-clock time is its latency.
+        // Measured, not modelled.  Synchronous mode: the batch's end-to-end
+        // wall-clock.  Pipelined mode: the driver-side issue time only (the
+        // stream's end-to-end wall-clock is folded into the totals at
+        // `flush`).
         stats.wall_secs = wall_start.elapsed().as_secs_f64();
         stats.latency_secs = stats.wall_secs;
 
+        self.issued += 1;
+        if pipelined {
+            // Stream tuples were counted at admission; stream wall-clock is
+            // folded in at `flush`.
+            self.stats.batches_executed += 1;
+            self.stats.tuples_executed += stats.input_tuples;
+        } else {
+            self.watermark = self.issued;
+            self.totals.latency_secs += stats.latency_secs;
+            self.totals.tuples += stats.input_tuples;
+        }
         self.totals.batches += 1;
-        self.totals.tuples += stats.input_tuples;
-        self.totals.latency_secs += stats.latency_secs;
         self.totals.bytes_shuffled += stats.bytes_shuffled;
         self.totals.latencies.push(stats.latency_secs);
         stats
@@ -409,8 +782,40 @@ impl ThreadedCluster {
     }
 }
 
+impl Backend for ThreadedCluster {
+    fn backend_name(&self) -> &'static str {
+        if self.is_pipelined() {
+            "pipelined"
+        } else {
+            "threaded"
+        }
+    }
+
+    fn plan(&self) -> &DistributedPlan {
+        ThreadedCluster::plan(self)
+    }
+
+    fn apply_batch(&mut self, relation: &str, batch: &Relation) -> BatchExecution {
+        ThreadedCluster::apply_batch(self, relation, batch)
+    }
+
+    fn flush(&mut self) {
+        ThreadedCluster::flush(self);
+    }
+
+    fn view_contents(&mut self, name: &str) -> Relation {
+        ThreadedCluster::view_contents(self, name)
+    }
+
+    fn totals(&self) -> &ClusterTotals {
+        &self.totals
+    }
+}
+
 impl Drop for ThreadedCluster {
     fn drop(&mut self) {
+        // Dropping without a `flush` abandons queued batches; the workers
+        // only need their channels drained of commands.
         for tx in &self.requests {
             let _ = tx.send(Request::Shutdown);
         }
@@ -440,6 +845,12 @@ mod tests {
                 rel("T", ["CK", "D"]),
             ]),
         )
+    }
+
+    fn example_dplan(opt: OptLevel) -> DistributedPlan {
+        let plan = compile_recursive("Q", &example_query());
+        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
+        compile_distributed(&plan, &spec, opt)
     }
 
     fn batches() -> Vec<(&'static str, Relation)> {
@@ -477,11 +888,9 @@ mod tests {
 
     #[test]
     fn threaded_matches_simulator_at_every_opt_level() {
-        let plan = compile_recursive("Q", &example_query());
-        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
         for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3] {
             for workers in [1usize, 2, 5] {
-                let dplan = compile_distributed(&plan, &spec, opt);
+                let dplan = example_dplan(opt);
                 let mut sim = Cluster::new(dplan.clone(), ClusterConfig::with_workers(workers));
                 let mut real = ThreadedCluster::new(dplan, workers);
                 for (rel, batch) in batches() {
@@ -498,10 +907,216 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_matches_synchronous_everywhere() {
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            for workers in [1usize, 2, 5] {
+                let mut sync = ThreadedCluster::new(example_dplan(opt), workers);
+                let mut piped = ThreadedCluster::pipelined(
+                    example_dplan(opt),
+                    workers,
+                    PipelineConfig::default(),
+                );
+                for (rel, batch) in batches() {
+                    sync.apply_batch(rel, &batch);
+                    piped.apply_batch(rel, &batch);
+                }
+                piped.flush();
+                assert_eq!(
+                    piped.query_result().checksum(),
+                    sync.query_result().checksum(),
+                    "pipelined diverged at {opt:?} with {workers} workers"
+                );
+                let view_names: Vec<String> = sync
+                    .plan()
+                    .plan
+                    .views
+                    .iter()
+                    .map(|v| v.name.clone())
+                    .collect();
+                for v in view_names {
+                    assert_eq!(
+                        piped.view_contents(&v).checksum(),
+                        sync.view_contents(&v).checksum(),
+                        "view {v} diverged at {opt:?} with {workers} workers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coalescing_merges_consecutive_same_relation_batches() {
+        let mut piped = ThreadedCluster::pipelined(
+            example_dplan(OptLevel::O3),
+            2,
+            PipelineConfig {
+                coalesce_tuples: 1_000,
+                admit_capacity: 64,
+                inflight_blocks: 4,
+            },
+        );
+        // 16 single-tuple R batches then one S batch: the R's coalesce into
+        // one queued delta, so only two program executions trigger.
+        for i in 0..16i64 {
+            piped.apply_batch(
+                "R",
+                &Relation::from_pairs(Schema::new(["OK", "B"]), vec![(tuple![i, i % 5], 1.0)]),
+            );
+        }
+        piped.apply_batch(
+            "S",
+            &Relation::from_pairs(Schema::new(["B", "CK"]), vec![(tuple![0, 0], 1.0)]),
+        );
+        piped.flush();
+        assert_eq!(piped.stats.batches_admitted, 17);
+        assert_eq!(piped.stats.batches_coalesced, 15);
+        assert_eq!(piped.stats.batches_executed, 2);
+        assert_eq!(piped.stats.tuples_admitted, 17);
+        // Ring-summed delta carries all 16 R tuples in one trigger run.
+        assert_eq!(piped.stats.tuples_executed, 17);
+    }
+
+    #[test]
+    fn coalescing_ring_sum_cancels_opposing_deltas() {
+        let mut piped = ThreadedCluster::pipelined(
+            example_dplan(OptLevel::O3),
+            2,
+            PipelineConfig::with_coalesce(1_000),
+        );
+        piped.apply_batch(
+            "R",
+            &Relation::from_pairs(Schema::new(["OK", "B"]), vec![(tuple![7, 1], 1.0)]),
+        );
+        piped.apply_batch(
+            "R",
+            &Relation::from_pairs(Schema::new(["OK", "B"]), vec![(tuple![7, 1], -1.0)]),
+        );
+        piped.flush();
+        assert_eq!(piped.stats.batches_coalesced, 1);
+        // The insert and the delete annihilate before ever triggering.
+        assert_eq!(piped.stats.tuples_executed, 0);
+        assert!(piped.query_result().is_empty());
+    }
+
+    #[test]
+    fn watermark_exposes_consistent_prefix_without_flush() {
+        let config = PipelineConfig {
+            coalesce_tuples: 0, // keep every batch distinct
+            admit_capacity: 1,  // force eager execution
+            inflight_blocks: 2,
+        };
+        let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 3, config);
+        let mut sync = ThreadedCluster::new(example_dplan(OptLevel::O3), 3);
+        let all = batches();
+        for (rel, batch) in &all {
+            piped.apply_batch(rel, batch);
+            sync.apply_batch(rel, batch);
+        }
+        // Without a flush the read still observes a consistent batch
+        // boundary: `admit_capacity = 1` guarantees at least all but one
+        // batch has been issued.
+        assert!(piped.watermark() == 0); // not yet committed by any read
+        let partial = piped.query_result();
+        let committed = piped.watermark();
+        assert!(
+            committed >= (all.len() as u64 - 1),
+            "eager execution should have issued all but the queued tail"
+        );
+        // Re-running the same prefix synchronously reproduces the read.
+        let mut prefix = ThreadedCluster::new(example_dplan(OptLevel::O3), 3);
+        for (rel, batch) in all.iter().take(committed as usize) {
+            prefix.apply_batch(rel, batch);
+        }
+        assert_eq!(partial.checksum(), prefix.query_result().checksum());
+        piped.flush();
+        assert_eq!(piped.watermark(), all.len() as u64);
+        assert_eq!(
+            piped.query_result().checksum(),
+            sync.query_result().checksum()
+        );
+    }
+
+    #[test]
+    fn coalesced_reads_observe_commuted_prefix() {
+        // Coalescing merges a later same-relation batch into its queued
+        // delta, commuting it past other relations' queued batches; a
+        // pre-flush read must observe exactly that commuted boundary.
+        let config = PipelineConfig {
+            coalesce_tuples: 1_000,
+            admit_capacity: 2,
+            inflight_blocks: 2,
+        };
+        let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 3, config);
+        let all = batches(); // [R1, S1, T1, R2]
+        let (r1, s1, t1, r2) = (&all[0].1, &all[1].1, &all[2].1, &all[3].1);
+        piped.apply_batch("R", r1); // queue [R1]
+        piped.apply_batch("S", s1); // queue [R1, S1]
+        piped.apply_batch("R", r2); // merges into R1's entry, ahead of S1
+        piped.apply_batch("T", t1); // queue exceeds capacity -> issue R1⊕R2
+        assert_eq!(piped.stats.batches_coalesced, 1);
+        let read = piped.query_result();
+        assert_eq!(piped.watermark(), 1, "exactly the coalesced R delta issued");
+        // The committed boundary is the commuted prefix [R1 ⊕ R2]: both R
+        // batches visible (R2 admitted *after* S1), S1 and T1 not yet.
+        let mut reference = ThreadedCluster::new(example_dplan(OptLevel::O3), 3);
+        reference.apply_batch("R", &r1.union(r2));
+        assert_eq!(read.checksum(), reference.query_result().checksum());
+        let view_names: Vec<String> = reference
+            .plan()
+            .plan
+            .views
+            .iter()
+            .map(|v| v.name.clone())
+            .collect();
+        for v in &view_names {
+            assert_eq!(
+                piped.view_contents(v).checksum(),
+                reference.view_contents(v).checksum(),
+                "view {v} is not at the commuted boundary"
+            );
+        }
+        // After a flush the end state matches the admitted order exactly
+        // (integer multiplicities, so coalescing is bit-exact here).
+        piped.flush();
+        let mut full = ThreadedCluster::new(example_dplan(OptLevel::O3), 3);
+        for (rel, batch) in &all {
+            full.apply_batch(rel, batch);
+        }
+        for v in &view_names {
+            assert_eq!(
+                piped.view_contents(v).checksum(),
+                full.view_contents(v).checksum(),
+                "flushed view {v} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_inflight_window_still_correct() {
+        for inflight in [1usize, 2] {
+            let config = PipelineConfig {
+                coalesce_tuples: 64,
+                admit_capacity: 2,
+                inflight_blocks: inflight,
+            };
+            let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 4, config);
+            let mut sync = ThreadedCluster::new(example_dplan(OptLevel::O3), 4);
+            for (rel, batch) in batches() {
+                piped.apply_batch(rel, &batch);
+                sync.apply_batch(rel, &batch);
+            }
+            piped.flush();
+            assert_eq!(
+                piped.query_result().checksum(),
+                sync.query_result().checksum(),
+                "inflight window {inflight} diverged"
+            );
+        }
+    }
+
+    #[test]
     fn measured_stats_are_populated() {
-        let plan = compile_recursive("Q", &example_query());
-        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
-        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let dplan = example_dplan(OptLevel::O3);
         let mut cluster = ThreadedCluster::new(dplan, 3);
         let mut stages = 0;
         for (rel, batch) in batches() {
@@ -517,10 +1132,28 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_totals_report_stream_throughput() {
+        let mut piped =
+            ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 2, PipelineConfig::default());
+        for (rel, batch) in batches() {
+            piped.apply_batch(rel, &batch);
+        }
+        piped.flush();
+        assert!(piped.totals.latency_secs > 0.0);
+        assert!(piped.totals.throughput() > 0.0);
+        assert_eq!(
+            piped.totals.tuples,
+            batches().iter().map(|(_, b)| b.len()).sum::<usize>()
+        );
+        // Flushing twice must not double-count stream time.
+        let t = piped.totals.latency_secs;
+        piped.flush();
+        assert_eq!(piped.totals.latency_secs, t);
+    }
+
+    #[test]
     fn intermediate_view_contents_match_simulator() {
-        let plan = compile_recursive("Q", &example_query());
-        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
-        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let dplan = example_dplan(OptLevel::O3);
         let view_names: Vec<String> = dplan.plan.views.iter().map(|v| v.name.clone()).collect();
         let mut sim = Cluster::new(dplan.clone(), ClusterConfig::with_workers(4));
         let mut real = ThreadedCluster::new(dplan, 4);
@@ -539,9 +1172,7 @@ mod tests {
 
     #[test]
     fn unknown_relation_batches_are_ignored() {
-        let plan = compile_recursive("Q", &example_query());
-        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
-        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let dplan = example_dplan(OptLevel::O3);
         let mut cluster = ThreadedCluster::new(dplan, 2);
         let stats = cluster.apply_batch(
             "UNRELATED",
@@ -553,13 +1184,19 @@ mod tests {
 
     #[test]
     fn workers_shut_down_cleanly_on_drop() {
-        let plan = compile_recursive("Q", &example_query());
-        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
-        let dplan = compile_distributed(&plan, &spec, OptLevel::O3);
+        let dplan = example_dplan(OptLevel::O3);
         let mut cluster = ThreadedCluster::new(dplan, 8);
         for (rel, batch) in batches() {
             cluster.apply_batch(rel, &batch);
         }
         drop(cluster); // must not hang or panic
+
+        // Pipelined clusters with work still in flight must also shut down.
+        let mut piped =
+            ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 4, PipelineConfig::default());
+        for (rel, batch) in batches() {
+            piped.apply_batch(rel, &batch);
+        }
+        drop(piped); // queued + in-flight work abandoned, no hang
     }
 }

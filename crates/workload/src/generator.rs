@@ -5,17 +5,20 @@
 
 use crate::schema::{TableDef, TPCDS_TABLES, TPCH_TABLES};
 use hotdog_algebra::relation::Relation;
+use hotdog_algebra::ring::Mult;
 use hotdog_algebra::tuple::Tuple;
 use hotdog_algebra::value::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
-/// One insertion event of the update stream.
+/// One update event of the stream: a tuple with a multiplicity delta
+/// (`+1.0` insertion, `-1.0` deletion).
 #[derive(Clone, Debug)]
 pub struct StreamEvent {
     pub relation: &'static str,
     pub tuple: Tuple,
+    pub mult: Mult,
 }
 
 /// A finite stream of insertions, pre-interleaved across base relations.
@@ -50,10 +53,10 @@ impl UpdateStream {
             let mut per_rel: Vec<(&'static str, Relation)> = Vec::new();
             for ev in chunk {
                 match per_rel.iter_mut().find(|(r, _)| *r == ev.relation) {
-                    Some((_, rel)) => rel.add(ev.tuple.clone(), 1.0),
+                    Some((_, rel)) => rel.add(ev.tuple.clone(), ev.mult),
                     None => {
                         let mut rel = Relation::new(self.schemas[ev.relation].clone());
-                        rel.add(ev.tuple.clone(), 1.0);
+                        rel.add(ev.tuple.clone(), ev.mult);
                         per_rel.push((ev.relation, rel));
                     }
                 }
@@ -70,9 +73,47 @@ impl UpdateStream {
         for ev in &self.events {
             acc.entry(ev.relation)
                 .or_insert_with(|| Relation::new(self.schemas[ev.relation].clone()))
-                .add(ev.tuple.clone(), 1.0);
+                .add(ev.tuple.clone(), ev.mult);
         }
         acc
+    }
+
+    /// Turn an insert-only stream into a mixed insert/delete stream:
+    /// approximately `fraction` of the events are followed (at a random
+    /// later position) by a deletion of the inserted tuple.  Each inserted
+    /// tuple is deleted at most once, and a deletion is always placed
+    /// *after* its insertion, so relations never go net-negative.  The
+    /// result is seeded and deterministic.
+    pub fn with_deletions(mut self, seed: u64, fraction: f64) -> UpdateStream {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDE1E7E);
+        let n = self.events.len();
+        let mut out: Vec<StreamEvent> = Vec::with_capacity(n * 2);
+        // For every insertion position, decide up front whether (and how far
+        // after its insertion) it is deleted; deletions due at position i
+        // are emitted right after the i-th surviving original event.
+        let mut due: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            if rng.gen_range(0.0..1.0) < fraction {
+                let at = rng.gen_range(i..n);
+                due.entry(at).or_default().push(i);
+            }
+        }
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push(ev.clone());
+            if let Some(victims) = due.get(&i) {
+                for &v in victims {
+                    let insert = &self.events[v];
+                    out.push(StreamEvent {
+                        relation: insert.relation,
+                        tuple: insert.tuple.clone(),
+                        mult: -insert.mult,
+                    });
+                }
+            }
+        }
+        self.events = out;
+        self
     }
 }
 
@@ -104,6 +145,7 @@ fn interleave(tables: Vec<(&'static TableDef, Vec<Tuple>)>) -> UpdateStream {
         events.push(StreamEvent {
             relation: tables[i].0.name,
             tuple: tables[i].1[cursors[i]].clone(),
+            mult: 1.0,
         });
         cursors[i] += 1;
     }
@@ -378,6 +420,33 @@ mod tests {
         let total: usize = acc.values().map(|r| r.len()).sum();
         assert!(total <= s.len());
         assert!(total as f64 >= s.len() as f64 * 0.95);
+    }
+
+    #[test]
+    fn with_deletions_mixes_and_nets_out() {
+        let base = generate_tpch(9, 2_000);
+        let base_len = base.len();
+        let mixed = base.with_deletions(9, 0.3);
+        let deletions = mixed.events.iter().filter(|e| e.mult < 0.0).count();
+        assert!(mixed.len() > base_len, "deletions must add events");
+        assert_eq!(mixed.len(), base_len + deletions);
+        // Roughly the requested fraction of insertions get deleted.
+        let frac = deletions as f64 / base_len as f64;
+        assert!((0.2..0.4).contains(&frac), "fraction = {frac}");
+        // Every deletion cancels an insertion: the accumulated state is the
+        // base state minus the deleted tuples, and nothing goes negative.
+        for rel in mixed.accumulate().values() {
+            for (_, m) in rel.iter() {
+                assert!(m > 0.0, "net-negative multiplicity in mixed stream");
+            }
+        }
+        // Determinism.
+        let again = generate_tpch(9, 2_000).with_deletions(9, 0.3);
+        assert_eq!(again.len(), mixed.len());
+        assert_eq!(
+            again.events[again.len() - 1].tuple,
+            mixed.events[mixed.len() - 1].tuple
+        );
     }
 
     #[test]

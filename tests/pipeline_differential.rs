@@ -1,0 +1,234 @@
+//! Randomized differential-test oracle for the execution backends.
+//!
+//! Every backend must maintain identical view state over arbitrary update
+//! streams:
+//!
+//! * **simulated** — the single-threaded `Cluster` with the modelled cost
+//!   model;
+//! * **synchronous-threaded** — `ThreadedCluster::new`, epoch barriers
+//!   after every distributed block;
+//! * **pipelined** — `ThreadedCluster::pipelined`, admission queue, delta
+//!   coalescing and a bounded in-flight window;
+//! * **full recomputation** — from-scratch evaluation of the query over the
+//!   accumulated base relations (the ground truth).
+//!
+//! Backends that execute the *same trigger sequence* perform identical
+//! per-node statement sequences over deterministically-hashed containers,
+//! so they are compared **bit-for-bit** via sorted-order [`ViewChecksum`]s
+//! — on floating-point workloads too: simulated, synchronous-threaded and
+//! the pipelined path with coalescing disabled.  Coalescing deliberately
+//! *changes* the trigger sequence (k small deltas become one ring-summed
+//! delta — exact in real arithmetic, but a different float-addition
+//! association), so the coalescing run and the recomputation reference are
+//! held to tight relative tolerances instead.
+//!
+//! Streams mix insertions and deletions, batch sizes span 1–512, and the
+//! randomized property rotates through the full TPC-H/TPC-DS catalog, all
+//! optimization levels and the `{1, 2, 4}` worker axis (restrict with
+//! `HOTDOG_WORKERS=n`, as the CI matrix does).  Failures are shrunk by the
+//! proptest shim to a minimal (query, seed, batch size, deletion fraction)
+//! tuple.
+
+use hotdog::prelude::*;
+use proptest::prelude::*;
+
+/// Worker counts under test: `HOTDOG_WORKERS=n` pins one (CI matrix),
+/// otherwise the full `{1, 2, 4}` axis is rotated through.
+fn workers_under_test() -> Vec<usize> {
+    match std::env::var("HOTDOG_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(w) => vec![w.max(1)],
+        None => vec![1, 2, 4],
+    }
+}
+
+const OPT_LEVELS: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+
+/// A seeded mixed insert/delete stream matching the query's workload family.
+fn mixed_stream(q: &CatalogQuery, tuples: usize, seed: u64, delete_fraction: f64) -> UpdateStream {
+    let base = match q.workload {
+        hotdog::workload::Workload::TpcH => generate_tpch(seed, tuples),
+        hotdog::workload::Workload::TpcDs => generate_tpcds(seed, tuples),
+    };
+    base.with_deletions(seed, delete_fraction)
+}
+
+/// Ground truth: evaluate the query from scratch over the accumulated
+/// stream.
+fn recompute_reference(q: &CatalogQuery, stream: &UpdateStream) -> Relation {
+    let mut catalog = MapCatalog::new();
+    for (name, rel) in stream.accumulate() {
+        catalog.insert(name, RelKind::Base, rel);
+    }
+    evaluate(&q.expr, &catalog)
+}
+
+fn compile_for(q: &CatalogQuery, opt: OptLevel) -> DistributedPlan {
+    let plan = compile_recursive(q.id, &q.expr);
+    let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
+    compile_distributed(&plan, &spec, opt)
+}
+
+/// Stream a pre-batched workload through a backend and return the final
+/// query result (generic over every execution backend).
+fn run_backend<B: Backend>(mut backend: B, batches: &[Vec<(&'static str, Relation)>]) -> Relation {
+    backend.apply_stream(batches);
+    backend.query_result()
+}
+
+/// Run every maintenance backend over the same stream and check:
+///
+/// * simulated ≈ full recomputation (different evaluation path, `1e-3`
+///   relative);
+/// * synchronous-threaded == simulated, **bit-for-bit**;
+/// * pipelined (coalescing disabled) == simulated, **bit-for-bit** — the
+///   admission queue, in-flight window and watermarks are transparent;
+/// * pipelined with coalescing ≈ simulated (`1e-9` relative) — ring-sum
+///   coalescing is exact in real arithmetic but associates float additions
+///   differently.
+///
+/// Returns an error message for the proptest shrinker instead of
+/// panicking.
+fn differential_check(
+    q: &CatalogQuery,
+    stream: &UpdateStream,
+    batch_size: usize,
+    workers: usize,
+    opt: OptLevel,
+    pipeline: PipelineConfig,
+) -> Result<(), String> {
+    let batches = stream.batches(batch_size);
+    let reference = recompute_reference(q, stream);
+
+    let sim = run_backend(
+        Cluster::new(compile_for(q, opt), ClusterConfig::with_workers(workers)),
+        &batches,
+    );
+    let sync = run_backend(ThreadedCluster::new(compile_for(q, opt), workers), &batches);
+    let no_coalesce = PipelineConfig {
+        coalesce_tuples: 0,
+        ..pipeline.clone()
+    };
+    let piped = run_backend(
+        ThreadedCluster::pipelined(compile_for(q, opt), workers, no_coalesce),
+        &batches,
+    );
+    let coalesced = run_backend(
+        ThreadedCluster::pipelined(compile_for(q, opt), workers, pipeline),
+        &batches,
+    );
+
+    if !sim.approx_eq_eps(&reference, 1e-3) {
+        return Err(format!(
+            "{} {opt:?} x{workers} b{batch_size}: simulated diverged from recomputation\nref {reference:?}\nsim {sim:?}",
+            q.id
+        ));
+    }
+    let (cs_sim, cs_sync, cs_piped) = (sim.checksum(), sync.checksum(), piped.checksum());
+    if cs_sync != cs_sim {
+        return Err(format!(
+            "{} {opt:?} x{workers} b{batch_size}: threaded != simulated bit-for-bit ({cs_sync} vs {cs_sim})",
+            q.id
+        ));
+    }
+    if cs_piped != cs_sim {
+        return Err(format!(
+            "{} {opt:?} x{workers} b{batch_size}: pipelined != simulated bit-for-bit ({cs_piped} vs {cs_sim})",
+            q.id
+        ));
+    }
+    if !coalesced.approx_eq_eps(&sim, 1e-9) {
+        return Err(format!(
+            "{} {opt:?} x{workers} b{batch_size}: coalesced pipeline diverged beyond float tolerance\nsim {sim:?}\ncoalesced {coalesced:?}",
+            q.id
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random streams, batch sizes 1–512, random catalog query, rotating
+    /// opt level / worker count / coalescing threshold.
+    #[test]
+    fn random_streams_agree_across_backends(
+        seed in 1usize..10_000,
+        query_idx in 0usize..1_000,
+        batch_size in 1usize..513,
+        knobs in (0usize..4, 0usize..1_000, 1usize..4_096),
+    ) {
+        let (opt_idx, worker_idx, coalesce) = knobs;
+        let catalog = all_queries();
+        let q = &catalog[query_idx % catalog.len()];
+        let workers_list = workers_under_test();
+        let workers = workers_list[worker_idx % workers_list.len()];
+        let opt = OPT_LEVELS[opt_idx];
+        let delete_fraction = (seed % 5) as f64 / 10.0; // 0.0 .. 0.4
+        let stream = mixed_stream(q, 170, seed as u64, delete_fraction);
+        let pipeline = PipelineConfig::with_coalesce(coalesce);
+        differential_check(q, &stream, batch_size, workers, opt, pipeline)?;
+    }
+}
+
+/// Deterministic sweep: every TPC-H and TPC-DS catalog query, rotating
+/// through the worker axis and all optimization levels.
+#[test]
+fn full_catalog_four_way_differential() {
+    let workers_list = workers_under_test();
+    for (i, q) in all_queries().iter().enumerate() {
+        let workers = workers_list[i % workers_list.len()];
+        let opt = OPT_LEVELS[i % OPT_LEVELS.len()];
+        let stream = mixed_stream(q, 240, 0xD1FF + i as u64, 0.25);
+        differential_check(q, &stream, 48, workers, opt, PipelineConfig::default())
+            .unwrap_or_else(|msg| panic!("{msg}"));
+    }
+}
+
+/// Batch-size extremes: single-tuple batches (maximal pipelining pressure)
+/// and one giant batch (degenerate stream) must both agree.
+#[test]
+fn batch_size_extremes_agree() {
+    let workers = *workers_under_test().first().unwrap();
+    for id in ["Q3", "Q6", "DS42"] {
+        let q = query(id).unwrap();
+        let stream = mixed_stream(&q, 150, 0xBA7C4, 0.3);
+        for batch_size in [1usize, 512] {
+            differential_check(
+                &q,
+                &stream,
+                batch_size,
+                workers,
+                OptLevel::O3,
+                PipelineConfig::default(),
+            )
+            .unwrap_or_else(|msg| panic!("{msg}"));
+        }
+    }
+}
+
+/// An aggressive pipeline configuration (tiny admission queue, tiny
+/// in-flight window, huge coalescing threshold) must not change results.
+#[test]
+fn aggressive_pipeline_configs_agree() {
+    let workers = *workers_under_test().last().unwrap();
+    let q = query("Q17").unwrap();
+    let stream = mixed_stream(&q, 200, 0xA66, 0.2);
+    for config in [
+        PipelineConfig {
+            coalesce_tuples: 100_000,
+            admit_capacity: 1,
+            inflight_blocks: 1,
+        },
+        PipelineConfig {
+            coalesce_tuples: 0,
+            admit_capacity: 64,
+            inflight_blocks: 16,
+        },
+    ] {
+        differential_check(&q, &stream, 7, workers, OptLevel::O2, config)
+            .unwrap_or_else(|msg| panic!("{msg}"));
+    }
+}

@@ -5,11 +5,14 @@
 //! strategy/workload matrix as `strategy_equivalence.rs`, for 1, 2 and 4
 //! workers.
 //!
-//! On integer-multiplicity workloads the match is exact (bit-for-bit).  On
-//! the floating-point TPC catalogs the comparison allows 1e-9 relative
-//! error: relations are hash-map backed with per-instance iteration order,
-//! so float accumulation order — and thus the final ulp — is not
-//! deterministic even between two runs of the *same* backend.
+//! The match is asserted **bit-for-bit, on the floating-point TPC catalogs
+//! too**, via sorted-order [`ViewChecksum`]s: every container on the data
+//! path hashes with a fixed seed (`hotdog_algebra::hash`), so iteration
+//! order — and therefore float accumulation order — is a deterministic
+//! function of the insertion history, which is identical across backends by
+//! construction.  The checksum folds (tuple, multiplicity-bits) pairs in
+//! sorted key order, so the comparison itself is independent of map
+//! layout.
 
 use hotdog::prelude::*;
 
@@ -55,8 +58,8 @@ fn check_catalog(queries: Vec<CatalogQuery>, tuples: usize) {
             let sim = run_simulated(compile_for(&q, OptLevel::O3), &stream, workers);
             let real = run_threaded(compile_for(&q, OptLevel::O3), &stream, workers);
             assert!(
-                real.approx_eq_eps(&sim, 1e-9),
-                "{} x{workers}: threaded diverged from simulator\nsim {sim:?}\nreal {real:?}",
+                real.checksum() == sim.checksum(),
+                "{} x{workers}: threaded diverged from simulator (bit-for-bit)\nsim {sim:?}\nreal {real:?}",
                 q.id
             );
         }
@@ -83,8 +86,8 @@ fn threaded_equals_simulated_at_every_opt_level() {
                 let sim = run_simulated(compile_for(&q, opt), &stream, workers);
                 let real = run_threaded(compile_for(&q, opt), &stream, workers);
                 assert!(
-                    real.approx_eq_eps(&sim, 1e-9),
-                    "{id} {opt:?} x{workers}: threaded diverged from simulator"
+                    real.checksum() == sim.checksum(),
+                    "{id} {opt:?} x{workers}: threaded diverged from simulator (bit-for-bit)"
                 );
             }
         }

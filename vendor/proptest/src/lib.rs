@@ -4,8 +4,12 @@
 //! implements the subset of proptest used by the workspace tests: the
 //! [`strategy::Strategy`] trait over a seeded RNG, `Just`, ranges, tuples,
 //! `prop::collection::vec`, `prop_oneof!`, and the `proptest!` /
-//! `prop_assert!` macros.  Cases are generated deterministically; there is
-//! no shrinking — a failing case reports its inputs via `Debug` instead.
+//! `prop_assert!` macros.  Cases are generated deterministically, and
+//! failing cases are **shrunk**: [`strategy::Strategy::shrink`] proposes
+//! structurally smaller candidates (shorter vectors, values closer to range
+//! lower bounds, component-wise tuple shrinks), and the runner greedily
+//! re-runs candidates that still fail until no candidate fails (or the
+//! shrink budget runs out), then reports the *minimal* failing input.
 
 #![forbid(unsafe_code)]
 
@@ -18,17 +22,28 @@ pub mod strategy {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Generates random values of an associated type from a seeded RNG.
+    /// Generates random values of an associated type from a seeded RNG, and
+    /// proposes smaller variants of a failing value for shrinking.
     pub trait Strategy {
-        type Value;
+        type Value: Clone + std::fmt::Debug;
+
         fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Candidate simplifications of `value`, most aggressive first.
+        /// Candidates need not be reachable by `generate`; they only guide
+        /// the search for a minimal failing input.  The default is no
+        /// shrinking.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
     /// Always produces a clone of the given value.
     #[derive(Clone, Debug)]
-    pub struct Just<T: Clone>(pub T);
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
 
-    impl<T: Clone> Strategy for Just<T> {
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
         type Value = T;
         fn generate(&self, _rng: &mut StdRng) -> T {
             self.0.clone()
@@ -40,12 +55,44 @@ pub mod strategy {
         fn generate(&self, rng: &mut StdRng) -> i64 {
             rng.gen_range(self.clone())
         }
+        fn shrink(&self, value: &i64) -> Vec<i64> {
+            let lo = self.start;
+            let v = *value;
+            let mut out = Vec::new();
+            if v > lo {
+                out.push(lo);
+                let mid = lo + (v - lo) / 2;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+                if v - 1 != lo && v - 1 != mid {
+                    out.push(v - 1);
+                }
+            }
+            out
+        }
     }
 
     impl Strategy for Range<usize> {
         type Value = usize;
         fn generate(&self, rng: &mut StdRng) -> usize {
             rng.gen_range(self.clone())
+        }
+        fn shrink(&self, value: &usize) -> Vec<usize> {
+            let lo = self.start;
+            let v = *value;
+            let mut out = Vec::new();
+            if v > lo {
+                out.push(lo);
+                let mid = lo + (v - lo) / 2;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+                if v - 1 != lo && v - 1 != mid {
+                    out.push(v - 1);
+                }
+            }
+            out
         }
     }
 
@@ -54,37 +101,47 @@ pub mod strategy {
         fn generate(&self, rng: &mut StdRng) -> f64 {
             rng.gen_range(self.clone())
         }
-    }
-
-    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-        type Value = (A::Value, B::Value);
-        fn generate(&self, rng: &mut StdRng) -> Self::Value {
-            (self.0.generate(rng), self.1.generate(rng))
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            let lo = self.start;
+            let v = *value;
+            let mut out = Vec::new();
+            if v > lo {
+                out.push(lo);
+                let mid = lo + (v - lo) / 2.0;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+            }
+            out
         }
     }
 
-    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-        type Value = (A::Value, B::Value, C::Value);
-        fn generate(&self, rng: &mut StdRng) -> Self::Value {
-            (
-                self.0.generate(rng),
-                self.1.generate(rng),
-                self.2.generate(rng),
-            )
-        }
+    macro_rules! tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
+            }
+        };
     }
 
-    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
-        type Value = (A::Value, B::Value, C::Value, D::Value);
-        fn generate(&self, rng: &mut StdRng) -> Self::Value {
-            (
-                self.0.generate(rng),
-                self.1.generate(rng),
-                self.2.generate(rng),
-                self.3.generate(rng),
-            )
-        }
-    }
+    tuple_strategy!(A: 0);
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 
     /// Uniform choice between same-typed strategies (`prop_oneof!`).
     pub struct OneOf<S: Strategy>(pub Vec<S>);
@@ -95,6 +152,12 @@ pub mod strategy {
             assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
             let i = rng.gen_range(0..self.0.len());
             self.0[i].generate(rng)
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            // Union of every arm's candidates: each arm respects its own
+            // domain, and the runner validates candidates by re-running the
+            // property anyway.
+            self.0.iter().flat_map(|arm| arm.shrink(value)).collect()
         }
     }
 
@@ -121,11 +184,48 @@ pub mod strategy {
         pub size: SizeRange,
     }
 
+    /// How many leading positions element-wise vector shrinking considers
+    /// (bounds the candidate fan-out on long vectors).
+    const VEC_SHRINK_POSITIONS: usize = 8;
+
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut StdRng) -> Self::Value {
             let n = rng.gen_range(self.size.0.clone());
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let min = self.size.0.start;
+            let mut out = Vec::new();
+            if value.len() > min {
+                // Most aggressive first: the shortest allowed prefix, then
+                // the front half, then dropping single elements.
+                out.push(value[..min].to_vec());
+                let half = (value.len() / 2).max(min);
+                if half < value.len() && half > min {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..value.len().min(VEC_SHRINK_POSITIONS) {
+                    let mut w = value.clone();
+                    w.remove(i);
+                    if w.len() >= min {
+                        out.push(w);
+                    }
+                }
+                if value.len() > VEC_SHRINK_POSITIONS {
+                    let mut w = value.clone();
+                    w.pop();
+                    out.push(w);
+                }
+            }
+            for i in 0..value.len().min(VEC_SHRINK_POSITIONS) {
+                for cand in self.element.shrink(&value[i]) {
+                    let mut w = value.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 }
@@ -156,6 +256,57 @@ impl ProptestConfig {
 impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig { cases: 32 }
+    }
+}
+
+/// Upper bound on property re-executions spent minimizing one failure.
+const SHRINK_BUDGET: usize = 1024;
+
+/// Greedily minimize a failing input: try the strategy's shrink candidates
+/// in order, restart from the first candidate that still fails, stop when
+/// no candidate fails (a local minimum) or the budget is exhausted.
+/// Returns the minimal input, its failure message and the number of
+/// successful shrink steps taken.
+pub fn shrink_failure<S: strategy::Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut message: String,
+    run: &mut dyn FnMut(S::Value) -> Result<(), String>,
+) -> (S::Value, String, usize) {
+    let mut steps = 0usize;
+    let mut budget = SHRINK_BUDGET;
+    loop {
+        let mut improved = false;
+        for cand in strategy.shrink(&value) {
+            if budget == 0 {
+                return (value, message, steps);
+            }
+            budget -= 1;
+            if let Err(msg) = run(cand.clone()) {
+                value = cand;
+                message = msg;
+                steps += 1;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (value, message, steps);
+        }
+    }
+}
+
+/// Generate one case, run it, and on failure return the shrunk minimal
+/// input with its failure message and shrink-step count.
+pub fn run_case<S: strategy::Strategy>(
+    strategy: &S,
+    rng: &mut rand::rngs::StdRng,
+    run: &mut dyn FnMut(S::Value) -> Result<(), String>,
+) -> Result<(), (S::Value, String, usize)> {
+    let value = strategy.generate(rng);
+    match run(value.clone()) {
+        Ok(()) => Ok(()),
+        Err(message) => Err(shrink_failure(strategy, value, message, run)),
     }
 }
 
@@ -198,8 +349,10 @@ macro_rules! prop_assert_eq {
     }};
 }
 
-/// Deterministic case runner: each `#[test] fn name(x in strategy, ...)`
-/// becomes a plain test running `cases` generated inputs (no shrinking).
+/// Deterministic case runner with shrinking: each
+/// `#[test] fn name(x in strategy, ...)` becomes a plain test running
+/// `cases` generated inputs; a failing case is minimized via
+/// [`shrink_failure`] before being reported.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -237,20 +390,19 @@ macro_rules! proptest {
                     h
                 };
                 let mut rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(seed);
+                // One combined strategy over the parameter tuple, so
+                // shrinking can minimize every parameter.
+                let strategy = ($($strat,)+);
                 for case in 0..config.cases {
-                    $(
-                        let $parm = $crate::strategy::Strategy::generate(&($strat), &mut rng);
-                    )+
-                    // Render inputs up front: the body may consume them, and
-                    // there is no shrinking to replay a failing case.
-                    let inputs = format!("{:?}", ($(&$parm),+));
-                    let outcome = (|| -> ::std::result::Result<(), ::std::string::String> {
+                    let outcome = $crate::run_case(&strategy, &mut rng, &mut |value| {
+                        let ($($parm,)+) = value;
                         $body
                         ::std::result::Result::Ok(())
-                    })();
-                    if let ::std::result::Result::Err(msg) = outcome {
+                    });
+                    if let ::std::result::Result::Err((minimal, msg, steps)) = outcome {
                         panic!(
-                            "proptest case {case} of {} failed: {msg}\ninputs: {inputs}",
+                            "proptest case {case} of {} failed: {msg}\n\
+                             minimal failing input ({steps} shrink steps): {minimal:#?}",
                             stringify!($name),
                         );
                     }
@@ -258,4 +410,85 @@ macro_rules! proptest {
             }
         )*
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shrinking_minimizes_a_failing_vector() {
+        // Property: every element < 5.  Failing inputs should shrink to a
+        // single offending element at the range's low failing value.
+        let strategy = (collection::vec(0i64..10, 0..20),);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut failures = 0;
+        for _ in 0..32 {
+            if let Err((minimal, _msg, steps)) = crate::run_case(&strategy, &mut rng, &mut |(v,)| {
+                if v.iter().any(|&x| x >= 5) {
+                    Err(format!("element >= 5 in {v:?}"))
+                } else {
+                    Ok(())
+                }
+            }) {
+                failures += 1;
+                assert_eq!(
+                    minimal.0.len(),
+                    1,
+                    "should shrink to one element: {minimal:?}"
+                );
+                assert_eq!(minimal.0[0], 5, "should shrink to smallest failing value");
+                let _ = steps; // zero when the generated case was already minimal
+            }
+        }
+        assert!(
+            failures > 0,
+            "the property should fail for some generated case"
+        );
+    }
+
+    #[test]
+    fn shrinking_minimizes_range_values() {
+        let strategy = (0i64..1000,);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut seen_failure = false;
+        for _ in 0..16 {
+            if let Err((minimal, _, _)) = crate::run_case(&strategy, &mut rng, &mut |(x,)| {
+                if x >= 100 {
+                    Err("too big".into())
+                } else {
+                    Ok(())
+                }
+            }) {
+                seen_failure = true;
+                assert_eq!(minimal.0, 100, "greedy shrink should reach the boundary");
+            }
+        }
+        assert!(seen_failure);
+    }
+
+    #[test]
+    fn passing_properties_do_not_shrink() {
+        let strategy = (0i64..10, 0i64..10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..8 {
+            assert!(crate::run_case(&strategy, &mut rng, &mut |(_, _)| Ok(())).is_ok());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro still runs multi-parameter properties end to end.
+        fn macro_round_trips(a in 0i64..5, v in collection::vec(0i64..5, 1..4)) {
+            prop_assert!(a < 5);
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn macro_generated_test_runs() {
+        macro_round_trips();
+    }
 }
