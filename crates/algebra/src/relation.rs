@@ -23,6 +23,12 @@ use std::fmt;
 pub struct Relation {
     schema: Schema,
     data: DetMap<Tuple, Mult>,
+    /// Incrementally maintained serialized footprint (see
+    /// [`Relation::serialized_size`]): the sum of every resident tuple's
+    /// serialized size plus its 8-byte multiplicity.  Kept in lock-step by
+    /// [`Relation::add`] so size queries are O(1) — the pipelined runtime
+    /// reads it on every admission for byte-bounded backpressure.
+    bytes: usize,
 }
 
 impl Relation {
@@ -31,6 +37,7 @@ impl Relation {
         Relation {
             schema,
             data: DetMap::default(),
+            bytes: 0,
         }
     }
 
@@ -74,16 +81,19 @@ impl Relation {
         if mult == 0.0 {
             return;
         }
+        let tuple_bytes = tuple.serialized_size() + 8;
         use std::collections::hash_map::Entry;
         match self.data.entry(tuple) {
             Entry::Occupied(mut e) => {
                 *e.get_mut() += mult;
                 if e.get().abs() < MULT_EPSILON {
                     e.remove();
+                    self.bytes -= tuple_bytes;
                 }
             }
             Entry::Vacant(v) => {
                 v.insert(mult);
+                self.bytes += tuple_bytes;
             }
         }
     }
@@ -107,6 +117,7 @@ impl Relation {
         Relation {
             schema: self.schema.clone(),
             data: self.data.iter().map(|(t, m)| (t.clone(), -m)).collect(),
+            bytes: self.bytes,
         }
     }
 
@@ -147,9 +158,12 @@ impl Relation {
     }
 
     /// Total serialized size in bytes (tuples + 8-byte multiplicities); used
-    /// for shuffle accounting in the distributed runtime.
+    /// for shuffle accounting in the distributed runtime and for the
+    /// pipelined runtime's byte-bounded admission queue.  Maintained
+    /// incrementally by [`Relation::add`], so this is O(1) — cheap enough to
+    /// read on every admission.
     pub fn serialized_size(&self) -> usize {
-        self.data.keys().map(|t| t.serialized_size() + 8).sum()
+        self.bytes
     }
 
     /// Order-canonical, bit-exact digest of the relation's contents.
@@ -357,5 +371,38 @@ mod tests {
     fn serialized_size_counts_bytes() {
         let r = Relation::from_pairs(Schema::new(["a"]), vec![(tuple![1i64], 1.0)]);
         assert_eq!(r.serialized_size(), 8 + 2 + 8);
+    }
+
+    #[test]
+    fn serialized_size_tracks_mutation_incrementally() {
+        // The O(1) counter must agree with a full recount through inserts,
+        // multiplicity updates, cancellation and merges.
+        let recount = |r: &Relation| -> usize {
+            r.iter()
+                .map(|(t, _)| t.serialized_size() + 8)
+                .sum::<usize>()
+        };
+        let mut r = Relation::new(Schema::new(["a", "b"]));
+        assert_eq!(r.serialized_size(), 0);
+        r.add(tuple![1, 2], 1.0);
+        r.add(tuple![3, 4], 2.0);
+        assert_eq!(r.serialized_size(), recount(&r));
+        // Multiplicity update on a resident tuple: size unchanged.
+        let before = r.serialized_size();
+        r.add(tuple![1, 2], 5.0);
+        assert_eq!(r.serialized_size(), before);
+        // Cancellation removes the entry and its bytes.
+        r.add(tuple![3, 4], -2.0);
+        assert_eq!(r.serialized_size(), recount(&r));
+        // merge / union / negate preserve the invariant.
+        let other = Relation::from_pairs(
+            Schema::new(["a", "b"]),
+            vec![(tuple![1, 2], -6.0), (tuple![9, 9], 1.0)],
+        );
+        r.merge(&other);
+        assert_eq!(r.serialized_size(), recount(&r));
+        assert_eq!(r.negate().serialized_size(), r.serialized_size());
+        let u = r.union(&other);
+        assert_eq!(u.serialized_size(), recount(&u));
     }
 }

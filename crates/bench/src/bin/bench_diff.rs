@@ -1,0 +1,136 @@
+//! Bench-trend regression gate over two `BENCH_runtime.json` artifacts.
+//!
+//! ```text
+//! bench_diff <baseline.json> <candidate.json> \
+//!     [--tolerance=0.25] [--throughput-tolerance=0.5]
+//! ```
+//!
+//! Compares the tracked metrics (pipeline_stream speedups, adaptive_stream
+//! adaptive-vs-best-static ratios, fig9/fig10 throughput) and exits
+//! non-zero when any regresses beyond its tolerance — see
+//! [`hotdog_bench::diff`] for which metrics are gated tightly vs. loosely.
+//! Exit codes: 0 = pass, 1 = regression, 2 = usage / unreadable artifact.
+
+use hotdog_bench::diff::{diff_artifacts, Tolerances};
+use hotdog_bench::json::JsonValue;
+use hotdog_bench::{f, print_table};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    JsonValue::parse(&text).ok_or_else(|| format!("{path} is not valid JSON"))
+}
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    let mut tolerances = Tolerances::default();
+    // A NaN tolerance would make every `drop > tolerance` comparison false
+    // and silently disarm the gate; only finite non-negative values count.
+    let parse_tolerance = |v: &str| v.parse::<f64>().ok().filter(|t| t.is_finite() && *t >= 0.0);
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--tolerance=") {
+            match parse_tolerance(v) {
+                Some(t) => tolerances.ratio = t,
+                None => {
+                    eprintln!("bad --tolerance value {v:?} (finite fraction >= 0 required)");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--throughput-tolerance=") {
+            match parse_tolerance(v) {
+                Some(t) => tolerances.throughput = t,
+                None => {
+                    eprintln!(
+                        "bad --throughput-tolerance value {v:?} (finite fraction >= 0 required)"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag {arg}");
+            return ExitCode::from(2);
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench_diff <baseline.json> <candidate.json> \
+             [--tolerance=R] [--throughput-tolerance=T]"
+        );
+        return ExitCode::from(2);
+    };
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = diff_artifacts(&baseline, &candidate, tolerances);
+    let mut rows: Vec<Vec<String>> = report
+        .compared
+        .iter()
+        .map(|d| {
+            vec![
+                d.metric.clone(),
+                f(d.baseline),
+                f(d.candidate),
+                format!("{:+.1}%", -d.drop * 100.0),
+                format!("{:.0}%", d.tolerance * 100.0),
+                if d.regressed() { "REGRESSED" } else { "ok" }.to_string(),
+            ]
+        })
+        .collect();
+    rows.sort_by(|a, b| a[0].cmp(&b[0]));
+    print_table(
+        &format!("bench_diff — {baseline_path} vs {candidate_path}"),
+        &[
+            "metric",
+            "baseline",
+            "candidate",
+            "delta",
+            "allowed drop",
+            "verdict",
+        ],
+        &rows,
+    );
+    for missing in &report.missing {
+        println!("note: {missing} missing from candidate (skipped)");
+    }
+
+    let regressions = report.regressions();
+    if report.compared.is_empty() {
+        // A gate that silently compares nothing would pass forever.
+        eprintln!("bench_diff: no tracked metrics found in both artifacts");
+        return ExitCode::from(1);
+    }
+    if report.ratio_gate_lost {
+        // Same rationale, scoped to the tight machine-independent gate:
+        // modelled throughput rows must not keep CI green while every
+        // speedup/adaptive ratio went missing (e.g. comparison keys
+        // drifted from the baseline's worker count).
+        eprintln!(
+            "bench_diff: the baseline tracks ratio metrics but none matched \
+             the candidate — the ratio gate is not being applied"
+        );
+        return ExitCode::from(1);
+    }
+    if regressions.is_empty() {
+        println!(
+            "bench_diff: {} tracked metrics within tolerance",
+            report.compared.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_diff: {} of {} tracked metrics regressed beyond tolerance",
+            regressions.len(),
+            report.compared.len()
+        );
+        ExitCode::from(1)
+    }
+}

@@ -67,7 +67,14 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(16);
-    let workers = num_cpus_capped(4);
+    // Worker count of the measured stream comparisons.  Overridable so CI's
+    // bench_diff gate can pin it to the committed baseline's value (the
+    // comparison keys include the worker count; the tracked numbers are
+    // per-host ratios, not absolute throughput).
+    let workers = std::env::var("HOTDOG_STREAM_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| num_cpus_capped(4));
     let mut cmp_rows = Vec::new();
     let mut cmp_json = Vec::new();
     for id in ["Q3", "Q6"] {
@@ -104,4 +111,59 @@ fn main() {
     );
     let path = json::bench_json_path();
     let _ = json::update_bench_json(&path, "pipeline_stream", &json::jarray(cmp_json));
+
+    // Static-vs-adaptive coalescing on a stream whose batch-size
+    // distribution shifts mid-run (the adaptive controller's acceptance
+    // number: `adaptive_vs_best_static`).  Phase sizes scale with
+    // HOTDOG_STREAM_SCALE so CI smoke mode stays fast.
+    let scale: usize = std::env::var("HOTDOG_STREAM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let phases: Vec<(usize, usize)> = vec![(192 * scale, 2), (24 * scale, 48), (3 * scale, 512)];
+    let mut ad_rows = Vec::new();
+    let mut ad_json = Vec::new();
+    for id in ["Q3", "Q6"] {
+        let q = query(id).unwrap();
+        let cmp = compare_adaptive_stream(&q, workers, &phases, 64);
+        let (best_label, best_tps) = {
+            let (l, t) = cmp.best_static();
+            (l.to_string(), t)
+        };
+        for (label, run) in &cmp.runs {
+            ad_rows.push(vec![
+                id.into(),
+                label.clone(),
+                f(run.throughput / 1e3),
+                run.coalesce
+                    .as_ref()
+                    .map(|c| format!("{} -> {}", c.batches_admitted, c.batches_executed))
+                    .unwrap_or_default(),
+                run.coalesce
+                    .as_ref()
+                    .map(|c| c.coalesce_bound.to_string())
+                    .unwrap_or_default(),
+            ]);
+        }
+        ad_rows.push(vec![
+            id.into(),
+            format!("best static: {best_label}"),
+            f(best_tps / 1e3),
+            format!("adaptive/best = {:.2}", cmp.adaptive_vs_best_static()),
+            String::new(),
+        ]);
+        ad_json.push(cmp.to_json());
+    }
+    print_table(
+        "Adaptive coalescing on a shifting-batch-size stream (static {1, 64, inf} vs adaptive)",
+        &[
+            "query",
+            "config",
+            "throughput (Ktup/s)",
+            "triggers",
+            "final bound",
+        ],
+        &ad_rows,
+    );
+    let _ = json::update_bench_json(&path, "adaptive_stream", &json::jarray(ad_json));
 }

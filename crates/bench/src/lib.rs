@@ -2,9 +2,10 @@
 //!
 //! Benchmark harness reproducing every table and figure of the paper's
 //! evaluation section on the laptop-scale simulator.  Each binary under
-//! `src/bin/` regenerates one artifact (see `EXPERIMENTS.md` at the
-//! repository root for the mapping and recorded outputs); this library holds
-//! the shared experiment drivers and plain-text table printing.
+//! `src/bin/` regenerates one artifact (the machine-readable ones maintain
+//! sections of `BENCH_runtime.json`, documented in the README; `bench_diff`
+//! gates those sections against a baseline); this library holds the shared
+//! experiment drivers and plain-text table printing.
 //!
 //! Absolute numbers differ from the paper (interpreter vs. generated C++,
 //! simulated cluster vs. 100 Spark servers); the harness is built to
@@ -16,6 +17,7 @@ use hotdog::ivm::Strategy;
 use hotdog::prelude::*;
 use std::time::Instant;
 
+pub mod diff;
 pub mod json;
 
 /// How many stream tuples the local experiments process by default.  Can be
@@ -97,9 +99,9 @@ pub fn single_tuple_baseline(q: &CatalogQuery, stream: &UpdateStream) -> LocalRu
     run_local(q, stream, Strategy::RecursiveIvm, ExecMode::SingleTuple, 1)
 }
 
-/// Which execution backend a distributed experiment runs on.  All three
-/// implement the [`Backend`](hotdog::distributed::Backend) trait, so the
-/// experiment driver ([`run_distributed_on`]) is written once.
+/// Which execution backend a distributed experiment runs on.  All of them
+/// implement the [`Backend`] trait, so the experiment driver
+/// ([`run_distributed_on`]) is written once.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum BackendKind {
     /// Single-threaded simulator with the modelled cost model (the default).
@@ -108,9 +110,14 @@ pub enum BackendKind {
     /// latencies are measured wall-clock.
     Threaded,
     /// `hotdog-runtime` pipelined thread-per-worker backend with delta
-    /// coalescing up to the given tuple threshold; throughput is measured
-    /// over the whole stream's wall-clock.
+    /// coalescing up to the given static tuple threshold; throughput is
+    /// measured over the whole stream's wall-clock.
     Pipelined { coalesce_tuples: usize },
+    /// Pipelined backend with the *self-tuning* coalescing bound: the
+    /// hill-climbing controller searches the paper's concave
+    /// throughput-vs-batch-size curve online instead of fixing a point on
+    /// it a priori.
+    Adaptive,
 }
 
 impl BackendKind {
@@ -119,43 +126,60 @@ impl BackendKind {
             BackendKind::Simulated => "modelled",
             BackendKind::Threaded => "measured",
             BackendKind::Pipelined { .. } => "pipelined",
+            BackendKind::Adaptive => "adaptive",
         }
     }
 
     /// What the latency percentiles of a run on this backend measure.
     /// Simulated/threaded runs report end-to-end batch latencies; the
-    /// pipelined backend executes batches asynchronously, so its per-batch
-    /// numbers are *driver-side issue times* (worker execution overlaps
-    /// and is excluded) — not comparable across backends.  Throughput is
-    /// comparable everywhere (pipelined throughput is stream wall-clock).
+    /// pipelined backends execute batches asynchronously, so their
+    /// per-batch numbers are *driver-side issue times* (worker execution
+    /// overlaps and is excluded) — not comparable across backends.
+    /// Throughput is comparable everywhere (pipelined throughput is stream
+    /// wall-clock).
     pub fn latency_kind(&self) -> &'static str {
         match self {
             BackendKind::Simulated => "modelled_batch",
             BackendKind::Threaded => "measured_batch_wall",
-            BackendKind::Pipelined { .. } => "driver_issue_time",
+            BackendKind::Pipelined { .. } | BackendKind::Adaptive => "driver_issue_time",
         }
     }
 
     /// Table column header for this backend's latency percentiles (flags
-    /// the pipelined backend's issue-time semantics, see
+    /// the pipelined backends' issue-time semantics, see
     /// [`BackendKind::latency_kind`]).
     pub fn latency_column(&self) -> &'static str {
         match self {
-            BackendKind::Pipelined { .. } => "median issue (ms)",
+            BackendKind::Pipelined { .. } | BackendKind::Adaptive => "median issue (ms)",
             _ => "median latency (ms)",
         }
     }
 
-    /// Parse `--real`, `--pipeline` and `--coalesce=N` from a binary's
-    /// argument list (`--coalesce` implies `--pipeline`).
+    /// The pipeline configuration this backend kind runs under (`None` for
+    /// the synchronous backends).
+    pub fn pipeline_config(&self) -> Option<PipelineConfig> {
+        match self {
+            BackendKind::Simulated | BackendKind::Threaded => None,
+            BackendKind::Pipelined { coalesce_tuples } => {
+                Some(PipelineConfig::with_coalesce(*coalesce_tuples))
+            }
+            BackendKind::Adaptive => Some(PipelineConfig::adaptive()),
+        }
+    }
+
+    /// Parse `--real`, `--pipeline`, `--coalesce=N` and `--adaptive` from a
+    /// binary's argument list (`--coalesce` implies `--pipeline`;
+    /// `--adaptive` wins over both).
     pub fn from_args() -> BackendKind {
         let mut pipeline = false;
         let mut real = false;
+        let mut adaptive = false;
         let mut coalesce = PipelineConfig::default().coalesce_tuples;
         for arg in std::env::args() {
             match arg.as_str() {
                 "--real" => real = true,
                 "--pipeline" => pipeline = true,
+                "--adaptive" => adaptive = true,
                 a => {
                     if let Some(n) = a.strip_prefix("--coalesce=") {
                         pipeline = true;
@@ -164,7 +188,9 @@ impl BackendKind {
                 }
             }
         }
-        if pipeline {
+        if adaptive {
+            BackendKind::Adaptive
+        } else if pipeline {
             BackendKind::Pipelined {
                 coalesce_tuples: coalesce,
             }
@@ -222,6 +248,12 @@ impl DistRun {
                     .int("tuples_admitted", c.tuples_admitted as u64)
                     .int("tuples_executed", c.tuples_executed as u64)
                     .int("max_queue_depth", c.max_queue_depth as u64)
+                    .int("max_queue_bytes", c.max_queue_bytes as u64)
+                    .int("forced_by_bytes", c.executions_forced_by_bytes as u64)
+                    .int("forced_by_latency", c.executions_forced_by_latency as u64)
+                    .int("coalesce_bound", c.coalesce_bound as u64)
+                    .int("bound_adjustments", c.bound_adjustments as u64)
+                    .int("bound_reversals", c.bound_reversals as u64)
                     .render(),
             );
         }
@@ -263,6 +295,182 @@ pub fn drive_backend<B: hotdog::distributed::Backend>(
     backend.totals().clone()
 }
 
+/// Backend-generic driver over pre-built (possibly phased) batches;
+/// `batch_tuples` is only recorded in the result (0 = mixed sizes).
+pub fn run_distributed_batches(
+    q: &CatalogQuery,
+    batches: &[Vec<(&'static str, Relation)>],
+    workers: usize,
+    batch_tuples: usize,
+    opt: OptLevel,
+    backend: BackendKind,
+) -> DistRun {
+    let plan = compile_recursive(q.id, &q.expr);
+    let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
+    let dplan = compile_distributed(&plan, &spec, opt);
+    let (jobs, stages) = dplan.complexity();
+    let (totals, coalesce) = match backend.pipeline_config() {
+        None if backend == BackendKind::Simulated => {
+            let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(workers));
+            cluster.apply_stream(batches);
+            (cluster.totals().clone(), None)
+        }
+        None => {
+            let mut cluster = ThreadedCluster::new(dplan, workers);
+            cluster.apply_stream(batches);
+            (cluster.totals().clone(), None)
+        }
+        Some(config) => {
+            let mut cluster = ThreadedCluster::pipelined(dplan, workers, config);
+            cluster.apply_stream(batches);
+            let stats = cluster.pipeline_stats();
+            (cluster.totals().clone(), stats)
+        }
+    };
+    DistRun {
+        query: q.id.to_string(),
+        workers,
+        batch_tuples,
+        opt,
+        backend,
+        median_latency_secs: totals.median_latency(),
+        p95_latency_secs: totals.latency_percentile(0.95),
+        p99_latency_secs: totals.latency_percentile(0.99),
+        throughput: totals.throughput(),
+        mb_shuffled_per_worker: totals.bytes_shuffled as f64
+            / 1e6
+            / workers as f64
+            / totals.batches.max(1) as f64,
+        jobs,
+        stages,
+        coalesce,
+    }
+}
+
+/// Static-vs-adaptive coalescing on a shifting-batch-size stream: the
+/// static arms fix one point of the paper's Fig. 7 throughput curve
+/// ({1 = no coalescing, a mid value, ∞ = coalesce everything}), the
+/// adaptive arm searches the curve online.  The tracked acceptance number
+/// is [`AdaptiveStreamComparison::adaptive_vs_best_static`].
+#[derive(Clone, Debug)]
+pub struct AdaptiveStreamComparison {
+    pub query: String,
+    pub workers: usize,
+    pub phases: Vec<(usize, usize)>,
+    /// `(label, run)` per arm: `static-1`, `static-64`, `static-inf`,
+    /// `adaptive`.
+    pub runs: Vec<(String, DistRun)>,
+}
+
+/// Static coalescing bound standing in for "coalesce everything".
+pub const COALESCE_UNBOUNDED: usize = usize::MAX / 4;
+
+impl AdaptiveStreamComparison {
+    pub fn adaptive_run(&self) -> &DistRun {
+        &self
+            .runs
+            .iter()
+            .find(|(l, _)| l == "adaptive")
+            .expect("comparison always has an adaptive arm")
+            .1
+    }
+
+    /// Best throughput among the static arms.
+    pub fn best_static(&self) -> (&str, f64) {
+        self.runs
+            .iter()
+            .filter(|(l, _)| l != "adaptive")
+            .map(|(l, r)| (l.as_str(), r.throughput))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("comparison always has static arms")
+    }
+
+    /// Adaptive throughput over the best static throughput (≥ 1 means the
+    /// self-tuning policy matched or beat every static setting).
+    pub fn adaptive_vs_best_static(&self) -> f64 {
+        let best = self.best_static().1;
+        if best == 0.0 {
+            0.0
+        } else {
+            self.adaptive_run().throughput / best
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let (best_label, best_tps) = self.best_static();
+        json::JsonObj::new()
+            .str("query", &self.query)
+            .int("workers", self.workers as u64)
+            .raw(
+                "phases",
+                json::jarray(
+                    self.phases
+                        .iter()
+                        .map(|(n, t)| format!("[{n}, {t}]"))
+                        .collect::<Vec<_>>(),
+                ),
+            )
+            .str("best_static", best_label)
+            .num("best_static_tps", best_tps)
+            .num("adaptive_tps", self.adaptive_run().throughput)
+            .num("adaptive_vs_best_static", self.adaptive_vs_best_static())
+            .raw(
+                "runs",
+                json::jarray(self.runs.iter().map(|(label, r)| {
+                    json::JsonObj::new()
+                        .str("label", label)
+                        .raw("run", r.to_json())
+                        .render()
+                })),
+            )
+            .render()
+    }
+}
+
+/// Run the static-vs-adaptive comparison for one query on a phased stream.
+pub fn compare_adaptive_stream(
+    q: &CatalogQuery,
+    workers: usize,
+    phases: &[(usize, usize)],
+    seed: u64,
+) -> AdaptiveStreamComparison {
+    let total: usize = phases.iter().map(|(n, t)| n * t).sum();
+    let stream = stream_for(q, total, seed);
+    let batches = stream.phased_batches(phases);
+    let arms: Vec<(String, BackendKind)> = vec![
+        (
+            "static-1".into(),
+            BackendKind::Pipelined { coalesce_tuples: 1 },
+        ),
+        (
+            "static-64".into(),
+            BackendKind::Pipelined {
+                coalesce_tuples: 64,
+            },
+        ),
+        (
+            "static-inf".into(),
+            BackendKind::Pipelined {
+                coalesce_tuples: COALESCE_UNBOUNDED,
+            },
+        ),
+        ("adaptive".into(), BackendKind::Adaptive),
+    ];
+    let runs = arms
+        .into_iter()
+        .map(|(label, kind)| {
+            let run = run_distributed_batches(q, &batches, workers, 0, OptLevel::O3, kind);
+            (label, run)
+        })
+        .collect();
+    AdaptiveStreamComparison {
+        query: q.id.to_string(),
+        workers,
+        phases: phases.to_vec(),
+        runs,
+    }
+}
+
 /// Run a query on the simulated cluster, chunking the stream into batches of
 /// `batch_tuples`, and report modelled latency/throughput.
 pub fn run_distributed(
@@ -294,7 +502,8 @@ pub fn run_distributed_real(
     run_distributed_on(q, stream, workers, batch_tuples, opt, BackendKind::Threaded)
 }
 
-/// Backend-generic distributed experiment driver.
+/// Backend-generic distributed experiment driver (uniform batch sizes; see
+/// [`run_distributed_batches`] for phased streams).
 pub fn run_distributed_on(
     q: &CatalogQuery,
     stream: &UpdateStream,
@@ -303,47 +512,8 @@ pub fn run_distributed_on(
     opt: OptLevel,
     backend: BackendKind,
 ) -> DistRun {
-    let plan = compile_recursive(q.id, &q.expr);
-    let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
-    let dplan = compile_distributed(&plan, &spec, opt);
-    let (jobs, stages) = dplan.complexity();
-    let (totals, coalesce) = match backend {
-        BackendKind::Simulated => {
-            let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(workers));
-            (drive_backend(&mut cluster, stream, batch_tuples), None)
-        }
-        BackendKind::Threaded => {
-            let mut cluster = ThreadedCluster::new(dplan, workers);
-            (drive_backend(&mut cluster, stream, batch_tuples), None)
-        }
-        BackendKind::Pipelined { coalesce_tuples } => {
-            let mut cluster = ThreadedCluster::pipelined(
-                dplan,
-                workers,
-                PipelineConfig::with_coalesce(coalesce_tuples),
-            );
-            let totals = drive_backend(&mut cluster, stream, batch_tuples);
-            (totals, Some(cluster.stats.clone()))
-        }
-    };
-    DistRun {
-        query: q.id.to_string(),
-        workers,
-        batch_tuples,
-        opt,
-        backend,
-        median_latency_secs: totals.median_latency(),
-        p95_latency_secs: totals.latency_percentile(0.95),
-        p99_latency_secs: totals.latency_percentile(0.99),
-        throughput: totals.throughput(),
-        mb_shuffled_per_worker: totals.bytes_shuffled as f64
-            / 1e6
-            / workers as f64
-            / totals.batches.max(1) as f64,
-        jobs,
-        stages,
-        coalesce,
-    }
+    let batches = stream.batches(batch_tuples);
+    run_distributed_batches(q, &batches, workers, batch_tuples, opt, backend)
 }
 
 /// Head-to-head stream throughput: the same many-small-batch stream pushed

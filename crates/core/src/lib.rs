@@ -60,7 +60,9 @@ pub mod prelude {
         compile, compile_classical, compile_recursive, compile_reevaluation, delta, extract_domain,
         MaintenancePlan, Strategy,
     };
-    pub use hotdog_runtime::{PipelineConfig, PipelineStats, ThreadedCluster};
+    pub use hotdog_runtime::{
+        AdaptiveConfig, CoalesceController, PipelineConfig, PipelineStats, ThreadedCluster,
+    };
     pub use hotdog_storage::{ColumnarBatch, RecordPool};
     pub use hotdog_workload::{
         all_queries, generate_tpcds, generate_tpch, query, tpcds_queries, tpch_queries,

@@ -19,6 +19,50 @@ use crate::cluster::{BatchExecution, Cluster, ClusterTotals};
 use crate::program::DistributedPlan;
 use hotdog_algebra::relation::Relation;
 
+/// Counters of a pipelined ingestion path (admission queue, delta
+/// coalescing, adaptive tuning, backpressure).  Defined here — not in the
+/// runtime crate — so [`Backend::pipeline_stats`] can expose them
+/// backend-generically; synchronous backends report `None`.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Batches admitted via `apply_batch`.
+    pub batches_admitted: usize,
+    /// Admitted batches that were ring-summed into an already-queued delta
+    /// instead of triggering on their own.
+    pub batches_coalesced: usize,
+    /// Maintenance-program executions actually triggered.
+    pub batches_executed: usize,
+    /// Admitted-but-unissued batches abandoned by an explicit close/drop
+    /// (never executed).
+    pub batches_abandoned: usize,
+    /// Tuples admitted (pre-coalescing).
+    pub tuples_admitted: usize,
+    /// Tuples in the executed deltas (post-coalescing; cancellation shrinks
+    /// this below `tuples_admitted`).
+    pub tuples_executed: usize,
+    /// High-water mark of the admission queue depth (batches).
+    pub max_queue_depth: usize,
+    /// High-water mark of the admission queue footprint (serialized bytes).
+    pub max_queue_bytes: usize,
+    /// Executions forced by the byte-bounded backpressure
+    /// (`admit_bytes`), not by the count capacity.
+    pub executions_forced_by_bytes: usize,
+    /// Executions forced by the latency target (watermark lag exceeded the
+    /// configured staleness bound).
+    pub executions_forced_by_latency: usize,
+    /// Slowest worker's interpreter work observed across lazy reply drains.
+    pub max_worker_instructions: u64,
+    /// Coalescing bound currently in force (the static threshold, or the
+    /// adaptive controller's latest choice).
+    pub coalesce_bound: usize,
+    /// Number of times the adaptive controller re-pointed its search
+    /// direction (0 under a static threshold).
+    pub bound_reversals: usize,
+    /// Number of bound adjustments the adaptive controller made (0 under a
+    /// static threshold).
+    pub bound_adjustments: usize,
+}
+
 /// A distributed execution backend: admits delta batches against one
 /// compiled [`DistributedPlan`] and serves consistent view reads.
 pub trait Backend {
@@ -51,6 +95,14 @@ pub trait Backend {
 
     /// Accumulated execution totals.
     fn totals(&self) -> &ClusterTotals;
+
+    /// Pipelined-ingestion and tuning counters, for backends with an
+    /// admission queue (`None` for synchronous backends).  Lets benches and
+    /// tests report coalescing/backpressure behaviour without knowing the
+    /// concrete backend type.
+    fn pipeline_stats(&self) -> Option<PipelineStats> {
+        None
+    }
 
     /// Stream-apply: admit a pre-batched update stream in order, then flush.
     fn apply_stream<S: AsRef<str>>(&mut self, batches: &[Vec<(S, Relation)>]) {

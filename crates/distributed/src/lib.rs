@@ -31,7 +31,7 @@ pub mod partition;
 pub mod program;
 pub mod worker;
 
-pub use backend::Backend;
+pub use backend::{Backend, PipelineStats};
 pub use cluster::{partition_shards, BatchExecution, Cluster, ClusterConfig, ClusterTotals};
 pub use partition::{LocTag, PartitionFn, PartitioningSpec};
 pub use program::{

@@ -10,6 +10,7 @@
 //! semantics, only in scheduling and in how time is accounted.
 //!
 //! [`Cluster`]: crate::cluster::Cluster
+//! [`DistributedPlan`]: crate::program::DistributedPlan
 
 use crate::program::{DistStatement, DistStmtKind};
 use hotdog_algebra::eval::{Catalog, EvalCounters, Evaluator};

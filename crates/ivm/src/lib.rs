@@ -2,12 +2,13 @@
 //!
 //! Incremental view maintenance compilers: the paper's core contribution.
 //!
-//! * [`delta`] — delta-query derivation rules (Section 3.1), including the
-//!   revised rule for generalized variable assignment;
+//! * [`delta`](mod@delta) — delta-query derivation rules (Section 3.1),
+//!   including the revised rule for generalized variable assignment;
 //! * [`domain`] — the domain extraction algorithm (Section 3.2.2, Figure 1)
 //!   that makes nested aggregates and existential quantification efficiently
 //!   maintainable for batch updates;
-//! * [`simplify`] — algebraic simplification used throughout compilation;
+//! * [`simplify`](mod@simplify) — algebraic simplification used throughout
+//!   compilation;
 //! * [`compiler`] — three maintenance strategies: recursive IVM
 //!   (DBToaster-style, with auxiliary views), classical first-order IVM, and
 //!   full re-evaluation;

@@ -1,0 +1,324 @@
+//! Online self-tuning of the coalescing bound.
+//!
+//! The paper's central empirical observation (Fig. 7) is that IVM throughput
+//! is a *concave* function of batch size: growing the batch amortizes the
+//! fixed per-trigger overhead (plan dispatch, scatter setup, channel
+//! round-trips) until the marginal per-tuple execution cost — delta joins
+//! growing superlinearly in the delta — dominates, so every query has an
+//! optimal batch size that depends on the query, the data and the host.
+//! A static [`coalesce_tuples`](crate::PipelineConfig::coalesce_tuples)
+//! threshold bakes one point of that curve in; [`CoalesceController`]
+//! instead *searches* the curve online.
+//!
+//! The controller is a one-dimensional multiplicative hill climber.  It
+//! holds the coalescing bound fixed for a probe window of
+//! [`AdaptiveConfig::probe_triggers`] maintenance-program executions,
+//! measures the window's aggregate throughput (executed tuples over
+//! measured trigger seconds), and compares it against the previous probe
+//! window: if throughput improved, the bound keeps moving in the current
+//! direction (multiplied or divided by [`AdaptiveConfig::step`]); if it
+//! worsened, the direction reverses.  On a concave curve this walks toward
+//! the optimum and then oscillates within one step factor of it — which is
+//! exactly the behaviour the paper's batch-size sweeps justify, and cheap
+//! enough to run between triggers.
+//!
+//! The controller is deliberately deterministic given its observation
+//! sequence (no randomized restarts), so unit tests can drive it with
+//! synthetic cost curves and assert convergence.
+
+/// Parameters of the adaptive coalescing policy
+/// ([`crate::PipelineConfig::adaptive`]).
+#[derive(Clone, Debug)]
+pub struct AdaptiveConfig {
+    /// Lower clamp of the coalescing bound (tuples).  Must be ≥ 1.
+    pub min_tuples: usize,
+    /// Upper clamp of the coalescing bound (tuples).
+    pub max_tuples: usize,
+    /// Starting bound before any measurement exists.
+    pub initial_tuples: usize,
+    /// Multiplicative step of the hill climber (> 1).
+    pub step: f64,
+    /// Trigger executions aggregated per probe window.  Larger windows
+    /// smooth timing noise at the cost of slower adaptation.
+    pub probe_triggers: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_tuples: 16,
+            max_tuples: 1 << 20,
+            initial_tuples: 256,
+            step: 2.0,
+            probe_triggers: 3,
+        }
+    }
+}
+
+/// Hill-climbing search over the paper's concave throughput-vs-batch-size
+/// curve (see the module docs).  Fed one observation per maintenance-program
+/// execution by the pipelined runtime; queried for the coalescing bound to
+/// apply between triggers.
+#[derive(Clone, Debug)]
+pub struct CoalesceController {
+    config: AdaptiveConfig,
+    /// Bound currently in force.
+    bound: usize,
+    /// Whether the next move grows (`true`) or shrinks the bound.
+    upward: bool,
+    /// Throughput measured over the previous probe window, if any.
+    previous_throughput: Option<f64>,
+    /// Current probe window accumulator: (triggers, tuples, seconds).
+    window_triggers: usize,
+    window_tuples: usize,
+    window_secs: f64,
+    /// Direction reversals: probe windows whose throughput worsened, plus
+    /// proposals pinned against a clamp (the search turns around there
+    /// without moving the bound).
+    pub reversals: usize,
+    /// Bound changes actually applied (a proposal pinned against a clamp
+    /// counts as a reversal, not an adjustment).
+    pub adjustments: usize,
+}
+
+impl CoalesceController {
+    pub fn new(config: AdaptiveConfig) -> Self {
+        assert!(config.min_tuples >= 1, "min_tuples must be >= 1");
+        assert!(
+            config.max_tuples >= config.min_tuples,
+            "max_tuples must be >= min_tuples"
+        );
+        assert!(config.step > 1.0, "step must be > 1");
+        assert!(config.probe_triggers >= 1, "probe_triggers must be >= 1");
+        let bound = config
+            .initial_tuples
+            .clamp(config.min_tuples, config.max_tuples);
+        CoalesceController {
+            config,
+            bound,
+            upward: true,
+            previous_throughput: None,
+            window_triggers: 0,
+            window_tuples: 0,
+            window_secs: 0.0,
+            reversals: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// The coalescing bound (tuples per ring-summed delta) currently in
+    /// force.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Record one maintenance-program execution: the executed delta's tuple
+    /// count and its measured trigger seconds.  Closes the probe window and
+    /// moves the bound once enough triggers have accumulated.
+    ///
+    /// The pipelined runtime feeds *driver-side issue time* here: worker
+    /// execution of distributed blocks overlaps and is excluded, except
+    /// when the in-flight window forces a collect — which charges a
+    /// previous trigger's worker cost to the current trigger.  The signal
+    /// is therefore noisy and slightly lagged; the probe-window averaging
+    /// (keep [`AdaptiveConfig::probe_triggers`] ≥ the in-flight window on
+    /// multi-core hosts) is what keeps the climb pointed the right way.
+    /// Folding the workers' reported instruction counts into the cost is a
+    /// ROADMAP follow-on.
+    pub fn observe(&mut self, executed_tuples: usize, trigger_secs: f64) {
+        self.window_triggers += 1;
+        self.window_tuples += executed_tuples;
+        self.window_secs += trigger_secs.max(0.0);
+        if self.window_triggers < self.config.probe_triggers {
+            return;
+        }
+        let throughput = self.window_tuples as f64 / self.window_secs.max(1e-12);
+        self.window_triggers = 0;
+        self.window_tuples = 0;
+        self.window_secs = 0.0;
+
+        if let Some(prev) = self.previous_throughput {
+            if throughput < prev {
+                self.upward = !self.upward;
+                self.reversals += 1;
+            }
+        }
+        self.previous_throughput = Some(throughput);
+
+        let step = self.config.step;
+        let proposed = if self.upward {
+            (self.bound as f64 * step).round() as usize
+        } else {
+            (self.bound as f64 / step).floor() as usize
+        };
+        let next = proposed.clamp(self.config.min_tuples, self.config.max_tuples);
+        if next == self.bound {
+            // Pinned against a clamp: turn around so the search keeps
+            // probing the interior instead of re-measuring the wall.
+            self.upward = !self.upward;
+            self.reversals += 1;
+        } else {
+            self.bound = next;
+            self.adjustments += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic per-trigger cost with fixed overhead and a superlinear
+    /// per-tuple term: `cost(n) = overhead + linear*n + quad*n^2`.
+    /// Throughput `n / cost(n)` is concave with its maximum at
+    /// `n* = sqrt(overhead / quad)` — the shape of the paper's Fig. 7.
+    fn concave_cost(overhead: f64, linear: f64, quad: f64) -> impl Fn(usize) -> f64 {
+        move |n: usize| overhead + linear * n as f64 + quad * (n as f64) * (n as f64)
+    }
+
+    /// Drive the controller against a cost model: every trigger executes a
+    /// delta saturating the current bound.
+    fn drive(ctl: &mut CoalesceController, cost: &impl Fn(usize) -> f64, triggers: usize) {
+        for _ in 0..triggers {
+            let n = ctl.bound();
+            ctl.observe(n, cost(n));
+        }
+    }
+
+    /// The bound after convergence must sit within one step factor of the
+    /// analytic optimum and stay there.
+    fn assert_converges_near(mut ctl: CoalesceController, cost: impl Fn(usize) -> f64, opt: f64) {
+        let step = ctl.config.step;
+        drive(&mut ctl, &cost, 400);
+        // After the climb, the bound must oscillate around the optimum:
+        // track its range over a long tail.
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for _ in 0..100 {
+            let n = ctl.bound();
+            lo = lo.min(n);
+            hi = hi.max(n);
+            ctl.observe(n, cost(n));
+        }
+        let slack = step * step; // one step either side of the optimum
+        assert!(
+            (hi as f64) >= opt / slack && (lo as f64) <= opt * slack,
+            "search range [{lo}, {hi}] does not straddle the optimum {opt:.0}"
+        );
+        assert!(
+            (lo as f64) >= opt / (slack * step) && (hi as f64) <= opt * slack * step,
+            "search range [{lo}, {hi}] wandered too far from the optimum {opt:.0}"
+        );
+        assert!(ctl.reversals > 0, "a concave curve must produce reversals");
+    }
+
+    #[test]
+    fn converges_to_interior_optimum_from_below() {
+        // overhead 1e-3 s, quad 1e-9: optimum at sqrt(1e-3/1e-9) = 1000.
+        let cost = concave_cost(1e-3, 1e-7, 1e-9);
+        let ctl = CoalesceController::new(AdaptiveConfig {
+            initial_tuples: 16,
+            ..Default::default()
+        });
+        assert_converges_near(ctl, cost, 1000.0);
+    }
+
+    #[test]
+    fn converges_to_interior_optimum_from_above() {
+        let cost = concave_cost(1e-3, 1e-7, 1e-9);
+        let ctl = CoalesceController::new(AdaptiveConfig {
+            initial_tuples: 1 << 18,
+            ..Default::default()
+        });
+        assert_converges_near(ctl, cost, 1000.0);
+    }
+
+    #[test]
+    fn pure_overhead_curve_climbs_to_the_upper_clamp() {
+        // No superlinear term: bigger is always better, the controller must
+        // ride the curve up to max_tuples and hold there.
+        let cost = concave_cost(1e-3, 1e-7, 0.0);
+        let mut ctl = CoalesceController::new(AdaptiveConfig {
+            max_tuples: 8192,
+            initial_tuples: 32,
+            ..Default::default()
+        });
+        drive(&mut ctl, &cost, 300);
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for _ in 0..60 {
+            let n = ctl.bound();
+            lo = lo.min(n);
+            hi = hi.max(n);
+            ctl.observe(n, cost(n));
+        }
+        assert_eq!(hi, 8192, "must reach the clamp");
+        assert!(lo >= 8192 / 4, "must hold near the clamp, got low {lo}");
+    }
+
+    #[test]
+    fn dominant_per_tuple_cost_descends_to_the_lower_clamp() {
+        // Negligible overhead, strong quadratic growth: small batches win.
+        let cost = concave_cost(1e-9, 1e-7, 1e-4);
+        let mut ctl = CoalesceController::new(AdaptiveConfig {
+            min_tuples: 4,
+            initial_tuples: 4096,
+            ..Default::default()
+        });
+        drive(&mut ctl, &cost, 300);
+        assert!(
+            ctl.bound() <= 16,
+            "bound {} should fall to the lower clamp region",
+            ctl.bound()
+        );
+    }
+
+    #[test]
+    fn retunes_when_the_curve_shifts_mid_run() {
+        // Phase 1 favours large batches (high overhead); phase 2 makes the
+        // quadratic term dominant so the optimum collapses to ~100.  The
+        // controller must follow the shift — the scenario behind the
+        // shifting-batch-size stream benchmark.
+        let phase1 = concave_cost(1e-2, 1e-7, 1e-10); // opt = 10_000
+        let phase2 = concave_cost(1e-5, 1e-7, 1e-9); // opt = 100
+        let mut ctl = CoalesceController::new(AdaptiveConfig::default());
+        drive(&mut ctl, &phase1, 300);
+        let after_phase1 = ctl.bound();
+        assert!(
+            after_phase1 >= 2500,
+            "phase 1 should push the bound up, got {after_phase1}"
+        );
+        drive(&mut ctl, &phase2, 400);
+        assert!(
+            ctl.bound() <= 800,
+            "phase 2 should pull the bound back down, got {}",
+            ctl.bound()
+        );
+    }
+
+    #[test]
+    fn zero_tuple_triggers_do_not_poison_the_search() {
+        // Fully-cancelling deltas execute zero tuples; the controller must
+        // survive whole windows of them (throughput 0) and keep searching.
+        let cost = concave_cost(1e-3, 1e-7, 1e-9);
+        let mut ctl = CoalesceController::new(AdaptiveConfig::default());
+        for _ in 0..12 {
+            ctl.observe(0, 1e-4);
+        }
+        drive(&mut ctl, &cost, 400);
+        let b = ctl.bound() as f64;
+        assert!(
+            (125.0..=8000.0).contains(&b),
+            "bound {b} should recover toward the optimum 1000"
+        );
+    }
+
+    #[test]
+    fn clamps_and_validation() {
+        let ctl = CoalesceController::new(AdaptiveConfig {
+            min_tuples: 100,
+            max_tuples: 200,
+            initial_tuples: 5_000,
+            ..Default::default()
+        });
+        assert_eq!(ctl.bound(), 200, "initial bound must clamp into range");
+    }
+}

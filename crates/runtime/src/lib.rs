@@ -44,7 +44,16 @@
 //!    maintenance program far fewer times — the paper's batching thesis
 //!    applied at the runtime layer.  Coalescing preserves the maintained
 //!    state exactly in real arithmetic; it only re-associates float
-//!    additions (disable it for bit-identical runs).
+//!    additions (disable it for bit-identical runs).  The bound is either
+//!    a static threshold or chosen online by the self-tuning
+//!    [`adaptive::CoalesceController`], which hill-climbs the paper's
+//!    concave throughput-vs-batch-size curve (Fig. 7) from measured
+//!    per-trigger overhead vs. marginal per-tuple cost.  Admission is
+//!    additionally bounded by serialized bytes
+//!    ([`PipelineConfig::admit_bytes`]) and by a staleness budget
+//!    ([`PipelineConfig::latency_target`]) that forces overdue deltas
+//!    through and stops coalescing into half-expired ones — the
+//!    streaming latency/throughput tradeoff as a config knob.
 //! 2. **Bounded in-flight window** — when a queued batch is executed, the
 //!    driver broadcasts each distributed block and moves on *without
 //!    collecting the workers' completion replies*; per-channel FIFO order
@@ -74,6 +83,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
+
+pub use adaptive::{AdaptiveConfig, CoalesceController};
+pub use hotdog_distributed::PipelineStats;
+
 use hotdog_algebra::eval::EvalCounters;
 use hotdog_algebra::relation::Relation;
 use hotdog_distributed::{
@@ -85,7 +99,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Commands the driver sends to a worker thread.  Per-channel FIFO order is
 /// the synchronization contract: an `Apply` enqueued before a `RunBlock` is
@@ -188,10 +202,36 @@ pub struct PipelineConfig {
     /// disables coalescing (making pipelined execution bit-identical to
     /// the synchronous schedule; with coalescing the state is identical in
     /// real arithmetic but float additions associate differently).
+    /// Ignored when [`PipelineConfig::adaptive`] is set: the controller
+    /// then chooses the bound online.
     pub coalesce_tuples: usize,
     /// Maximum admitted-but-unissued batches held in the admission queue;
     /// admitting beyond it drives execution of the queue front.
     pub admit_capacity: usize,
+    /// Byte-bounded backpressure: maximum serialized footprint of the
+    /// admission queue (queued deltas, via the O(1)
+    /// [`Relation::serialized_size`] accounting).  Admitting beyond it
+    /// drives execution of the queue front until the footprint fits.
+    /// `0` disables the bound.
+    pub admit_bytes: usize,
+    /// Latency-target mode: an upper bound on how stale a queued batch may
+    /// get before it is forced through.  Enforced at every admission *and*
+    /// at every read: whenever the oldest queued delta has been waiting
+    /// longer than this, the queue front is executed (counted in
+    /// [`PipelineStats::executions_forced_by_latency`]), and a queued
+    /// delta older than *half* the target stops accepting coalesced
+    /// merges — trading coalescing throughput for bounded watermark lag
+    /// (a read never observes data staler than the target).  There is no
+    /// background timer: on a stream that goes fully quiescent (no
+    /// admissions, no reads), queued deltas wait until the next
+    /// admission, read or [`ThreadedCluster::flush`].  `None` leaves
+    /// staleness unbounded (pure-throughput mode).
+    pub latency_target: Option<Duration>,
+    /// Self-tuning coalescing: measure per-trigger overhead vs. marginal
+    /// per-tuple cost online and hill-climb the coalescing bound over the
+    /// paper's concave throughput curve (see [`adaptive`]).  Overrides
+    /// [`PipelineConfig::coalesce_tuples`].
+    pub adaptive: Option<AdaptiveConfig>,
     /// Maximum uncollected distributed-block completions per worker before
     /// the driver must collect the oldest one.
     pub inflight_blocks: usize,
@@ -202,41 +242,53 @@ impl Default for PipelineConfig {
         PipelineConfig {
             coalesce_tuples: 4096,
             admit_capacity: 16,
+            admit_bytes: 0,
+            latency_target: None,
+            adaptive: None,
             inflight_blocks: 4,
         }
     }
 }
 
 impl PipelineConfig {
-    /// Config with a specific coalescing threshold (in tuples).
+    /// Config with a specific static coalescing threshold (in tuples).
     pub fn with_coalesce(coalesce_tuples: usize) -> Self {
         PipelineConfig {
             coalesce_tuples,
             ..Default::default()
         }
     }
+
+    /// Config with the default self-tuning coalescing policy.
+    pub fn adaptive() -> Self {
+        PipelineConfig {
+            adaptive: Some(AdaptiveConfig::default()),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style latency target (see
+    /// [`PipelineConfig::latency_target`]).
+    pub fn with_latency_target(mut self, target: Duration) -> Self {
+        self.latency_target = Some(target);
+        self
+    }
+
+    /// Builder-style byte bound on the admission queue (see
+    /// [`PipelineConfig::admit_bytes`]).
+    pub fn with_admit_bytes(mut self, admit_bytes: usize) -> Self {
+        self.admit_bytes = admit_bytes;
+        self
+    }
 }
 
-/// Counters of the pipelined ingestion path (all zero in epoch-synchronous
-/// mode).
-#[derive(Clone, Debug, Default)]
-pub struct PipelineStats {
-    /// Batches admitted via `apply_batch`.
-    pub batches_admitted: usize,
-    /// Admitted batches that were ring-summed into an already-queued delta
-    /// instead of triggering on their own.
-    pub batches_coalesced: usize,
-    /// Maintenance-program executions actually triggered.
-    pub batches_executed: usize,
-    /// Tuples admitted (pre-coalescing).
-    pub tuples_admitted: usize,
-    /// Tuples in the executed deltas (post-coalescing; cancellation shrinks
-    /// this below `tuples_admitted`).
-    pub tuples_executed: usize,
-    /// High-water mark of the admission queue depth.
-    pub max_queue_depth: usize,
-    /// Slowest worker's interpreter work observed across lazy reply drains.
-    pub max_worker_instructions: u64,
+/// One admitted-but-unissued coalesced delta in the admission queue.
+struct QueuedDelta {
+    relation: String,
+    delta: Relation,
+    /// When the *oldest* event folded into this delta was admitted: the
+    /// staleness clock the latency target is enforced against.
+    admitted_at: Instant,
 }
 
 /// One driver + N worker threads executing a distributed plan for real.
@@ -262,8 +314,14 @@ pub struct ThreadedCluster {
     applies_in_flight: bool,
     /// `Some` iff this cluster runs the pipelined ingestion path.
     pipeline: Option<PipelineConfig>,
-    /// Admitted-but-unissued (relation, coalesced delta) batches.
-    queue: VecDeque<(String, Relation)>,
+    /// Self-tuning coalescing controller (`Some` iff
+    /// [`PipelineConfig::adaptive`] is set).
+    controller: Option<CoalesceController>,
+    /// Admitted-but-unissued coalesced delta batches.
+    queue: VecDeque<QueuedDelta>,
+    /// Serialized footprint of `queue` (incrementally maintained; the
+    /// byte-bounded backpressure reads it on every admission).
+    queue_bytes: usize,
     /// Per worker: distributed-block completions not yet collected.
     outstanding: Vec<usize>,
     /// Batches whose execution has been fully issued to driver and workers.
@@ -296,6 +354,10 @@ impl ThreadedCluster {
 
     fn build(dplan: DistributedPlan, workers: usize, pipeline: Option<PipelineConfig>) -> Self {
         assert!(workers > 0);
+        let controller = pipeline
+            .as_ref()
+            .and_then(|c| c.adaptive.clone())
+            .map(CoalesceController::new);
         let driver = WorkerState::for_plan(&dplan.plan);
         let programs = dplan
             .programs
@@ -317,7 +379,7 @@ impl ThreadedCluster {
             replies.push(rep_rx);
             handles.push(handle);
         }
-        ThreadedCluster {
+        let mut cluster = ThreadedCluster {
             workers,
             dplan,
             driver,
@@ -327,14 +389,18 @@ impl ThreadedCluster {
             handles,
             applies_in_flight: false,
             pipeline,
+            controller,
             queue: VecDeque::new(),
+            queue_bytes: 0,
             outstanding: vec![0; workers],
             issued: 0,
             watermark: 0,
             stream_start: None,
             stats: PipelineStats::default(),
             totals: ClusterTotals::default(),
-        }
+        };
+        cluster.stats.coalesce_bound = cluster.effective_coalesce_bound();
+        cluster
     }
 
     /// The compiled distributed plan this cluster runs.
@@ -345,6 +411,19 @@ impl ThreadedCluster {
     /// Whether this cluster runs the pipelined ingestion path.
     pub fn is_pipelined(&self) -> bool {
         self.pipeline.is_some()
+    }
+
+    /// Admitted-but-unissued batches currently held in the admission queue
+    /// (post-coalescing).  The latency-target mode bounds how long any of
+    /// them may wait.
+    pub fn queued_batches(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Serialized footprint of the admission queue in bytes (what the
+    /// `admit_bytes` backpressure bound is enforced against).
+    pub fn queued_bytes(&self) -> usize {
+        self.queue_bytes
     }
 
     /// Number of batches guaranteed visible to reads: reads observe
@@ -398,12 +477,60 @@ impl ThreadedCluster {
         self.watermark = self.issued;
     }
 
+    /// The coalescing bound currently in force: the adaptive controller's
+    /// latest choice, or the static `coalesce_tuples` threshold.
+    fn effective_coalesce_bound(&self) -> usize {
+        match (&self.controller, &self.pipeline) {
+            (Some(ctl), _) => ctl.bound(),
+            (None, Some(cfg)) => cfg.coalesce_tuples,
+            (None, None) => 0,
+        }
+    }
+
+    /// Execute every queued delta that has outlived the latency target
+    /// (no-op without one).  Runs at every admission and before every
+    /// read, so neither the queue nor a reader can outwait the staleness
+    /// budget — but there is no background timer, so a fully quiescent
+    /// stream holds its queue until the next admission, read or flush.
+    fn enforce_latency_target(&mut self) {
+        let Some(target) = self.pipeline.as_ref().and_then(|c| c.latency_target) else {
+            return;
+        };
+        // `>=` so a zero budget forces unconditionally, independent of
+        // clock resolution (a coarse monotonic clock can report elapsed()
+        // == 0 across two admissions).
+        while self
+            .queue
+            .front()
+            .is_some_and(|q| q.admitted_at.elapsed() >= target)
+        {
+            self.execute_queue_front();
+            self.stats.executions_forced_by_latency += 1;
+        }
+    }
+
+    /// Pop and execute the queue front, feeding the measured trigger back
+    /// to the adaptive controller.
+    fn execute_queue_front(&mut self) {
+        let Some(entry) = self.queue.pop_front() else {
+            return;
+        };
+        self.queue_bytes -= entry.delta.serialized_size();
+        let stats = self.execute_canonical(&entry.relation, entry.delta, true);
+        if let Some(ctl) = self.controller.as_mut() {
+            ctl.observe(stats.input_tuples, stats.wall_secs);
+            self.stats.coalesce_bound = ctl.bound();
+            self.stats.bound_reversals = ctl.reversals;
+            self.stats.bound_adjustments = ctl.adjustments;
+        }
+    }
+
     /// Execute every queued batch, commit the watermark and fold the stream
     /// wall-clock into the totals.  After `flush`, reads observe the entire
     /// admitted stream.  No-op in epoch-synchronous mode.
     pub fn flush(&mut self) {
-        while let Some((relation, delta)) = self.queue.pop_front() {
-            self.execute_canonical(&relation, delta, true);
+        while !self.queue.is_empty() {
+            self.execute_queue_front();
         }
         self.commit_watermark();
         if let Some(start) = self.stream_start.take() {
@@ -444,6 +571,9 @@ impl ThreadedCluster {
     /// docs).  Admitted-but-queued batches require a
     /// [`ThreadedCluster::flush`] to become visible.
     pub fn view_contents(&mut self, name: &str) -> Relation {
+        // Under a latency target, overdue queued deltas are forced through
+        // first: a read never observes data staler than the target.
+        self.enforce_latency_target();
         self.commit_watermark();
         let schema = self.dplan.schema_of(name).unwrap_or_default();
         let mut out = Relation::new(schema);
@@ -496,7 +626,8 @@ impl ThreadedCluster {
     }
 
     /// Pipelined admission: coalesce into the queue tail or enqueue, then
-    /// drive execution while the queue exceeds the admission capacity.
+    /// drive execution while the queue exceeds the admission capacity, the
+    /// byte bound, or the latency target's staleness budget.
     ///
     /// Queued deltas are kept in the trigger's canonical schema (`relabel`
     /// is positional, so canonicalizing is one `add` per tuple), which
@@ -512,6 +643,10 @@ impl ThreadedCluster {
             input_tuples: batch.len(),
             ..Default::default()
         };
+        // Staleness first: even an admission that turns out to be a no-op
+        // (relation without a trigger) must not let already-queued deltas
+        // outlive the latency budget.
+        self.enforce_latency_target();
         // Batches to relations the plan has no trigger for are no-ops; do
         // not let them split a coalescing run.
         let Some(program) = self.programs.get(relation) else {
@@ -527,17 +662,23 @@ impl ThreadedCluster {
         // real arithmetic, and interleaved streams (where consecutive
         // same-relation batches are rare) still coalesce well.  Per-relation
         // admission order is preserved.
-        let coalesced = match self
-            .queue
-            .iter_mut()
-            .rev()
-            .find(|(queued_rel, _)| queued_rel == relation)
-        {
-            Some((_, queued))
-                if config.coalesce_tuples > 0
-                    && queued.len() + batch.len() <= config.coalesce_tuples =>
+        let coalesce_bound = self.effective_coalesce_bound();
+        self.stats.coalesce_bound = coalesce_bound;
+        // Under a latency target, a queued delta that has already burned
+        // half its staleness budget stops growing: coalescing into it would
+        // keep resetting the work it carries while its oldest event ages.
+        let stale_cutoff = config.latency_target.map(|t| t / 2);
+        let coalesced = match self.queue.iter_mut().rev().find(|q| q.relation == relation) {
+            Some(q)
+                if coalesce_bound > 0
+                    && q.delta.len() + batch.len() <= coalesce_bound
+                    // Strict `<` so a zero budget vetoes coalescing
+                    // unconditionally, independent of clock resolution.
+                    && stale_cutoff.is_none_or(|cut| q.admitted_at.elapsed() < cut) =>
             {
-                queued.merge(batch);
+                let before = q.delta.serialized_size();
+                q.delta.merge(batch);
+                self.queue_bytes = self.queue_bytes - before + q.delta.serialized_size();
                 true
             }
             _ => false,
@@ -548,13 +689,29 @@ impl ThreadedCluster {
             // Same canonicalization as the synchronous path, so a
             // non-coalesced pipelined run is bit-identical to it.
             let canonical = relabel(batch, &canonical_schema);
-            self.queue.push_back((relation.to_string(), canonical));
+            self.queue_bytes += canonical.serialized_size();
+            self.queue.push_back(QueuedDelta {
+                relation: relation.to_string(),
+                delta: canonical,
+                admitted_at: Instant::now(),
+            });
         }
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+        self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.queue_bytes);
 
+        // Backpressure, oldest first.  Byte bound: shed queued work until
+        // the footprint fits (a single oversized delta executes
+        // immediately, emptying the queue).
+        while config.admit_bytes > 0 && self.queue_bytes > config.admit_bytes {
+            self.execute_queue_front();
+            self.stats.executions_forced_by_bytes += 1;
+        }
+        // Latency target: any delta older than the staleness budget is
+        // overdue — force it (and anything queued ahead of it already ran).
+        self.enforce_latency_target();
+        // Count capacity, as before.
         while self.queue.len() > config.admit_capacity {
-            let (rel, delta) = self.queue.pop_front().expect("queue length checked");
-            self.execute_canonical(&rel, delta, true);
+            self.execute_queue_front();
         }
         stats
     }
@@ -810,18 +967,59 @@ impl Backend for ThreadedCluster {
     fn totals(&self) -> &ClusterTotals {
         &self.totals
     }
+
+    fn pipeline_stats(&self) -> Option<PipelineStats> {
+        if self.is_pipelined() {
+            Some(self.stats.clone())
+        } else {
+            None
+        }
+    }
 }
 
-impl Drop for ThreadedCluster {
-    fn drop(&mut self) {
-        // Dropping without a `flush` abandons queued batches; the workers
-        // only need their channels drained of commands.
+impl ThreadedCluster {
+    /// Abandon every admitted-but-unissued batch *without executing it*,
+    /// shut the worker threads down, and return the final pipeline stats
+    /// (with [`PipelineStats::batches_abandoned`] counting the dropped
+    /// queue).  This is the observable form of the `Drop` path; use
+    /// [`ThreadedCluster::flush`] first if queued batches must be applied.
+    pub fn close(mut self) -> PipelineStats {
+        self.abandon_queue();
+        self.shutdown_workers();
+        self.stats.clone()
+    }
+
+    /// Drop queued deltas without executing them (no maintenance program
+    /// runs, no worker messages are sent).
+    fn abandon_queue(&mut self) {
+        self.stats.batches_abandoned += self.queue.len();
+        self.queue.clear();
+        self.queue_bytes = 0;
+    }
+
+    /// Stop the worker threads.  Workers only need their command channels
+    /// drained; any uncollected block replies are discarded with the
+    /// reply channels.  Idempotent.
+    fn shutdown_workers(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
         for tx in &self.requests {
             let _ = tx.send(Request::Shutdown);
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+impl Drop for ThreadedCluster {
+    fn drop(&mut self) {
+        // Dropping without a `flush` abandons queued batches — they must
+        // never execute from a destructor (a drop during unwinding must not
+        // run maintenance programs or block on workers beyond joining).
+        self.abandon_queue();
+        self.shutdown_workers();
     }
 }
 
@@ -952,7 +1150,7 @@ mod tests {
             PipelineConfig {
                 coalesce_tuples: 1_000,
                 admit_capacity: 64,
-                inflight_blocks: 4,
+                ..Default::default()
             },
         );
         // 16 single-tuple R batches then one S batch: the R's coalesce into
@@ -1004,6 +1202,7 @@ mod tests {
             coalesce_tuples: 0, // keep every batch distinct
             admit_capacity: 1,  // force eager execution
             inflight_blocks: 2,
+            ..Default::default()
         };
         let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 3, config);
         let mut sync = ThreadedCluster::new(example_dplan(OptLevel::O3), 3);
@@ -1045,6 +1244,7 @@ mod tests {
             coalesce_tuples: 1_000,
             admit_capacity: 2,
             inflight_blocks: 2,
+            ..Default::default()
         };
         let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 3, config);
         let all = batches(); // [R1, S1, T1, R2]
@@ -1098,6 +1298,7 @@ mod tests {
                 coalesce_tuples: 64,
                 admit_capacity: 2,
                 inflight_blocks: inflight,
+                ..Default::default()
             };
             let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 4, config);
             let mut sync = ThreadedCluster::new(example_dplan(OptLevel::O3), 4);
@@ -1180,6 +1381,213 @@ mod tests {
         );
         assert_eq!(stats.stages, 0);
         assert!(cluster.query_result().is_empty());
+    }
+
+    #[test]
+    fn adaptive_mode_matches_synchronous_state() {
+        // The controller only re-times trigger boundaries; view state must
+        // match the synchronous schedule exactly (integer multiplicities
+        // here, so even coalesced runs are bit-exact).
+        let mut sync = ThreadedCluster::new(example_dplan(OptLevel::O3), 2);
+        let mut adaptive =
+            ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 2, PipelineConfig::adaptive());
+        for (rel, batch) in batches() {
+            sync.apply_batch(rel, &batch);
+            adaptive.apply_batch(rel, &batch);
+        }
+        adaptive.flush();
+        assert_eq!(
+            adaptive.query_result().checksum(),
+            sync.query_result().checksum(),
+            "adaptive coalescing changed view state"
+        );
+        assert!(adaptive.stats.coalesce_bound > 0);
+    }
+
+    #[test]
+    fn adaptive_controller_is_fed_by_the_stream() {
+        // Enough triggers to close probe windows: tiny probe window, eager
+        // execution so every admission triggers.
+        let config = PipelineConfig {
+            adaptive: Some(AdaptiveConfig {
+                probe_triggers: 1,
+                initial_tuples: 64,
+                ..Default::default()
+            }),
+            admit_capacity: 0, // execute every admitted batch immediately
+            ..Default::default()
+        };
+        let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 2, config);
+        for _ in 0..4 {
+            for (rel, batch) in batches() {
+                piped.apply_batch(rel, &batch);
+            }
+        }
+        piped.flush();
+        assert!(
+            piped.stats.bound_adjustments + piped.stats.bound_reversals > 0,
+            "controller never moved: {:?}",
+            piped.stats
+        );
+    }
+
+    #[test]
+    fn byte_bound_backpressures_the_admission_queue() {
+        let admit_bytes = 600usize;
+        let config = PipelineConfig {
+            coalesce_tuples: 0, // keep batches distinct so the queue grows
+            admit_capacity: 1_000,
+            ..Default::default()
+        }
+        .with_admit_bytes(admit_bytes);
+        let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 2, config);
+        let mut sync = ThreadedCluster::new(example_dplan(OptLevel::O3), 2);
+        for _ in 0..4 {
+            for (rel, batch) in batches() {
+                piped.apply_batch(rel, &batch);
+                sync.apply_batch(rel, &batch);
+                assert!(
+                    piped.queued_bytes() <= admit_bytes,
+                    "queue footprint {} exceeds the byte bound",
+                    piped.queued_bytes()
+                );
+            }
+        }
+        assert!(
+            piped.stats.executions_forced_by_bytes > 0,
+            "the byte bound never engaged: {:?}",
+            piped.stats
+        );
+        piped.flush();
+        assert_eq!(piped.queued_bytes(), 0);
+        assert_eq!(
+            piped.query_result().checksum(),
+            sync.query_result().checksum(),
+            "byte backpressure changed view state"
+        );
+    }
+
+    #[test]
+    fn latency_target_bounds_watermark_lag() {
+        // A zero staleness budget makes every queued delta overdue at the
+        // next admission: the queue can never hold more than the batch
+        // currently being admitted, so reads are never more than one batch
+        // stale — the latency end of the latency/throughput tradeoff.
+        let config = PipelineConfig {
+            coalesce_tuples: 1_000_000,
+            admit_capacity: 1_000,
+            ..Default::default()
+        }
+        .with_latency_target(Duration::ZERO);
+        let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 2, config);
+        for (rel, batch) in batches() {
+            piped.apply_batch(rel, &batch);
+            assert!(
+                piped.queued_batches() <= 1,
+                "latency target must keep the queue drained"
+            );
+        }
+        assert!(
+            piped.stats.executions_forced_by_latency > 0,
+            "the latency target never engaged: {:?}",
+            piped.stats
+        );
+        // Zero budget also vetoes coalescing into aged deltas: nothing may
+        // ring-sum into a delta that is already overdue.
+        assert_eq!(piped.stats.batches_coalesced, 0);
+        piped.flush();
+
+        // An unbounded budget must never force executions.
+        let lax = PipelineConfig {
+            coalesce_tuples: 1_000_000,
+            admit_capacity: 1_000,
+            ..Default::default()
+        }
+        .with_latency_target(Duration::from_secs(3_600));
+        let mut relaxed = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 2, lax);
+        for (rel, batch) in batches() {
+            relaxed.apply_batch(rel, &batch);
+        }
+        assert_eq!(relaxed.stats.executions_forced_by_latency, 0);
+        relaxed.flush();
+    }
+
+    #[test]
+    fn reads_enforce_the_latency_target() {
+        // A finite budget, then a sleep that guarantees anything still
+        // queued is overdue: the next *read* must force it through — no
+        // flush, no further admissions.  (A scheduler pause may legally
+        // force some deltas during admission already, so only the
+        // post-read state is asserted exactly.)
+        let config = PipelineConfig {
+            coalesce_tuples: 0, // keep every batch distinct
+            admit_capacity: 1_000,
+            ..Default::default()
+        }
+        .with_latency_target(Duration::from_millis(100));
+        let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 2, config);
+        for (rel, batch) in batches() {
+            piped.apply_batch(rel, &batch);
+        }
+        assert!(piped.queued_batches() <= batches().len());
+        std::thread::sleep(Duration::from_millis(150));
+        let read = piped.query_result();
+        assert_eq!(
+            piped.queued_batches(),
+            0,
+            "the read must flush overdue deltas"
+        );
+        // Every execution was latency-forced, whether the admission loop or
+        // the read drove it.
+        assert!(piped.stats.executions_forced_by_latency >= 1);
+        assert_eq!(
+            piped.stats.executions_forced_by_latency,
+            piped.stats.batches_executed
+        );
+        let mut sync = ThreadedCluster::new(example_dplan(OptLevel::O3), 2);
+        for (rel, batch) in batches() {
+            sync.apply_batch(rel, &batch);
+        }
+        assert_eq!(read.checksum(), sync.query_result().checksum());
+    }
+
+    #[test]
+    fn close_abandons_queued_batches_without_executing() {
+        let config = PipelineConfig {
+            coalesce_tuples: 0, // keep every admitted batch distinct
+            admit_capacity: 1_000,
+            ..Default::default()
+        };
+        let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 4, config);
+        for (rel, batch) in batches() {
+            piped.apply_batch(rel, &batch);
+        }
+        assert_eq!(piped.queued_batches(), batches().len());
+        assert_eq!(piped.stats.batches_executed, 0);
+        let final_stats = piped.close(); // must not hang, execute, or leak
+        assert_eq!(final_stats.batches_abandoned, batches().len());
+        assert_eq!(
+            final_stats.batches_executed, 0,
+            "close() must not execute queued deltas"
+        );
+
+        // Same invariant on the plain Drop path, with replies still in
+        // flight: issued-but-uncollected block completions plus a queued
+        // tail must shut down cleanly.
+        let config = PipelineConfig {
+            coalesce_tuples: 0,
+            admit_capacity: 2, // forces some eager (pipelined) executions
+            inflight_blocks: 8,
+            ..Default::default()
+        };
+        let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 4, config);
+        for _ in 0..3 {
+            for (rel, batch) in batches() {
+                piped.apply_batch(rel, &batch);
+            }
+        }
+        assert!(piped.queued_batches() > 0);
+        drop(piped); // no hang, no panic, queued deltas never execute
     }
 
     #[test]

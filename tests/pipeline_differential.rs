@@ -9,6 +9,9 @@
 //!   after every distributed block;
 //! * **pipelined** — `ThreadedCluster::pipelined`, admission queue, delta
 //!   coalescing and a bounded in-flight window;
+//! * **adaptive pipelined** — the self-tuning coalescing controller with
+//!   byte-bounded backpressure and a latency target (timing-driven, so its
+//!   trigger schedule differs run to run — the state must not);
 //! * **full recomputation** — from-scratch evaluation of the query over the
 //!   accumulated base relations (the ground truth).
 //!
@@ -27,7 +30,10 @@
 //! optimization levels and the `{1, 2, 4}` worker axis (restrict with
 //! `HOTDOG_WORKERS=n`, as the CI matrix does).  Failures are shrunk by the
 //! proptest shim to a minimal (query, seed, batch size, deletion fraction)
-//! tuple.
+//! tuple.  Every property prints its RNG seed and honours `HOTDOG_SEED`, so
+//! a red CI matrix cell replays locally bit-for-bit:
+//! `HOTDOG_WORKERS=2 HOTDOG_SEED=<printed seed> cargo test --release --test
+//! pipeline_differential -- --nocapture`.
 
 use hotdog::prelude::*;
 use proptest::prelude::*;
@@ -87,7 +93,11 @@ fn run_backend<B: Backend>(mut backend: B, batches: &[Vec<(&'static str, Relatio
 ///   admission queue, in-flight window and watermarks are transparent;
 /// * pipelined with coalescing ≈ simulated (`1e-9` relative) — ring-sum
 ///   coalescing is exact in real arithmetic but associates float additions
-///   differently.
+///   differently;
+/// * **adaptive** pipelined (self-tuning coalescing bound + byte-bounded
+///   backpressure + a latency target) ≈ simulated (`1e-9` relative): the
+///   controller and the backpressure paths only move *trigger boundaries*,
+///   never view state — whatever schedule the measured timings produce.
 ///
 /// Returns an error message for the proptest shrinker instead of
 /// panicking.
@@ -109,10 +119,30 @@ fn differential_check(
     let sync = run_backend(ThreadedCluster::new(compile_for(q, opt), workers), &batches);
     let no_coalesce = PipelineConfig {
         coalesce_tuples: 0,
+        adaptive: None,
         ..pipeline.clone()
     };
     let piped = run_backend(
         ThreadedCluster::pipelined(compile_for(q, opt), workers, no_coalesce),
+        &batches,
+    );
+    let adaptive_config = PipelineConfig {
+        adaptive: Some(AdaptiveConfig {
+            // Tiny probe windows so the controller actually moves within a
+            // short differential stream.
+            probe_triggers: 1,
+            initial_tuples: (batch_size * 2).max(16),
+            ..Default::default()
+        }),
+        // Exercise both backpressure paths: a byte bound small enough to
+        // engage on these streams, and a staleness budget that forces some
+        // deltas through mid-stream (zero after the first admission).
+        admit_bytes: 4_096,
+        latency_target: Some(std::time::Duration::from_micros(200)),
+        ..pipeline.clone()
+    };
+    let adaptive = run_backend(
+        ThreadedCluster::pipelined(compile_for(q, opt), workers, adaptive_config),
         &batches,
     );
     let coalesced = run_backend(
@@ -142,6 +172,12 @@ fn differential_check(
     if !coalesced.approx_eq_eps(&sim, 1e-9) {
         return Err(format!(
             "{} {opt:?} x{workers} b{batch_size}: coalesced pipeline diverged beyond float tolerance\nsim {sim:?}\ncoalesced {coalesced:?}",
+            q.id
+        ));
+    }
+    if !adaptive.approx_eq_eps(&sim, 1e-9) {
+        return Err(format!(
+            "{} {opt:?} x{workers} b{batch_size}: adaptive pipeline diverged beyond float tolerance\nsim {sim:?}\nadaptive {adaptive:?}",
             q.id
         ));
     }
@@ -210,7 +246,8 @@ fn batch_size_extremes_agree() {
 }
 
 /// An aggressive pipeline configuration (tiny admission queue, tiny
-/// in-flight window, huge coalescing threshold) must not change results.
+/// in-flight window, huge coalescing threshold, starved byte budget, zero
+/// staleness budget) must not change results.
 #[test]
 fn aggressive_pipeline_configs_agree() {
     let workers = *workers_under_test().last().unwrap();
@@ -221,11 +258,39 @@ fn aggressive_pipeline_configs_agree() {
             coalesce_tuples: 100_000,
             admit_capacity: 1,
             inflight_blocks: 1,
+            ..Default::default()
         },
         PipelineConfig {
             coalesce_tuples: 0,
             admit_capacity: 64,
             inflight_blocks: 16,
+            ..Default::default()
+        },
+        // Byte backpressure so tight every admission forces execution.
+        PipelineConfig {
+            coalesce_tuples: 100_000,
+            admit_capacity: 64,
+            admit_bytes: 1,
+            ..Default::default()
+        },
+        // Zero staleness budget: the latency target drains the queue on
+        // every admission and vetoes all coalescing into aged deltas.
+        PipelineConfig {
+            coalesce_tuples: 100_000,
+            admit_capacity: 64,
+            latency_target: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        },
+        // Adaptive controller with a pathological starting point.
+        PipelineConfig {
+            adaptive: Some(AdaptiveConfig {
+                min_tuples: 1,
+                initial_tuples: 1,
+                probe_triggers: 1,
+                ..Default::default()
+            }),
+            admit_capacity: 2,
+            ..Default::default()
         },
     ] {
         differential_check(&q, &stream, 7, workers, OptLevel::O2, config)

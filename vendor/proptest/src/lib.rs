@@ -259,6 +259,30 @@ impl Default for ProptestConfig {
     }
 }
 
+/// The RNG seed a `proptest!` test runs under: the `HOTDOG_SEED`
+/// environment variable when set (so a red CI cell can be replayed locally
+/// bit-for-bit — every test prints its seed), otherwise an FNV-1a hash of
+/// the test name (deterministic, distinct per test).
+///
+/// A set-but-unparsable `HOTDOG_SEED` panics instead of silently falling
+/// back: quietly running a different seed than the one the developer asked
+/// for would make a real failure look non-reproducible.
+pub fn resolve_seed(test_name: &str) -> u64 {
+    if let Ok(raw) = std::env::var("HOTDOG_SEED") {
+        return raw.trim().parse::<u64>().unwrap_or_else(|_| {
+            panic!(
+                "HOTDOG_SEED={raw:?} is not a u64 seed; copy the decimal seed a \
+                 proptest failure printed (unset HOTDOG_SEED for derived seeds)"
+            )
+        });
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Upper bound on property re-executions spent minimizing one failure.
 const SHRINK_BUDGET: usize = 1024;
 
@@ -380,15 +404,16 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
-                // Seed derived from the test name: deterministic, distinct
-                // per test.
-                let seed = {
-                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-                    for b in stringify!($name).bytes() {
-                        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
-                    }
-                    h
-                };
+                // Seed from HOTDOG_SEED when set (bit-for-bit replay of a
+                // failed run), otherwise derived from the test name:
+                // deterministic, distinct per test.
+                let seed = $crate::resolve_seed(stringify!($name));
+                eprintln!(
+                    "proptest {}: running {} cases with seed {seed} \
+                     (replay with HOTDOG_SEED={seed})",
+                    stringify!($name),
+                    config.cases,
+                );
                 let mut rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(seed);
                 // One combined strategy over the parameter tuple, so
                 // shrinking can minimize every parameter.
@@ -401,7 +426,8 @@ macro_rules! proptest {
                     });
                     if let ::std::result::Result::Err((minimal, msg, steps)) = outcome {
                         panic!(
-                            "proptest case {case} of {} failed: {msg}\n\
+                            "proptest case {case} of {} (seed {seed}; replay this exact \
+                             run with HOTDOG_SEED={seed}) failed: {msg}\n\
                              minimal failing input ({steps} shrink steps): {minimal:#?}",
                             stringify!($name),
                         );
@@ -490,5 +516,22 @@ mod tests {
     #[test]
     fn macro_generated_test_runs() {
         macro_round_trips();
+    }
+
+    #[test]
+    fn resolved_seeds_are_deterministic_and_distinct_per_name() {
+        if std::env::var("HOTDOG_SEED").is_ok() {
+            // Under an explicit replay seed every test shares it by design;
+            // the per-name properties below only hold for derived seeds.
+            return;
+        }
+        assert_eq!(
+            crate::resolve_seed("some_test"),
+            crate::resolve_seed("some_test")
+        );
+        assert_ne!(
+            crate::resolve_seed("some_test"),
+            crate::resolve_seed("other_test")
+        );
     }
 }
