@@ -7,8 +7,9 @@
 //!
 //! * **ratio metrics** — machine-independent numbers computed on one host
 //!   within one run (`pipeline_stream[*].speedup`,
-//!   `adaptive_stream[*].adaptive_vs_best_static`).  These are the tight
-//!   gate: a drop means the *relative* win shrank.
+//!   `adaptive_stream[*].adaptive_vs_best_static`,
+//!   `async_gather[*].speedup` / `async_gather_strong[*].speedup`).
+//!   These are the tight gate: a drop means the *relative* win shrank.
 //! * **throughput metrics** — absolute tuples/sec
 //!   (`fig9_weak_scaling.rows[*].throughput_tps`, same for fig10).  These
 //!   move with the host, so their tolerance is loose by default; they catch
@@ -182,6 +183,8 @@ pub fn diff_artifacts(
     for (section, metric) in [
         ("pipeline_stream", "speedup"),
         ("adaptive_stream", "adaptive_vs_best_static"),
+        ("async_gather", "speedup"),
+        ("async_gather_strong", "speedup"),
     ] {
         let base_rows = metric_rows(baseline, section, None, metric, cmp_key);
         let compared_before = report.compared.len();
@@ -323,6 +326,40 @@ mod tests {
         let report3 = diff_artifacts(&base, &cand3, Tolerances::default());
         assert!(!report3.ratio_gate_lost);
         assert!(!report3.missing.is_empty());
+    }
+
+    #[test]
+    fn async_gather_sections_are_gated() {
+        let ag = |speedup: f64, strong: f64| {
+            JsonValue::parse(&format!(
+                r#"{{
+                  "async_gather": [
+                    {{"query": "Q3", "workers": 1, "speedup": {speedup}}}
+                  ],
+                  "async_gather_strong": [
+                    {{"query": "Q7", "workers": 1, "speedup": {strong}}}
+                  ]
+                }}"#
+            ))
+            .unwrap()
+        };
+        let base = ag(1.3, 1.2);
+        // Within tolerance: both protocol ratios compare, nothing trips.
+        let report = diff_artifacts(&base, &ag(1.25, 1.15), Tolerances::default());
+        assert_eq!(report.compared.len(), 2);
+        assert!(report.regressions().is_empty());
+        // A tagged-path collapse beyond tolerance trips the tight gate.
+        let report = diff_artifacts(&base, &ag(0.6, 1.2), Tolerances::default());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].metric.starts_with("async_gather.speedup"));
+        // The whole section evaporating is flagged, per section.
+        let cand = JsonValue::parse(
+            r#"{"async_gather": [{"query": "Q3", "workers": 1, "speedup": 1.3}]}"#,
+        )
+        .unwrap();
+        let report = diff_artifacts(&base, &cand, Tolerances::default());
+        assert!(report.ratio_gate_lost, "async_gather_strong loss must flag");
     }
 
     #[test]

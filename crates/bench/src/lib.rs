@@ -118,6 +118,11 @@ pub enum BackendKind {
     /// throughput-vs-batch-size curve online instead of fixing a point on
     /// it a priori.
     Adaptive,
+    /// Pipelined backend on the positional-FIFO compatibility schedule
+    /// (drain the in-flight window before every gather, one scatter
+    /// message per statement): the baseline arm of the tagged-reply
+    /// protocol's `async_gather` comparison.
+    PipelinedFifo { coalesce_tuples: usize },
 }
 
 impl BackendKind {
@@ -127,6 +132,7 @@ impl BackendKind {
             BackendKind::Threaded => "measured",
             BackendKind::Pipelined { .. } => "pipelined",
             BackendKind::Adaptive => "adaptive",
+            BackendKind::PipelinedFifo { .. } => "pipelined-fifo",
         }
     }
 
@@ -141,7 +147,9 @@ impl BackendKind {
         match self {
             BackendKind::Simulated => "modelled_batch",
             BackendKind::Threaded => "measured_batch_wall",
-            BackendKind::Pipelined { .. } | BackendKind::Adaptive => "driver_issue_time",
+            BackendKind::Pipelined { .. }
+            | BackendKind::Adaptive
+            | BackendKind::PipelinedFifo { .. } => "driver_issue_time",
         }
     }
 
@@ -150,7 +158,9 @@ impl BackendKind {
     /// [`BackendKind::latency_kind`]).
     pub fn latency_column(&self) -> &'static str {
         match self {
-            BackendKind::Pipelined { .. } | BackendKind::Adaptive => "median issue (ms)",
+            BackendKind::Pipelined { .. }
+            | BackendKind::Adaptive
+            | BackendKind::PipelinedFifo { .. } => "median issue (ms)",
             _ => "median latency (ms)",
         }
     }
@@ -164,22 +174,32 @@ impl BackendKind {
                 Some(PipelineConfig::with_coalesce(*coalesce_tuples))
             }
             BackendKind::Adaptive => Some(PipelineConfig::adaptive()),
+            BackendKind::PipelinedFifo { coalesce_tuples } => Some(PipelineConfig {
+                coalesce_tuples: *coalesce_tuples,
+                ..PipelineConfig::fifo_compat()
+            }),
         }
     }
 
-    /// Parse `--real`, `--pipeline`, `--coalesce=N` and `--adaptive` from a
-    /// binary's argument list (`--coalesce` implies `--pipeline`;
-    /// `--adaptive` wins over both).
+    /// Parse `--real`, `--pipeline`, `--coalesce=N`, `--adaptive` and
+    /// `--fifo-gather` from a binary's argument list (`--coalesce` implies
+    /// `--pipeline`; `--adaptive` wins over both; `--fifo-gather` demotes a
+    /// pipelined run to the positional-FIFO compatibility schedule).
     pub fn from_args() -> BackendKind {
         let mut pipeline = false;
         let mut real = false;
         let mut adaptive = false;
+        let mut fifo = false;
         let mut coalesce = PipelineConfig::default().coalesce_tuples;
         for arg in std::env::args() {
             match arg.as_str() {
                 "--real" => real = true,
                 "--pipeline" => pipeline = true,
                 "--adaptive" => adaptive = true,
+                "--fifo-gather" => {
+                    pipeline = true;
+                    fifo = true;
+                }
                 a => {
                     if let Some(n) = a.strip_prefix("--coalesce=") {
                         pipeline = true;
@@ -190,6 +210,10 @@ impl BackendKind {
         }
         if adaptive {
             BackendKind::Adaptive
+        } else if fifo {
+            BackendKind::PipelinedFifo {
+                coalesce_tuples: coalesce,
+            }
         } else if pipeline {
             BackendKind::Pipelined {
                 coalesce_tuples: coalesce,
@@ -254,6 +278,9 @@ impl DistRun {
                     .int("coalesce_bound", c.coalesce_bound as u64)
                     .int("bound_adjustments", c.bound_adjustments as u64)
                     .int("bound_reversals", c.bound_reversals as u64)
+                    .int("gathers_overlapped", c.gathers_overlapped as u64)
+                    .int("scatter_messages_sent", c.scatter_messages_sent as u64)
+                    .int("scatter_messages_saved", c.scatter_messages_saved as u64)
                     .render(),
             );
         }
@@ -586,6 +613,140 @@ pub fn compare_stream_throughput(
         tuples_per_batch,
         sync,
         pipelined,
+    }
+}
+
+/// Head-to-head of the tagged-reply protocol against its positional-FIFO
+/// compatibility schedule: the same many-small-batch stream through the
+/// pipelined runtime with fully async gathers + batched scatters (tagged)
+/// and with full-window drains before every fetch + one scatter message per
+/// statement (fifo).  Both arms run the identical trigger sequence, so the
+/// speedup isolates the protocol change.
+#[derive(Clone, Debug)]
+pub struct AsyncGatherComparison {
+    pub query: String,
+    pub workers: usize,
+    pub n_batches: usize,
+    pub tuples_per_batch: usize,
+    pub fifo: DistRun,
+    pub tagged: DistRun,
+}
+
+impl AsyncGatherComparison {
+    /// Tagged over FIFO throughput (≥ 1 means the tagged protocol matched
+    /// or beat the positional schedule).
+    pub fn speedup(&self) -> f64 {
+        if self.fifo.throughput == 0.0 {
+            0.0
+        } else {
+            self.tagged.throughput / self.fifo.throughput
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let c = self.tagged.coalesce.as_ref();
+        json::JsonObj::new()
+            .str("query", &self.query)
+            .int("workers", self.workers as u64)
+            .int("n_batches", self.n_batches as u64)
+            .int("tuples_per_batch", self.tuples_per_batch as u64)
+            .num("speedup", self.speedup())
+            .int(
+                "gathers_overlapped",
+                c.map(|c| c.gathers_overlapped).unwrap_or(0) as u64,
+            )
+            .int(
+                "scatter_messages_saved",
+                c.map(|c| c.scatter_messages_saved).unwrap_or(0) as u64,
+            )
+            .raw("fifo", self.fifo.to_json())
+            .raw("tagged", self.tagged.to_json())
+            .render()
+    }
+}
+
+/// Table header matching [`async_gather_row`], shared by the fig9/fig10
+/// protocol-comparison tables.
+pub const ASYNC_GATHER_HEADER: [&str; 8] = [
+    "query",
+    "workers",
+    "stream",
+    "fifo (Ktup/s)",
+    "tagged (Ktup/s)",
+    "speedup",
+    "overlapped gathers",
+    "msgs saved",
+];
+
+/// One [`print_table`] row for a protocol comparison (columns per
+/// [`ASYNC_GATHER_HEADER`]).
+pub fn async_gather_row(cmp: &AsyncGatherComparison) -> Vec<String> {
+    let c = cmp.tagged.coalesce.as_ref();
+    vec![
+        cmp.query.clone(),
+        cmp.workers.to_string(),
+        format!("{} x {}", cmp.n_batches, cmp.tuples_per_batch),
+        f(cmp.fifo.throughput / 1e3),
+        f(cmp.tagged.throughput / 1e3),
+        format!("{:.2}x", cmp.speedup()),
+        c.map(|c| c.gathers_overlapped.to_string())
+            .unwrap_or_default(),
+        c.map(|c| c.scatter_messages_saved.to_string())
+            .unwrap_or_default(),
+    ]
+}
+
+/// Push a `n_batches`×`tuples_per_batch` stream through the pipelined
+/// runtime under both reply-accounting schedules, coalescing up to
+/// `coalesce_tuples` per trigger in each arm.
+///
+/// The streams are tiny (the point is many small triggers, i.e. many
+/// gather rounds), so a single run is at the mercy of scheduler noise:
+/// each arm runs three times in alternating order and the
+/// median-throughput run represents it — the same treatment for both
+/// arms, so the ratio stays honest while the tails are cut.
+pub fn compare_async_gather(
+    q: &CatalogQuery,
+    workers: usize,
+    n_batches: usize,
+    tuples_per_batch: usize,
+    coalesce_tuples: usize,
+) -> AsyncGatherComparison {
+    const REPEATS: usize = 3;
+    let stream = stream_for(q, n_batches * tuples_per_batch, 64);
+    let mut fifo_runs = Vec::with_capacity(REPEATS);
+    let mut tagged_runs = Vec::with_capacity(REPEATS);
+    for _ in 0..REPEATS {
+        fifo_runs.push(run_distributed_on(
+            q,
+            &stream,
+            workers,
+            tuples_per_batch,
+            OptLevel::O3,
+            BackendKind::PipelinedFifo { coalesce_tuples },
+        ));
+        tagged_runs.push(run_distributed_on(
+            q,
+            &stream,
+            workers,
+            tuples_per_batch,
+            OptLevel::O3,
+            BackendKind::Pipelined { coalesce_tuples },
+        ));
+    }
+    let median = |mut runs: Vec<DistRun>| -> DistRun {
+        runs.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+        runs.swap_remove(REPEATS / 2)
+    };
+    let fifo = median(fifo_runs);
+    let tagged = median(tagged_runs);
+    AsyncGatherComparison {
+        query: q.id.to_string(),
+        workers,
+        n_batches,
+        tuples_per_batch,
+        fifo,
+        tagged,
     }
 }
 

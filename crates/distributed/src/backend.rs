@@ -52,6 +52,17 @@ pub struct PipelineStats {
     pub executions_forced_by_latency: usize,
     /// Slowest worker's interpreter work observed across lazy reply drains.
     pub max_worker_instructions: u64,
+    /// Gather/repartition fetches issued while distributed-block
+    /// completions were still pending: the tagged-reply protocol let the
+    /// fetch overlap in-flight worker work instead of draining the window
+    /// first (always 0 under the FIFO-compat schedule).
+    pub gathers_overlapped: usize,
+    /// Multi-statement `ApplyMany` scatter messages shipped to workers.
+    pub scatter_messages_sent: usize,
+    /// Per-statement scatter messages avoided by batching (sum over
+    /// shipped messages of `statements - 1`); 0 when scatter batching is
+    /// disabled.
+    pub scatter_messages_saved: usize,
     /// Coalescing bound currently in force (the static threshold, or the
     /// adaptive controller's latest choice).
     pub coalesce_bound: usize,

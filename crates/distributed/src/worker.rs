@@ -97,6 +97,20 @@ impl WorkerState {
         }
     }
 
+    /// Apply a batch of received shards in statement order — the worker
+    /// side of a multi-statement `ApplyMany` scatter message.  Statement
+    /// order must be preserved: a later `SetTo` may overwrite an earlier
+    /// `AddTo` to the same exchange buffer, exactly as the per-statement
+    /// message sequence would have.
+    pub fn apply_all(
+        &mut self,
+        applies: impl IntoIterator<Item = (std::sync::Arc<DistStatement>, Relation)>,
+    ) {
+        for (stmt, shard) in applies {
+            self.apply(&stmt, shard);
+        }
+    }
+
     /// Read a named relation for a transformer: an exchange buffer if one
     /// exists, otherwise this node's partition of the view.
     pub fn read(&self, name: &str) -> Relation {

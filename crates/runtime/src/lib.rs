@@ -54,20 +54,35 @@
 //!    ([`PipelineConfig::latency_target`]) that forces overdue deltas
 //!    through and stops coalescing into half-expired ones — the
 //!    streaming latency/throughput tradeoff as a config knob.
-//! 2. **Bounded in-flight window** — when a queued batch is executed, the
-//!    driver broadcasts each distributed block and moves on *without
-//!    collecting the workers' completion replies*; per-channel FIFO order
-//!    keeps every worker's statement sequence identical to the synchronous
-//!    schedule.  Up to [`PipelineConfig::inflight_blocks`] block replies
-//!    per worker may be uncollected, so the driver runs `Local` blocks (and
-//!    scatters) of batch *k+1* while workers still execute the
-//!    `Distributed` blocks of batch *k*.  Replies are collected lazily — at
-//!    the window bound, before any data is fetched back (repartition /
-//!    gather), and at watermark commits.
+//! 2. **Bounded in-flight window over a tagged-reply protocol** — when a
+//!    queued batch is executed, the driver broadcasts each distributed
+//!    block and moves on *without collecting the workers' completion
+//!    replies*.  Every driver→worker instruction carries a **request id**
+//!    which the worker echoes in its reply, and the driver keeps a
+//!    per-worker completion ledger of pending ids, so replies are matched
+//!    by *identity*, never by channel position: a `Gather`/`Repart` fetch
+//!    waits only for its own request ids (absorbing block completions that
+//!    happen to arrive first into the ledger) instead of draining the
+//!    whole in-flight window, and the fetch instructions reach the worker
+//!    queues before the driver blocks — workers flow straight from a
+//!    batch's distributed blocks into its gather with no idle gap
+//!    ([`PipelineStats::gathers_overlapped`] counts fetches issued while
+//!    completions were still pending).  Up to
+//!    [`PipelineConfig::inflight_blocks`] block completions per worker may
+//!    be unsettled; the ledger settles them lazily — at the window bound,
+//!    opportunistically whenever replies have already arrived, and at
+//!    watermark commits.  Command channels remain FIFO, which is what
+//!    keeps every worker's *statement* sequence identical to the
+//!    synchronous schedule; only reply accounting is order-free.
+//!    Scatters batch: all shards a worker receives between two of its
+//!    commands ship as one multi-statement `ApplyMany` message per worker
+//!    per batch instead of one message per statement
+//!    ([`PipelineStats::scatter_messages_saved`] counts the reduction).
 //! 3. **Watermark tracking** — the cluster counts admitted, issued and
 //!    committed batches.  Reads ([`ThreadedCluster::view_contents`],
-//!    [`ThreadedCluster::query_result`]) first commit the watermark (drain
-//!    outstanding replies and barrier trailing scatters), so they always
+//!    [`ThreadedCluster::query_result`]) first commit the watermark
+//!    (settle the request-id ledger and barrier trailing scatters), so
+//!    they always
 //!    observe a *consistent batch boundary*: every issued batch
 //!    completely, no batch partially.  With coalescing disabled, the
 //!    issued batches are exactly a prefix of the admitted stream; with
@@ -95,68 +110,99 @@ use hotdog_distributed::{
     DistributedPlan, LocTag, PartitionFn, StmtMode, Transform, TriggerProgram, WorkerState,
 };
 use hotdog_exec::relabel;
-use std::collections::{HashMap, VecDeque};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// Commands the driver sends to a worker thread.  Per-channel FIFO order is
-/// the synchronization contract: an `Apply` enqueued before a `RunBlock` is
-/// guaranteed to be installed before the block executes, and a `Fetch`
-/// enqueued after a `RunBlock` observes the block's writes.
+/// Commands the driver sends to a worker thread.
+///
+/// Two-layer contract of the **tagged-reply protocol**:
+///
+/// * **Command order is per-channel FIFO** — an `ApplyMany` enqueued before
+///   a `RunBlock` is guaranteed to be installed before the block executes,
+///   and a `Fetch` enqueued after a `RunBlock` observes the block's writes.
+///   This is what keeps worker *state evolution* identical to the
+///   synchronous schedule.
+/// * **Reply accounting is by request id, never by position** — every
+///   command that produces a reply carries an `id` the worker echoes back,
+///   and the driver matches replies against its completion ledger.  The
+///   driver never has to drain replies it is not interested in yet, so a
+///   gather of batch *k* waits only for its own ids while block
+///   completions of the in-flight window settle whenever they arrive.
 enum Request {
     /// Execute one distributed block over this worker's shard and report
     /// the interpreter work performed.
     RunBlock {
+        id: u64,
         statements: Arc<Vec<DistStatement>>,
         deltas: Arc<HashMap<String, Relation>>,
     },
-    /// Install a scattered shard into the statement's target.
-    Apply {
-        stmt: Arc<DistStatement>,
-        shard: Relation,
+    /// Install a batch of scattered shards into their statements' targets,
+    /// in statement order.  One `ApplyMany` per worker per batch replaces
+    /// the per-statement `Apply` messages of the positional protocol
+    /// (produces no reply; a `Barrier` or any later tagged reply proves
+    /// delivery via command FIFO).
+    ApplyMany {
+        #[allow(dead_code)] // ids are uniform across the protocol; only
+        // replies are matched against the ledger.
+        id: u64,
+        applies: Vec<(Arc<DistStatement>, Relation)>,
     },
     /// Send back an exchange buffer (or this worker's view partition).
-    Fetch { name: String },
+    Fetch { id: u64, name: String },
     /// Send back this worker's partition of a materialized view.
-    Snapshot { view: String },
+    Snapshot { id: u64, view: String },
     /// Acknowledge that everything enqueued so far has been processed
-    /// (drains trailing `Apply`s so measured batch latency includes them).
-    Barrier,
+    /// (drains trailing `ApplyMany`s so measured batch latency includes
+    /// them).
+    Barrier { id: u64 },
     /// Exit the worker loop.
     Shutdown,
 }
 
-/// Worker responses (one per `RunBlock`/`Fetch`/`Snapshot`/`Barrier`
-/// request).
+/// Worker responses, each echoing the request id it answers
+/// (`RunBlock` → `Ran`, `Fetch`/`Snapshot` → `Rel`, `Barrier` → `Ack`).
 enum Reply {
-    Ran { instructions: u64 },
-    Rel(Relation),
-    Ack,
+    Ran { id: u64, instructions: u64 },
+    Rel { id: u64, rel: Relation },
+    Ack { id: u64 },
 }
 
 fn worker_loop(mut state: WorkerState, rx: Receiver<Request>, tx: Sender<Reply>) {
     while let Ok(msg) = rx.recv() {
         match msg {
-            Request::RunBlock { statements, deltas } => {
+            Request::RunBlock {
+                id,
+                statements,
+                deltas,
+            } => {
                 let mut counters = EvalCounters::default();
                 for stmt in statements.iter() {
                     state.run_compute(stmt, &deltas, &mut counters);
                 }
                 let _ = tx.send(Reply::Ran {
+                    id,
                     instructions: counters.instructions(),
                 });
             }
-            Request::Apply { stmt, shard } => state.apply(&stmt, shard),
-            Request::Fetch { name } => {
-                let _ = tx.send(Reply::Rel(state.read(&name)));
+            Request::ApplyMany { applies, .. } => state.apply_all(applies),
+            Request::Fetch { id, name } => {
+                let _ = tx.send(Reply::Rel {
+                    id,
+                    rel: state.read(&name),
+                });
             }
-            Request::Snapshot { view } => {
-                let _ = tx.send(Reply::Rel(state.snapshot(&view)));
+            Request::Snapshot { id, view } => {
+                let _ = tx.send(Reply::Rel {
+                    id,
+                    rel: state.snapshot(&view),
+                });
             }
-            Request::Barrier => {
-                let _ = tx.send(Reply::Ack);
+            Request::Barrier { id } => {
+                let _ = tx.send(Reply::Ack { id });
             }
             Request::Shutdown => break,
         }
@@ -232,9 +278,28 @@ pub struct PipelineConfig {
     /// paper's concave throughput curve (see [`adaptive`]).  Overrides
     /// [`PipelineConfig::coalesce_tuples`].
     pub adaptive: Option<AdaptiveConfig>,
-    /// Maximum uncollected distributed-block completions per worker before
-    /// the driver must collect the oldest one.
+    /// Maximum unsettled distributed-block completions per worker before
+    /// the driver must wait for one to settle.
     pub inflight_blocks: usize,
+    /// Fully asynchronous gathers (the tagged-reply schedule, default):
+    /// `Gather`/`Repart` fetches are issued immediately and wait only for
+    /// their own request ids; in-flight block completions settle into the
+    /// ledger whenever they arrive.  `false` restores the positional-FIFO
+    /// schedule — drain the entire in-flight window before any fetch — as
+    /// an A/B comparison arm (the `async_gather` bench section measures
+    /// tagged vs. FIFO).
+    pub async_gather: bool,
+    /// Ship scatters as one multi-statement `ApplyMany` message per worker
+    /// per batch (default).  `false` ships one message per scatter
+    /// statement, reproducing the positional protocol's channel traffic
+    /// for A/B comparison.
+    pub batch_scatters: bool,
+    /// Chaos/test knob: deterministically shuffle the driver's reply inbox
+    /// (seeded) on every arrival, forcing replies to be *consumed* out of
+    /// order.  Correctness must not depend on reply order — the ledger
+    /// matches by request id — so any seed must leave results and
+    /// watermarks bit-identical.  `None` (default) keeps arrival order.
+    pub shuffle_replies: Option<u64>,
 }
 
 impl Default for PipelineConfig {
@@ -246,6 +311,9 @@ impl Default for PipelineConfig {
             latency_target: None,
             adaptive: None,
             inflight_blocks: 4,
+            async_gather: true,
+            batch_scatters: true,
+            shuffle_replies: None,
         }
     }
 }
@@ -280,6 +348,27 @@ impl PipelineConfig {
         self.admit_bytes = admit_bytes;
         self
     }
+
+    /// Positional-FIFO compatibility schedule: drain the full in-flight
+    /// window before every gather/repart fetch and ship one scatter
+    /// message per statement.  State is bit-identical to the tagged
+    /// schedule (same trigger sequence, same per-worker command order);
+    /// only reply accounting and channel traffic differ.  Used as the
+    /// baseline arm of the `async_gather` benchmark comparison.
+    pub fn fifo_compat() -> Self {
+        PipelineConfig {
+            async_gather: false,
+            batch_scatters: false,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style reply-inbox shuffling (see
+    /// [`PipelineConfig::shuffle_replies`]).
+    pub fn with_shuffled_replies(mut self, seed: u64) -> Self {
+        self.shuffle_replies = Some(seed);
+        self
+    }
 }
 
 /// One admitted-but-unissued coalesced delta in the admission queue.
@@ -308,9 +397,26 @@ pub struct ThreadedCluster {
     requests: Vec<Sender<Request>>,
     replies: Vec<Receiver<Reply>>,
     handles: Vec<JoinHandle<()>>,
-    /// Whether `Apply` messages have been enqueued with no barrier behind
-    /// them yet (a trailing scatter must be drained before worker state is
-    /// read, or before a synchronous batch's wall clock stops).
+    /// Monotonic request-id source (shared across workers: ids are globally
+    /// unique, which makes ledger mismatches loud).
+    next_request_id: u64,
+    /// The completion ledger: per worker, the ids of `RunBlock` requests
+    /// whose `Ran` replies have not yet settled.
+    pending_blocks: Vec<HashSet<u64>>,
+    /// Per worker: replies received but not yet consumed (the stash that
+    /// makes reply *consumption* independent of arrival order).
+    inbox: Vec<Vec<Reply>>,
+    /// Per worker: scattered shards buffered on the driver, shipped as one
+    /// `ApplyMany` before the worker's next command (or at batch end).
+    pending_applies: Vec<Vec<(Arc<DistStatement>, Relation)>>,
+    /// Seeded inbox shuffler ([`PipelineConfig::shuffle_replies`]).
+    reply_shuffle: Option<StdRng>,
+    /// Slowest worker's interpreter work settled during the current
+    /// `execute_canonical` call (reported per batch in synchronous mode).
+    batch_max_instructions: u64,
+    /// Whether `ApplyMany` messages have been shipped with no barrier
+    /// behind them yet (a trailing scatter must be drained before worker
+    /// state is read, or before a synchronous batch's wall clock stops).
     applies_in_flight: bool,
     /// `Some` iff this cluster runs the pipelined ingestion path.
     pipeline: Option<PipelineConfig>,
@@ -322,8 +428,6 @@ pub struct ThreadedCluster {
     /// Serialized footprint of `queue` (incrementally maintained; the
     /// byte-bounded backpressure reads it on every admission).
     queue_bytes: usize,
-    /// Per worker: distributed-block completions not yet collected.
-    outstanding: Vec<usize>,
     /// Batches whose execution has been fully issued to driver and workers.
     issued: u64,
     /// Batches guaranteed visible to reads (issued + drained + barriered).
@@ -379,6 +483,10 @@ impl ThreadedCluster {
             replies.push(rep_rx);
             handles.push(handle);
         }
+        let reply_shuffle = pipeline
+            .as_ref()
+            .and_then(|c| c.shuffle_replies)
+            .map(StdRng::seed_from_u64);
         let mut cluster = ThreadedCluster {
             workers,
             dplan,
@@ -387,12 +495,17 @@ impl ThreadedCluster {
             requests,
             replies,
             handles,
+            next_request_id: 0,
+            pending_blocks: vec![HashSet::new(); workers],
+            inbox: (0..workers).map(|_| Vec::new()).collect(),
+            pending_applies: (0..workers).map(|_| Vec::new()).collect(),
+            reply_shuffle,
+            batch_max_instructions: 0,
             applies_in_flight: false,
             pipeline,
             controller,
             queue: VecDeque::new(),
             queue_bytes: 0,
-            outstanding: vec![0; workers],
             issued: 0,
             watermark: 0,
             stream_start: None,
@@ -426,6 +539,15 @@ impl ThreadedCluster {
         self.queue_bytes
     }
 
+    /// Size of the request-id ledger: block completions issued to workers
+    /// but not yet settled, plus replies stashed unconsumed in the
+    /// driver's inbox.  [`ThreadedCluster::flush`] (and every read) drains
+    /// this to zero — a flushed cluster owes its workers nothing.
+    pub fn outstanding_replies(&self) -> usize {
+        self.pending_blocks.iter().map(|p| p.len()).sum::<usize>()
+            + self.inbox.iter().map(|i| i.len()).sum::<usize>()
+    }
+
     /// Number of batches guaranteed visible to reads: reads observe
     /// exactly this many *issued* batches (post-coalescing), a prefix of
     /// the admitted stream when coalescing is off and of its commuted
@@ -435,44 +557,177 @@ impl ThreadedCluster {
         self.watermark
     }
 
-    /// Collect `n` outstanding block completions from worker `w`, folding
-    /// the reported interpreter work into the pipeline stats.
-    fn collect_from(&mut self, w: usize, n: usize) {
-        for _ in 0..n {
-            match self.replies[w].recv().expect("worker thread died") {
-                Reply::Ran { instructions } => {
-                    self.stats.max_worker_instructions =
-                        self.stats.max_worker_instructions.max(instructions);
-                }
-                _ => unreachable!("expected run reply"),
+    /// Fresh request id (globally unique across workers).
+    fn fresh_request_id(&mut self) -> u64 {
+        self.next_request_id += 1;
+        self.next_request_id
+    }
+
+    /// Stash one received reply in worker `w`'s inbox.  Under the
+    /// [`PipelineConfig::shuffle_replies`] chaos knob the inbox is
+    /// re-shuffled on every arrival, so consumers can never rely on
+    /// position — only on request ids.
+    fn stash_reply(&mut self, w: usize, reply: Reply) {
+        self.inbox[w].push(reply);
+        if let Some(rng) = self.reply_shuffle.as_mut() {
+            let inbox = &mut self.inbox[w];
+            for i in (1..inbox.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                inbox.swap(i, j);
             }
-            self.outstanding[w] -= 1;
         }
     }
 
-    /// Collect every outstanding block completion (all workers).
-    fn drain_outstanding(&mut self) {
-        for w in 0..self.workers {
-            let n = self.outstanding[w];
-            self.collect_from(w, n);
+    /// Move every already-arrived reply from worker `w`'s channel into its
+    /// inbox without blocking.
+    fn pump(&mut self, w: usize) {
+        while let Ok(reply) = self.replies[w].try_recv() {
+            self.stash_reply(w, reply);
         }
+    }
+
+    /// Block for one more reply from worker `w` and stash it.
+    fn recv_one(&mut self, w: usize) {
+        let reply = self.replies[w].recv().expect("worker thread died");
+        self.stash_reply(w, reply);
+    }
+
+    /// Settle every block completion currently in worker `w`'s inbox
+    /// against the ledger, folding the reported interpreter work into the
+    /// stats.  Replies awaited by someone else (`Rel`/`Ack`) stay stashed.
+    fn settle_completions(&mut self, w: usize) {
+        let mut i = 0;
+        while i < self.inbox[w].len() {
+            if matches!(self.inbox[w][i], Reply::Ran { .. }) {
+                let Reply::Ran { id, instructions } = self.inbox[w].swap_remove(i) else {
+                    unreachable!()
+                };
+                assert!(
+                    self.pending_blocks[w].remove(&id),
+                    "completion for request id {id} not in worker {w}'s ledger"
+                );
+                self.stats.max_worker_instructions =
+                    self.stats.max_worker_instructions.max(instructions);
+                self.batch_max_instructions = self.batch_max_instructions.max(instructions);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Opportunistically settle whatever completions have already arrived
+    /// from worker `w` (non-blocking).
+    fn settle_ready(&mut self, w: usize) {
+        self.pump(w);
+        self.settle_completions(w);
+    }
+
+    /// Block until at least one of worker `w`'s pending block ids settles.
+    fn await_one_completion(&mut self, w: usize) {
+        let before = self.pending_blocks[w].len();
+        debug_assert!(before > 0, "no pending block to await");
+        self.settle_ready(w);
+        while self.pending_blocks[w].len() >= before {
+            self.recv_one(w);
+            self.settle_completions(w);
+        }
+    }
+
+    /// Settle every pending block completion (all workers) — the full
+    /// ledger drain used by watermark commits and the FIFO-compat
+    /// schedule.
+    fn drain_pending_blocks(&mut self) {
+        for w in 0..self.workers {
+            while !self.pending_blocks[w].is_empty() {
+                self.await_one_completion(w);
+            }
+        }
+    }
+
+    /// Wait for the relation reply tagged `id` from worker `w`, settling
+    /// any block completions that arrive (or were shuffled) ahead of it.
+    fn await_rel(&mut self, w: usize, id: u64) -> Relation {
+        loop {
+            self.settle_completions(w);
+            if let Some(pos) = self.inbox[w]
+                .iter()
+                .position(|r| matches!(r, Reply::Rel { id: rid, .. } if *rid == id))
+            {
+                let Reply::Rel { rel, .. } = self.inbox[w].swap_remove(pos) else {
+                    unreachable!()
+                };
+                return rel;
+            }
+            self.recv_one(w);
+        }
+    }
+
+    /// Wait for the barrier acknowledgement tagged `id` from worker `w`.
+    fn await_ack(&mut self, w: usize, id: u64) {
+        loop {
+            self.settle_completions(w);
+            if let Some(pos) = self.inbox[w]
+                .iter()
+                .position(|r| matches!(r, Reply::Ack { id: rid } if *rid == id))
+            {
+                self.inbox[w].swap_remove(pos);
+                return;
+            }
+            self.recv_one(w);
+        }
+    }
+
+    /// Ship worker `w`'s buffered scatter shards as one `ApplyMany`
+    /// message.  Must run before any other command is sent to `w`, so the
+    /// worker installs the shards first (command channels are FIFO).
+    fn ship_applies(&mut self, w: usize) {
+        if self.pending_applies[w].is_empty() {
+            return;
+        }
+        let applies = std::mem::take(&mut self.pending_applies[w]);
+        self.stats.scatter_messages_sent += 1;
+        self.stats.scatter_messages_saved += applies.len() - 1;
+        let id = self.fresh_request_id();
+        self.requests[w]
+            .send(Request::ApplyMany { id, applies })
+            .expect("worker thread died");
+        self.applies_in_flight = true;
+    }
+
+    /// Ship every worker's buffered scatter shards.
+    fn ship_all_applies(&mut self) {
+        for w in 0..self.workers {
+            self.ship_applies(w);
+        }
+    }
+
+    /// Barrier every worker (drains trailing `ApplyMany`s), waiting on the
+    /// tagged acknowledgements.
+    fn barrier_applies(&mut self) {
+        let ids: Vec<u64> = (0..self.workers)
+            .map(|w| {
+                let id = self.fresh_request_id();
+                self.requests[w]
+                    .send(Request::Barrier { id })
+                    .expect("worker thread died");
+                id
+            })
+            .collect();
+        for (w, id) in ids.into_iter().enumerate() {
+            self.await_ack(w, id);
+        }
+        self.applies_in_flight = false;
     }
 
     /// Commit the watermark: after this, every issued batch is fully
-    /// applied on every node and safe to read.
+    /// applied on every node and safe to read.  Ships any buffered
+    /// scatters, settles the whole request-id ledger and barriers trailing
+    /// applies.
     fn commit_watermark(&mut self) {
-        self.drain_outstanding();
+        self.ship_all_applies();
+        self.drain_pending_blocks();
         if self.applies_in_flight {
-            for tx in &self.requests {
-                tx.send(Request::Barrier).expect("worker thread died");
-            }
-            for rx in &self.replies {
-                match rx.recv().expect("worker thread died") {
-                    Reply::Ack => {}
-                    _ => unreachable!("expected barrier ack"),
-                }
-            }
-            self.applies_in_flight = false;
+            self.barrier_applies();
         }
         self.watermark = self.issued;
     }
@@ -541,22 +796,46 @@ impl ThreadedCluster {
         }
     }
 
+    /// Whether gathers run fully asynchronously (the default tagged
+    /// schedule) or drain the in-flight window first (FIFO compat).
+    fn async_gather(&self) -> bool {
+        self.pipeline.as_ref().is_none_or(|c| c.async_gather)
+    }
+
+    /// Whether scatters buffer into per-worker `ApplyMany` batches.
+    fn batch_scatters(&self) -> bool {
+        self.pipeline.as_ref().is_none_or(|c| c.batch_scatters)
+    }
+
     /// Fetch one relation from every worker, in worker order (the merge
     /// order must match the simulator's sequential 0..N loop so float
-    /// accumulation is identical).  Collects outstanding block completions
-    /// first: replies are FIFO per channel, so fetched relations can only
-    /// be read from behind the pending `Ran` replies.
-    fn fetch_all(&mut self, make: impl Fn() -> Request) -> Vec<Relation> {
-        self.drain_outstanding();
-        for tx in &self.requests {
-            tx.send(make()).expect("worker thread died");
+    /// accumulation is identical).
+    ///
+    /// Tagged schedule: the fetch requests are issued to *every* worker
+    /// immediately and each reply is awaited by its request id; pending
+    /// block completions settle into the ledger as their replies arrive
+    /// instead of being drained up front, so workers flow from their
+    /// in-flight blocks straight into the fetch with the request already
+    /// queued.  FIFO-compat schedule (`async_gather = false`): drain the
+    /// entire window first, as the positional protocol had to.
+    fn fetch_all(&mut self, make: impl Fn(u64) -> Request) -> Vec<Relation> {
+        let outstanding: usize = self.pending_blocks.iter().map(|p| p.len()).sum();
+        if !self.async_gather() {
+            self.drain_pending_blocks();
+        } else if outstanding > 0 {
+            self.stats.gathers_overlapped += 1;
         }
-        self.replies
-            .iter()
-            .map(|rx| match rx.recv().expect("worker thread died") {
-                Reply::Rel(r) => r,
-                _ => unreachable!("expected relation reply"),
+        let ids: Vec<u64> = (0..self.workers)
+            .map(|w| {
+                self.ship_applies(w);
+                let id = self.fresh_request_id();
+                self.requests[w].send(make(id)).expect("worker thread died");
+                id
             })
+            .collect();
+        ids.into_iter()
+            .enumerate()
+            .map(|(w, id)| self.await_rel(w, id))
             .collect()
     }
 
@@ -581,20 +860,21 @@ impl ThreadedCluster {
             LocTag::Local => out.merge(&self.driver.snapshot(name)),
             LocTag::Replicated => {
                 // Every worker holds an identical copy; read one.
-                if let Some(rx) = self.replies.first() {
+                if self.workers > 0 {
+                    let id = self.fresh_request_id();
                     self.requests[0]
                         .send(Request::Snapshot {
+                            id,
                             view: name.to_string(),
                         })
                         .expect("worker thread died");
-                    match rx.recv().expect("worker thread died") {
-                        Reply::Rel(r) => out.merge(&r),
-                        _ => unreachable!("expected relation reply"),
-                    }
+                    let r = self.await_rel(0, id);
+                    out.merge(&r);
                 }
             }
             _ => {
-                for part in self.fetch_all(|| Request::Snapshot {
+                for part in self.fetch_all(|id| Request::Snapshot {
+                    id,
                     view: name.to_string(),
                 }) {
                     out.merge(&part);
@@ -752,6 +1032,7 @@ impl ThreadedCluster {
         if !self.programs.contains_key(relation) {
             return stats;
         }
+        self.batch_max_instructions = 0;
         let inflight_blocks = self
             .pipeline
             .as_ref()
@@ -786,43 +1067,47 @@ impl ThreadedCluster {
                 }
                 StmtMode::Distributed => {
                     if pipelined {
-                        // Respect the in-flight window, then issue the block
-                        // and move on; completions are collected lazily.
+                        // Opportunistically settle completions that have
+                        // already arrived, then enforce the in-flight
+                        // window — blocking only when a worker's ledger is
+                        // genuinely full.
                         for w in 0..self.workers {
-                            if self.outstanding[w] >= inflight_blocks.max(1) {
-                                let excess = self.outstanding[w] + 1 - inflight_blocks.max(1);
-                                self.collect_from(w, excess);
+                            self.settle_ready(w);
+                            while self.pending_blocks[w].len() >= inflight_blocks.max(1) {
+                                self.await_one_completion(w);
                             }
                         }
-                        for (w, tx) in self.requests.iter().enumerate() {
-                            tx.send(Request::RunBlock {
-                                statements: statements.clone(),
-                                deltas: deltas.clone(),
-                            })
-                            .expect("worker thread died");
-                            self.outstanding[w] += 1;
+                        for w in 0..self.workers {
+                            self.ship_applies(w);
+                            let id = self.fresh_request_id();
+                            self.requests[w]
+                                .send(Request::RunBlock {
+                                    id,
+                                    statements: statements.clone(),
+                                    deltas: deltas.clone(),
+                                })
+                                .expect("worker thread died");
+                            self.pending_blocks[w].insert(id);
                         }
                     } else {
-                        // One epoch: broadcast the block, barrier on
-                        // completion.
-                        for tx in &self.requests {
-                            tx.send(Request::RunBlock {
-                                statements: statements.clone(),
-                                deltas: deltas.clone(),
-                            })
-                            .expect("worker thread died");
+                        // One epoch: broadcast the block, barrier on the
+                        // tagged completions.
+                        for w in 0..self.workers {
+                            self.ship_applies(w);
+                            let id = self.fresh_request_id();
+                            self.requests[w]
+                                .send(Request::RunBlock {
+                                    id,
+                                    statements: statements.clone(),
+                                    deltas: deltas.clone(),
+                                })
+                                .expect("worker thread died");
+                            self.pending_blocks[w].insert(id);
                         }
-                        let mut max_instr = 0u64;
-                        for rx in &self.replies {
-                            match rx.recv().expect("worker thread died") {
-                                Reply::Ran { instructions } => {
-                                    max_instr = max_instr.max(instructions)
-                                }
-                                _ => unreachable!("expected run reply"),
-                            }
-                        }
-                        stats.max_worker_instructions =
-                            stats.max_worker_instructions.max(max_instr);
+                        self.drain_pending_blocks();
+                        stats.max_worker_instructions = stats
+                            .max_worker_instructions
+                            .max(self.batch_max_instructions);
                         // The block barrier also drained any earlier applies.
                         self.applies_in_flight = false;
                     }
@@ -830,22 +1115,15 @@ impl ThreadedCluster {
             }
         }
 
-        // A program ending in scatter/repart leaves Apply messages queued.
-        // The synchronous schedule drains them so the measured latency
-        // covers shard installation; the pipelined schedule leaves them in
-        // flight (FIFO order protects the next batch) and the watermark
-        // commit drains them before any read.
+        // A program ending in scatter/repart leaves shards buffered: ship
+        // them now as the batch's trailing `ApplyMany` per worker.  The
+        // synchronous schedule additionally barriers so the measured
+        // latency covers shard installation; the pipelined schedule leaves
+        // them in flight (command FIFO protects the next batch) and the
+        // watermark commit drains them before any read.
+        self.ship_all_applies();
         if !pipelined && self.applies_in_flight {
-            for tx in &self.requests {
-                tx.send(Request::Barrier).expect("worker thread died");
-            }
-            for rx in &self.replies {
-                match rx.recv().expect("worker thread died") {
-                    Reply::Ack => {}
-                    _ => unreachable!("expected barrier ack"),
-                }
-            }
-            self.applies_in_flight = false;
+            self.barrier_applies();
         }
 
         let program = &self.programs[relation];
@@ -898,7 +1176,8 @@ impl ThreadedCluster {
             }
             Transform::Repart(pf) => {
                 let mut collected = Relation::new(stmt.target_schema.clone());
-                for part in self.fetch_all(|| Request::Fetch {
+                for part in self.fetch_all(|id| Request::Fetch {
+                    id,
                     name: source.to_string(),
                 }) {
                     collected.merge(&relabel(&part, &stmt.target_schema));
@@ -909,7 +1188,8 @@ impl ThreadedCluster {
             }
             Transform::Gather => {
                 let mut collected = Relation::new(stmt.target_schema.clone());
-                for part in self.fetch_all(|| Request::Fetch {
+                for part in self.fetch_all(|id| Request::Fetch {
+                    id,
                     name: source.to_string(),
                 }) {
                     collected.merge(&relabel(&part, &stmt.target_schema));
@@ -921,30 +1201,32 @@ impl ThreadedCluster {
         }
     }
 
-    /// Ship per-worker shards of a driver-held relation.  Empty shards are
-    /// shipped too: a `SetTo` scatter must clear stale buffers on workers
-    /// that receive no rows this batch.
+    /// Buffer per-worker shards of a driver-held relation for shipment.
+    /// Empty shards are buffered too: a `SetTo` scatter must clear stale
+    /// buffers on workers that receive no rows this batch.  Shards ride in
+    /// the worker's next `ApplyMany` (shipped before its next command, or
+    /// at batch end); with [`PipelineConfig::batch_scatters`] disabled each
+    /// scatter statement ships immediately as its own message, reproducing
+    /// the positional protocol's traffic.
     fn scatter(&mut self, pf: &PartitionFn, src: &Relation, stmt: &DistStatement) -> usize {
         let (shards, bytes) = partition_shards(pf, src, stmt, self.workers);
         let stmt = Arc::new(stmt.clone());
-        for (tx, shard) in self.requests.iter().zip(shards) {
-            tx.send(Request::Apply {
-                stmt: stmt.clone(),
-                shard,
-            })
-            .expect("worker thread died");
+        for (w, shard) in shards.into_iter().enumerate() {
+            self.pending_applies[w].push((stmt.clone(), shard));
         }
-        self.applies_in_flight = true;
+        if !self.batch_scatters() {
+            self.ship_all_applies();
+        }
         bytes
     }
 }
 
 impl Backend for ThreadedCluster {
     fn backend_name(&self) -> &'static str {
-        if self.is_pipelined() {
-            "pipelined"
-        } else {
-            "threaded"
+        match &self.pipeline {
+            None => "threaded",
+            Some(c) if c.async_gather => "pipelined",
+            Some(_) => "pipelined-fifo",
         }
     }
 
@@ -1047,6 +1329,21 @@ mod tests {
 
     fn example_dplan(opt: OptLevel) -> DistributedPlan {
         let plan = compile_recursive("Q", &example_query());
+        let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
+        compile_distributed(&plan, &spec, opt)
+    }
+
+    /// A plan whose top view stays *distributed* (a plain join, no final
+    /// aggregate): its triggers end with a `Distributed` block rather than
+    /// a gather, so block completions outlive the trigger that issued them
+    /// — the shape that exercises the request-id ledger across batches.
+    fn join_dplan(opt: OptLevel) -> DistributedPlan {
+        let q = join_all([
+            rel("R", ["OK", "B"]),
+            rel("S", ["B", "CK"]),
+            rel("T", ["CK", "D"]),
+        ]);
+        let plan = compile_recursive("J", &q);
         let spec = PartitioningSpec::heuristic(&plan, &["OK", "CK"]);
         compile_distributed(&plan, &spec, opt)
     }
@@ -1588,6 +1885,173 @@ mod tests {
         }
         assert!(piped.queued_batches() > 0);
         drop(piped); // no hang, no panic, queued deltas never execute
+    }
+
+    #[test]
+    fn fifo_compat_matches_tagged_bit_for_bit() {
+        // The FIFO-compat schedule (drain the window before every fetch,
+        // one scatter message per statement) and the tagged schedule run
+        // the same trigger sequence over the same per-worker command
+        // order, so their states must be bit-identical.
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            let mut tagged = ThreadedCluster::pipelined(
+                example_dplan(opt),
+                3,
+                PipelineConfig::with_coalesce(64),
+            );
+            let mut fifo = ThreadedCluster::pipelined(
+                example_dplan(opt),
+                3,
+                PipelineConfig {
+                    coalesce_tuples: 64,
+                    ..PipelineConfig::fifo_compat()
+                },
+            );
+            for (rel, batch) in batches() {
+                tagged.apply_batch(rel, &batch);
+                fifo.apply_batch(rel, &batch);
+            }
+            tagged.flush();
+            fifo.flush();
+            assert_eq!(
+                tagged.query_result().checksum(),
+                fifo.query_result().checksum(),
+                "fifo-compat diverged from tagged at {opt:?}"
+            );
+            // The FIFO arm never overlaps a gather and never batches.
+            assert_eq!(fifo.stats.gathers_overlapped, 0);
+            assert_eq!(fifo.stats.scatter_messages_saved, 0);
+        }
+    }
+
+    #[test]
+    fn async_gather_overlaps_inflight_blocks() {
+        // Eager per-batch execution with a roomy window: by the time batch
+        // k's repart/gather fetches, blocks of earlier batches are still
+        // pending, so the tagged schedule must record overlapped gathers.
+        let config = PipelineConfig {
+            coalesce_tuples: 0,
+            admit_capacity: 0,
+            inflight_blocks: 8,
+            ..Default::default()
+        };
+        let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 2, config);
+        for _ in 0..3 {
+            for (rel, batch) in batches() {
+                piped.apply_batch(rel, &batch);
+            }
+        }
+        piped.flush();
+        assert!(
+            piped.stats.gathers_overlapped > 0,
+            "no gather ever overlapped in-flight blocks: {:?}",
+            piped.stats
+        );
+    }
+
+    #[test]
+    fn scatter_batching_reduces_messages() {
+        // O0 keeps transformer statements unfused, so consecutive scatters
+        // buffer into one ApplyMany per worker and the saved-message
+        // counter must engage.
+        let mut piped =
+            ThreadedCluster::pipelined(example_dplan(OptLevel::O0), 2, PipelineConfig::default());
+        for (rel, batch) in batches() {
+            piped.apply_batch(rel, &batch);
+        }
+        piped.flush();
+        assert!(piped.stats.scatter_messages_sent > 0);
+        assert!(
+            piped.stats.scatter_messages_saved > 0,
+            "batching saved no messages: {:?}",
+            piped.stats
+        );
+    }
+
+    #[test]
+    fn flush_drains_reply_ledger_before_close() {
+        // Eager pipelined execution with a wide window leaves block
+        // completions unsettled in the request-id ledger; `flush` must
+        // settle all of them (and barrier trailing scatters) so a
+        // subsequent close/Drop abandons nothing and owes workers nothing.
+        let config = PipelineConfig {
+            coalesce_tuples: 0,
+            admit_capacity: 1,
+            inflight_blocks: 16,
+            ..Default::default()
+        };
+        let mut piped = ThreadedCluster::pipelined(join_dplan(OptLevel::O3), 4, config);
+        for _ in 0..3 {
+            for (rel, batch) in batches() {
+                piped.apply_batch(rel, &batch);
+            }
+        }
+        assert!(
+            piped.outstanding_replies() > 0,
+            "expected unsettled completions before the flush"
+        );
+        piped.flush();
+        assert_eq!(
+            piped.outstanding_replies(),
+            0,
+            "flush must drain the request-id ledger"
+        );
+        assert_eq!(piped.queued_batches(), 0);
+        let final_stats = piped.close();
+        assert_eq!(
+            final_stats.batches_abandoned, 0,
+            "a flushed pipeline abandons nothing at close"
+        );
+    }
+
+    #[test]
+    fn shuffled_replies_cannot_corrupt_the_watermark() {
+        // Chaos arm of the tagged-reply protocol: the driver's inbox is
+        // deterministically shuffled on every arrival, so a worker's
+        // answer to batch k+1's block can be *consumed* before batch k's
+        // gather fetch.  The ledger matches by request id, so watermarks,
+        // pre-flush reads and final state must all be unaffected.
+        for seed in [1u64, 0xC0FFEE, 977] {
+            let config = PipelineConfig {
+                coalesce_tuples: 0, // keep every batch a distinct trigger
+                admit_capacity: 1,  // eager execution, gathers mid-stream
+                inflight_blocks: 4,
+                ..Default::default()
+            }
+            .with_shuffled_replies(seed);
+            let mut piped = ThreadedCluster::pipelined(example_dplan(OptLevel::O3), 3, config);
+            let mut sync = ThreadedCluster::new(example_dplan(OptLevel::O3), 3);
+            let all = batches();
+            for (rel, batch) in &all {
+                piped.apply_batch(rel, batch);
+                sync.apply_batch(rel, batch);
+            }
+            // Pre-flush read: must still observe a consistent batch
+            // boundary, reproducible by re-running the issued prefix.
+            let partial = piped.query_result();
+            let committed = piped.watermark();
+            assert!(
+                committed >= all.len() as u64 - 1,
+                "eager execution should have issued all but the queued tail"
+            );
+            let mut prefix = ThreadedCluster::new(example_dplan(OptLevel::O3), 3);
+            for (rel, batch) in all.iter().take(committed as usize) {
+                prefix.apply_batch(rel, batch);
+            }
+            assert_eq!(
+                partial.checksum(),
+                prefix.query_result().checksum(),
+                "shuffled replies corrupted the pre-flush watermark (seed {seed})"
+            );
+            piped.flush();
+            assert_eq!(piped.watermark(), all.len() as u64);
+            assert_eq!(piped.outstanding_replies(), 0);
+            assert_eq!(
+                piped.query_result().checksum(),
+                sync.query_result().checksum(),
+                "shuffled replies changed the final state (seed {seed})"
+            );
+        }
     }
 
     #[test]

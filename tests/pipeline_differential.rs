@@ -8,7 +8,11 @@
 //! * **synchronous-threaded** — `ThreadedCluster::new`, epoch barriers
 //!   after every distributed block;
 //! * **pipelined** — `ThreadedCluster::pipelined`, admission queue, delta
-//!   coalescing and a bounded in-flight window;
+//!   coalescing and a bounded in-flight window over the tagged-reply
+//!   protocol (fully async gathers, batched scatters) — also exercised on
+//!   the positional-FIFO compat schedule and with the reply inbox
+//!   deterministically shuffled, both of which must stay bit-for-bit with
+//!   the tagged schedule;
 //! * **adaptive pipelined** — the self-tuning coalescing controller with
 //!   byte-bounded backpressure and a latency target (timing-driven, so its
 //!   trigger schedule differs run to run — the state must not);
@@ -89,8 +93,17 @@ fn run_backend<B: Backend>(mut backend: B, batches: &[Vec<(&'static str, Relatio
 /// * simulated ≈ full recomputation (different evaluation path, `1e-3`
 ///   relative);
 /// * synchronous-threaded == simulated, **bit-for-bit**;
-/// * pipelined (coalescing disabled) == simulated, **bit-for-bit** — the
-///   admission queue, in-flight window and watermarks are transparent;
+/// * pipelined (coalescing disabled, tagged-reply protocol) == simulated,
+///   **bit-for-bit** — the admission queue, in-flight window, request-id
+///   ledger and watermarks are transparent;
+/// * pipelined on the **positional-FIFO compat schedule** (full-window
+///   drains before fetches, per-statement scatter messages) == simulated,
+///   **bit-for-bit** — tagged and FIFO run the same trigger sequence over
+///   the same per-worker command order, so reply accounting must not leak
+///   into state;
+/// * pipelined with the **reply inbox deterministically shuffled** ==
+///   simulated, **bit-for-bit** — the ledger matches replies by request
+///   id, so the order replies are *consumed* in must be irrelevant;
 /// * pipelined with coalescing ≈ simulated (`1e-9` relative) — ring-sum
 ///   coalescing is exact in real arithmetic but associates float additions
 ///   differently;
@@ -123,7 +136,22 @@ fn differential_check(
         ..pipeline.clone()
     };
     let piped = run_backend(
-        ThreadedCluster::pipelined(compile_for(q, opt), workers, no_coalesce),
+        ThreadedCluster::pipelined(compile_for(q, opt), workers, no_coalesce.clone()),
+        &batches,
+    );
+    let fifo_config = PipelineConfig {
+        async_gather: false,
+        batch_scatters: false,
+        ..no_coalesce.clone()
+    };
+    let fifo = run_backend(
+        ThreadedCluster::pipelined(compile_for(q, opt), workers, fifo_config),
+        &batches,
+    );
+    let shuffled_config =
+        no_coalesce.with_shuffled_replies(0x7A66ED ^ (batch_size as u64) << 8 ^ workers as u64);
+    let shuffled = run_backend(
+        ThreadedCluster::pipelined(compile_for(q, opt), workers, shuffled_config),
         &batches,
     );
     let adaptive_config = PipelineConfig {
@@ -166,6 +194,20 @@ fn differential_check(
     if cs_piped != cs_sim {
         return Err(format!(
             "{} {opt:?} x{workers} b{batch_size}: pipelined != simulated bit-for-bit ({cs_piped} vs {cs_sim})",
+            q.id
+        ));
+    }
+    let cs_fifo = fifo.checksum();
+    if cs_fifo != cs_sim {
+        return Err(format!(
+            "{} {opt:?} x{workers} b{batch_size}: fifo-compat pipeline != simulated bit-for-bit ({cs_fifo} vs {cs_sim})",
+            q.id
+        ));
+    }
+    let cs_shuffled = shuffled.checksum();
+    if cs_shuffled != cs_sim {
+        return Err(format!(
+            "{} {opt:?} x{workers} b{batch_size}: shuffled-reply pipeline != simulated bit-for-bit ({cs_shuffled} vs {cs_sim})",
             q.id
         ));
     }
@@ -290,6 +332,33 @@ fn aggressive_pipeline_configs_agree() {
                 ..Default::default()
             }),
             admit_capacity: 2,
+            ..Default::default()
+        },
+        // FIFO-compat schedule under heavy coalescing and a tiny window.
+        PipelineConfig {
+            coalesce_tuples: 100_000,
+            admit_capacity: 1,
+            inflight_blocks: 1,
+            async_gather: false,
+            batch_scatters: false,
+            ..Default::default()
+        },
+        // Tagged schedule with the reply inbox shuffled on every arrival
+        // *and* a one-block window: every issue blocks on a completion
+        // that may be consumed out of order.
+        PipelineConfig {
+            coalesce_tuples: 0,
+            admit_capacity: 1,
+            inflight_blocks: 1,
+            shuffle_replies: Some(0xD15C0),
+            ..Default::default()
+        },
+        // Shuffled replies with a wide window and coalescing.
+        PipelineConfig {
+            coalesce_tuples: 100_000,
+            admit_capacity: 4,
+            inflight_blocks: 16,
+            shuffle_replies: Some(7),
             ..Default::default()
         },
     ] {
