@@ -162,8 +162,35 @@ impl Relation {
     /// pipelined runtime's byte-bounded admission queue.  Maintained
     /// incrementally by [`Relation::add`], so this is O(1) — cheap enough to
     /// read on every admission.
+    ///
+    /// Relation to the real wire codec (`hotdog-net`): the codec spends one
+    /// extra tag byte per value and a per-relation header (encoded schema +
+    /// 4-byte tuple count), so an encoded relation is exactly
+    /// `serialized_size() + Σ tuple arity + header` bytes — the O(1)
+    /// accounting undercounts the wire by one byte per value plus the
+    /// fixed header, and never overcounts.  A reconciliation test in
+    /// `hotdog-net` pins this bound against the actual encoder.
     pub fn serialized_size(&self) -> usize {
         self.bytes
+    }
+
+    /// Rebuild this relation by inserting its (tuple, multiplicity) pairs
+    /// in **sorted tuple order** into an empty map — the *wire-canonical
+    /// layout*.
+    ///
+    /// Iteration order of the backing map is a deterministic function of
+    /// the insertion history (see [`crate::hash`]), so two relations with
+    /// equal contents can still iterate differently if they were built
+    /// differently — e.g. an in-process relation versus the same relation
+    /// decoded from a byte stream.  Rebuilding from the sorted pair list
+    /// collapses both to the *same* insertion history (pure inserts, sorted
+    /// order, from empty), making the layout a pure function of content.
+    /// Every execution backend canonicalizes relations at its exchange
+    /// points (`relabel`, `partition_shards`), which is what lets a real
+    /// socket transport — whose decoder can only replay the pair list — be
+    /// held bit-for-bit against the in-process backends.
+    pub fn canonical(&self) -> Relation {
+        Relation::from_pairs(self.schema.clone(), self.sorted())
     }
 
     /// Order-canonical, bit-exact digest of the relation's contents.

@@ -93,6 +93,23 @@ impl Value {
         }
     }
 
+    /// Map a double to a `u64` whose integer order is a *total* order
+    /// over doubles: `-inf < … < -0 = +0 < … < +inf < NaN` (all NaNs
+    /// normalized to one pattern).  The standard trick: flip all bits of
+    /// negative values, set the sign bit of non-negative ones.  Raw IEEE
+    /// bits alone are NOT order-preserving (the sign bit makes negative
+    /// values huge), which used to leave `Ord` cyclic around NaN —
+    /// `sort` panics on such comparators, and relation
+    /// canonicalization sorts every exchanged relation.
+    fn total_order_key(v: f64) -> u64 {
+        let bits = Self::normalized_double_bits(v);
+        if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1u64 << 63)
+        }
+    }
+
     /// Total order over values of *any* variant: variants are ordered by a
     /// discriminant rank first, then by value.  This gives `Value` a lawful
     /// `Ord`, which index structures and deterministic test output rely on.
@@ -138,14 +155,18 @@ impl Ord for Value {
     fn cmp(&self, other: &Self) -> Ordering {
         match (self, other) {
             (Value::Long(a), Value::Long(b)) => a.cmp(b),
-            (Value::Double(a), Value::Double(b)) => a.partial_cmp(b).unwrap_or_else(|| {
-                Self::normalized_double_bits(*a).cmp(&Self::normalized_double_bits(*b))
-            }),
+            // Numeric comparisons go through the total-order key, so NaN
+            // sits consistently above every number (Long or Double) and
+            // the comparator is lawful for `sort` — required by relation
+            // canonicalization, which sorts every exchanged relation.
+            (Value::Double(a), Value::Double(b)) => {
+                Self::total_order_key(*a).cmp(&Self::total_order_key(*b))
+            }
             (Value::Long(a), Value::Double(b)) => {
-                (*a as f64).partial_cmp(b).unwrap_or(Ordering::Less)
+                Self::total_order_key(*a as f64).cmp(&Self::total_order_key(*b))
             }
             (Value::Double(a), Value::Long(b)) => {
-                a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Greater)
+                Self::total_order_key(*a).cmp(&Self::total_order_key(*b as f64))
             }
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
@@ -244,6 +265,33 @@ mod tests {
             hash_of(&Value::Double(f64::NAN)),
             hash_of(&Value::Double(f64::NAN))
         );
+    }
+
+    #[test]
+    fn ordering_is_lawful_around_nan_and_negatives() {
+        // The old bit-fallback comparator had a cycle:
+        // -1.0 < 1e308 < NaN < -1.0 (negative bits compare huge).  The
+        // total-order key must place NaN above everything numeric and
+        // keep the comparator transitive — `sort` panics on unlawful
+        // comparators since Rust 1.81.
+        let mut vals = [
+            Value::Double(f64::NAN),
+            Value::Double(-1.0),
+            Value::Double(1e308),
+            Value::Double(f64::NEG_INFINITY),
+            Value::Double(f64::INFINITY),
+            Value::Double(-0.0),
+            Value::Long(-5),
+            Value::Double(f64::NAN),
+        ];
+        vals.sort(); // must not panic
+        assert_eq!(vals.first(), Some(&Value::Double(f64::NEG_INFINITY)));
+        // NaN is the numeric maximum (both copies at the end).
+        assert!(matches!(vals[vals.len() - 1], Value::Double(v) if v.is_nan()));
+        assert!(matches!(vals[vals.len() - 2], Value::Double(v) if v.is_nan()));
+        // Long vs Double NaN is consistent with Double vs Double NaN.
+        assert!(Value::Long(i64::MAX) < Value::Double(f64::NAN));
+        assert!(Value::Double(-1.0) < Value::Double(f64::NAN));
     }
 
     #[test]

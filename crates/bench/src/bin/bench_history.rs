@@ -1,0 +1,144 @@
+//! `bench_history` — the committed long-horizon bench record.
+//!
+//! CI's `bench-trend` job diffs against the last N runs' *artifacts*,
+//! which expire with GitHub's artifact retention (90 days by default).
+//! The committed `BENCH_HISTORY.jsonl` outlives that: one JSON line per
+//! main-branch bench run, appended by CI, holding the flattened
+//! machine-independent ratio metrics
+//! ([`diff::RATIO_SECTIONS`](hotdog_bench::diff::RATIO_SECTIONS)).
+//!
+//! Two subcommands:
+//!
+//! * `bench_history emit <BENCH_runtime.json>` — print one history line
+//!   for the given artifact (sha from `GITHUB_SHA`, unix timestamp,
+//!   flattened ratio metrics).  CI appends it to `BENCH_HISTORY.jsonl`
+//!   and commits.
+//! * `bench_history check <BENCH_HISTORY.jsonl> <BENCH_runtime.json>
+//!   [--tolerance=0.6] [--window=50]` — hold the fresh artifact against
+//!   the last `window` history lines: any tracked ratio that dropped
+//!   more than `tolerance` relative to *any* line in the window fails
+//!   (exit 1) — the long-horizon drift gate that survives artifact
+//!   expiry.  An empty or missing history passes (young repo).
+
+use hotdog_bench::diff::ratio_metrics;
+use hotdog_bench::json::{JsonObj, JsonValue};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_history emit <BENCH_runtime.json>\n\
+         \x20      bench_history check <BENCH_HISTORY.jsonl> <BENCH_runtime.json> \
+         [--tolerance=0.6] [--window=50]"
+    );
+    exit(2);
+}
+
+fn load_artifact(path: &str) -> JsonValue {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_history: cannot read {path}: {e}");
+        exit(2);
+    });
+    JsonValue::parse(&text).unwrap_or_else(|| {
+        eprintln!("bench_history: cannot parse {path}");
+        exit(2);
+    })
+}
+
+fn emit(artifact_path: &str) {
+    let artifact = load_artifact(artifact_path);
+    let sha = std::env::var("GITHUB_SHA").unwrap_or_else(|_| "unknown".into());
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut metrics = JsonObj::new();
+    for (key, value) in ratio_metrics(&artifact) {
+        metrics = metrics.num(&key, value);
+    }
+    let line = JsonObj::new()
+        .str("sha", &sha)
+        .int("unix_time", unix)
+        .raw("metrics", metrics.render())
+        .render();
+    println!("{line}");
+}
+
+fn check(history_path: &str, artifact_path: &str, tolerance: f64, window: usize) {
+    let artifact = load_artifact(artifact_path);
+    let fresh = ratio_metrics(&artifact);
+    let text = match std::fs::read_to_string(history_path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!("no bench history at {history_path} — long-horizon gate is empty, passing");
+            return;
+        }
+    };
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let tail = &lines[lines.len().saturating_sub(window)..];
+    if tail.is_empty() {
+        println!("bench history is empty — long-horizon gate passes");
+        return;
+    }
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for line in tail {
+        let Some(entry) = JsonValue::parse(line) else {
+            eprintln!("bench_history: skipping unparseable history line");
+            continue;
+        };
+        let sha = entry
+            .get("sha")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string();
+        let Some(metrics) = entry.get("metrics") else {
+            continue;
+        };
+        for (key, now) in &fresh {
+            let Some(past) = metrics.get(key).and_then(|v| v.as_f64()) else {
+                continue;
+            };
+            compared += 1;
+            if past > 0.0 && (past - now) / past > tolerance {
+                regressions.push(format!(
+                    "{key}: {now:.3} is {:.0}% below {past:.3} (run {})",
+                    (past - now) / past * 100.0,
+                    &sha[..sha.len().min(12)]
+                ));
+            }
+        }
+    }
+    println!(
+        "compared {compared} metric point(s) against {} history line(s), window {window}",
+        tail.len()
+    );
+    if !regressions.is_empty() {
+        eprintln!("long-horizon regressions (tolerance {tolerance}):");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        exit(1);
+    }
+    println!("long-horizon gate passed");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.6f64;
+    let mut window = 50usize;
+    let mut positional = Vec::new();
+    for a in &args {
+        if let Some(v) = a.strip_prefix("--tolerance=") {
+            tolerance = v.parse().unwrap_or_else(|_| usage());
+        } else if let Some(v) = a.strip_prefix("--window=") {
+            window = v.parse().unwrap_or_else(|_| usage());
+        } else {
+            positional.push(a.as_str());
+        }
+    }
+    match positional.as_slice() {
+        ["emit", artifact] => emit(artifact),
+        ["check", history, artifact] => check(history, artifact, tolerance, window),
+        _ => usage(),
+    }
+}

@@ -134,6 +134,41 @@ fn main() {
     );
     let _ = json::update_bench_json(&path, "async_gather", &json::jarray(ag_json));
 
+    // Net-overhead head-to-head (the acceptance number for the socket
+    // transport): the same 64-small-batch stream through the
+    // epoch-synchronous threaded backend and through the multi-process
+    // TCP backend — same driver, same schedule, real sockets instead of
+    // channels.  The ratio is what the wire costs; the ROADMAP's
+    // network-path optimizations are held against it.
+    let mut net_rows = Vec::new();
+    let mut net_json = Vec::new();
+    for id in ["Q3", "Q6"] {
+        let q = query(id).unwrap();
+        let cmp = compare_net_overhead(&q, workers, 64, tuples_per_batch);
+        net_rows.push(vec![
+            id.into(),
+            workers.to_string(),
+            format!("64 x {tuples_per_batch}"),
+            f(cmp.threaded.throughput / 1e3),
+            f(cmp.tcp.throughput / 1e3),
+            format!("{:.2}x", cmp.tcp_vs_threaded()),
+        ]);
+        net_json.push(cmp.to_json());
+    }
+    print_table(
+        "Net overhead (threaded channels vs multi-process TCP, epoch-synchronous)",
+        &[
+            "query",
+            "workers",
+            "stream",
+            "threaded (Ktup/s)",
+            "tcp (Ktup/s)",
+            "tcp/threaded",
+        ],
+        &net_rows,
+    );
+    let _ = json::update_bench_json(&path, "net_overhead", &json::jarray(net_json));
+
     // Static-vs-adaptive coalescing on a stream whose batch-size
     // distribution shifts mid-run (the adaptive controller's acceptance
     // number: `adaptive_vs_best_static`).  Phase sizes scale with

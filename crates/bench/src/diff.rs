@@ -8,7 +8,8 @@
 //! * **ratio metrics** — machine-independent numbers computed on one host
 //!   within one run (`pipeline_stream[*].speedup`,
 //!   `adaptive_stream[*].adaptive_vs_best_static`,
-//!   `async_gather[*].speedup` / `async_gather_strong[*].speedup`).
+//!   `async_gather[*].speedup` / `async_gather_strong[*].speedup`,
+//!   `net_overhead[*].tcp_vs_threaded`).
 //!   These are the tight gate: a drop means the *relative* win shrank.
 //! * **throughput metrics** — absolute tuples/sec
 //!   (`fig9_weak_scaling.rows[*].throughput_tps`, same for fig10).  These
@@ -172,6 +173,31 @@ fn diff_metric(
     }
 }
 
+/// The tracked machine-independent ratio metrics: `(section, field)`.
+/// Shared by the per-PR gate ([`diff_artifacts`]), and by the
+/// `bench_history` tool that appends one flattened line per main-branch
+/// run to the committed `BENCH_HISTORY.jsonl`.
+pub const RATIO_SECTIONS: [(&str, &str); 5] = [
+    ("pipeline_stream", "speedup"),
+    ("adaptive_stream", "adaptive_vs_best_static"),
+    ("async_gather", "speedup"),
+    ("async_gather_strong", "speedup"),
+    ("net_overhead", "tcp_vs_threaded"),
+];
+
+/// Flatten every tracked ratio metric of an artifact into
+/// `("section.field[key]", value)` rows — the per-run record shape of the
+/// committed bench history.
+pub fn ratio_metrics(artifact: &JsonValue) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (section, metric) in RATIO_SECTIONS {
+        for (key, v) in metric_rows(artifact, section, None, metric, cmp_key) {
+            out.push((format!("{section}.{metric}[{key}]"), v));
+        }
+    }
+    out
+}
+
 /// Diff every tracked metric of two parsed `BENCH_runtime.json` artifacts.
 pub fn diff_artifacts(
     baseline: &JsonValue,
@@ -180,12 +206,7 @@ pub fn diff_artifacts(
 ) -> DiffReport {
     let mut report = DiffReport::default();
     // Machine-independent ratios: the tight gate, enforced per section.
-    for (section, metric) in [
-        ("pipeline_stream", "speedup"),
-        ("adaptive_stream", "adaptive_vs_best_static"),
-        ("async_gather", "speedup"),
-        ("async_gather_strong", "speedup"),
-    ] {
+    for (section, metric) in RATIO_SECTIONS {
         let base_rows = metric_rows(baseline, section, None, metric, cmp_key);
         let compared_before = report.compared.len();
         diff_metric(

@@ -123,6 +123,15 @@ pub enum BackendKind {
     /// message per statement): the baseline arm of the tagged-reply
     /// protocol's `async_gather` comparison.
     PipelinedFifo { coalesce_tuples: usize },
+    /// `hotdog-net`'s multi-process TCP backend, epoch-synchronous:
+    /// worker subprocesses on loopback speaking the binary codec.  The
+    /// `net_overhead` section compares it against [`BackendKind::Threaded`]
+    /// — same driver, same schedule, real sockets instead of channels.
+    Tcp,
+    /// The TCP backend on the pipelined ingestion path with delta
+    /// coalescing — batching decisions paying their dividend where there
+    /// is an actual network to amortize.
+    TcpPipelined { coalesce_tuples: usize },
 }
 
 impl BackendKind {
@@ -133,6 +142,8 @@ impl BackendKind {
             BackendKind::Pipelined { .. } => "pipelined",
             BackendKind::Adaptive => "adaptive",
             BackendKind::PipelinedFifo { .. } => "pipelined-fifo",
+            BackendKind::Tcp => "tcp",
+            BackendKind::TcpPipelined { .. } => "tcp-pipelined",
         }
     }
 
@@ -146,10 +157,11 @@ impl BackendKind {
     pub fn latency_kind(&self) -> &'static str {
         match self {
             BackendKind::Simulated => "modelled_batch",
-            BackendKind::Threaded => "measured_batch_wall",
+            BackendKind::Threaded | BackendKind::Tcp => "measured_batch_wall",
             BackendKind::Pipelined { .. }
             | BackendKind::Adaptive
-            | BackendKind::PipelinedFifo { .. } => "driver_issue_time",
+            | BackendKind::PipelinedFifo { .. }
+            | BackendKind::TcpPipelined { .. } => "driver_issue_time",
         }
     }
 
@@ -160,7 +172,8 @@ impl BackendKind {
         match self {
             BackendKind::Pipelined { .. }
             | BackendKind::Adaptive
-            | BackendKind::PipelinedFifo { .. } => "median issue (ms)",
+            | BackendKind::PipelinedFifo { .. }
+            | BackendKind::TcpPipelined { .. } => "median issue (ms)",
             _ => "median latency (ms)",
         }
     }
@@ -169,8 +182,9 @@ impl BackendKind {
     /// the synchronous backends).
     pub fn pipeline_config(&self) -> Option<PipelineConfig> {
         match self {
-            BackendKind::Simulated | BackendKind::Threaded => None,
-            BackendKind::Pipelined { coalesce_tuples } => {
+            BackendKind::Simulated | BackendKind::Threaded | BackendKind::Tcp => None,
+            BackendKind::Pipelined { coalesce_tuples }
+            | BackendKind::TcpPipelined { coalesce_tuples } => {
                 Some(PipelineConfig::with_coalesce(*coalesce_tuples))
             }
             BackendKind::Adaptive => Some(PipelineConfig::adaptive()),
@@ -181,19 +195,23 @@ impl BackendKind {
         }
     }
 
-    /// Parse `--real`, `--pipeline`, `--coalesce=N`, `--adaptive` and
-    /// `--fifo-gather` from a binary's argument list (`--coalesce` implies
-    /// `--pipeline`; `--adaptive` wins over both; `--fifo-gather` demotes a
-    /// pipelined run to the positional-FIFO compatibility schedule).
+    /// Parse `--real`, `--tcp`, `--pipeline`, `--coalesce=N`, `--adaptive`
+    /// and `--fifo-gather` from a binary's argument list (`--coalesce`
+    /// implies `--pipeline`; `--adaptive` wins over both; `--fifo-gather`
+    /// demotes a pipelined run to the positional-FIFO compatibility
+    /// schedule; `--tcp` moves a threaded or pipelined run onto the
+    /// multi-process socket transport).
     pub fn from_args() -> BackendKind {
         let mut pipeline = false;
         let mut real = false;
         let mut adaptive = false;
         let mut fifo = false;
+        let mut tcp = false;
         let mut coalesce = PipelineConfig::default().coalesce_tuples;
         for arg in std::env::args() {
             match arg.as_str() {
                 "--real" => real = true,
+                "--tcp" => tcp = true,
                 "--pipeline" => pipeline = true,
                 "--adaptive" => adaptive = true,
                 "--fifo-gather" => {
@@ -208,7 +226,13 @@ impl BackendKind {
                 }
             }
         }
-        if adaptive {
+        if tcp && pipeline {
+            BackendKind::TcpPipelined {
+                coalesce_tuples: coalesce,
+            }
+        } else if tcp {
+            BackendKind::Tcp
+        } else if adaptive {
             BackendKind::Adaptive
         } else if fifo {
             BackendKind::PipelinedFifo {
@@ -336,18 +360,31 @@ pub fn run_distributed_batches(
     let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
     let dplan = compile_distributed(&plan, &spec, opt);
     let (jobs, stages) = dplan.complexity();
-    let (totals, coalesce) = match backend.pipeline_config() {
-        None if backend == BackendKind::Simulated => {
+    let (totals, coalesce) = match (backend, backend.pipeline_config()) {
+        (BackendKind::Simulated, _) => {
             let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(workers));
             cluster.apply_stream(batches);
             (cluster.totals().clone(), None)
         }
-        None => {
+        (BackendKind::Tcp, _) => {
+            let mut cluster =
+                TcpCluster::new(dplan, &tcp_bench_config(workers)).expect("tcp cluster");
+            cluster.apply_stream(batches);
+            (cluster.totals().clone(), None)
+        }
+        (BackendKind::TcpPipelined { .. }, Some(config)) => {
+            let mut cluster = TcpCluster::pipelined(dplan, &tcp_bench_config(workers), config)
+                .expect("tcp cluster");
+            cluster.apply_stream(batches);
+            let stats = cluster.pipeline_stats();
+            (cluster.totals().clone(), stats)
+        }
+        (_, None) => {
             let mut cluster = ThreadedCluster::new(dplan, workers);
             cluster.apply_stream(batches);
             (cluster.totals().clone(), None)
         }
-        Some(config) => {
+        (_, Some(config)) => {
             let mut cluster = ThreadedCluster::pipelined(dplan, workers, config);
             cluster.apply_stream(batches);
             let stats = cluster.pipeline_stats();
@@ -747,6 +784,104 @@ pub fn compare_async_gather(
         tuples_per_batch,
         fifo,
         tagged,
+    }
+}
+
+/// TCP cluster configuration for benches: subprocess workers by default,
+/// `HOTDOG_TCP_SPAWN=thread` (handled by `TcpConfig::from_env`) swaps in
+/// in-process socket threads on hosts where spawning is unavailable.
+pub fn tcp_bench_config(workers: usize) -> TcpConfig {
+    TcpConfig::from_env(workers)
+}
+
+/// Head-to-head of the in-process channel transport against the real
+/// socket transport: the same stream through `ThreadedCluster` and
+/// `TcpCluster`, both epoch-synchronous, same driver and schedule — the
+/// throughput ratio isolates what the wire costs (framing, codec,
+/// syscalls, process isolation).  This is the number the network-path
+/// optimizations of the ROADMAP (scatter batching across triggers,
+/// compression, zero-copy) will be held against.
+#[derive(Clone, Debug)]
+pub struct NetOverheadComparison {
+    pub query: String,
+    pub workers: usize,
+    pub n_batches: usize,
+    pub tuples_per_batch: usize,
+    pub threaded: DistRun,
+    pub tcp: DistRun,
+}
+
+impl NetOverheadComparison {
+    /// TCP over threaded throughput (≤ 1 in practice: the wire can only
+    /// cost; how *little* it costs is the tracked number).
+    pub fn tcp_vs_threaded(&self) -> f64 {
+        if self.threaded.throughput == 0.0 {
+            0.0
+        } else {
+            self.tcp.throughput / self.threaded.throughput
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        json::JsonObj::new()
+            .str("query", &self.query)
+            .int("workers", self.workers as u64)
+            .int("n_batches", self.n_batches as u64)
+            .int("tuples_per_batch", self.tuples_per_batch as u64)
+            .num("tcp_vs_threaded", self.tcp_vs_threaded())
+            .raw("threaded", self.threaded.to_json())
+            .raw("tcp", self.tcp.to_json())
+            .render()
+    }
+}
+
+/// Run the net-overhead comparison on the fig9 stream shape
+/// (`n_batches`×`tuples_per_batch`).  Both arms are timing-measured and
+/// the TCP arm pays per-message syscalls, so each arm runs three times in
+/// alternating order and its median-throughput run represents it (the
+/// same median-of-3 treatment as [`compare_async_gather`]).  One
+/// `TcpCluster` is built per run — worker spawn/handshake cost is *not*
+/// inside the measured stream window (totals time the stream, not
+/// construction).
+pub fn compare_net_overhead(
+    q: &CatalogQuery,
+    workers: usize,
+    n_batches: usize,
+    tuples_per_batch: usize,
+) -> NetOverheadComparison {
+    const REPEATS: usize = 3;
+    let stream = stream_for(q, n_batches * tuples_per_batch, 64);
+    let mut threaded_runs = Vec::with_capacity(REPEATS);
+    let mut tcp_runs = Vec::with_capacity(REPEATS);
+    for _ in 0..REPEATS {
+        threaded_runs.push(run_distributed_on(
+            q,
+            &stream,
+            workers,
+            tuples_per_batch,
+            OptLevel::O3,
+            BackendKind::Threaded,
+        ));
+        tcp_runs.push(run_distributed_on(
+            q,
+            &stream,
+            workers,
+            tuples_per_batch,
+            OptLevel::O3,
+            BackendKind::Tcp,
+        ));
+    }
+    let median = |mut runs: Vec<DistRun>| -> DistRun {
+        runs.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+        runs.swap_remove(REPEATS / 2)
+    };
+    NetOverheadComparison {
+        query: q.id.to_string(),
+        workers,
+        n_batches,
+        tuples_per_batch,
+        threaded: median(threaded_runs),
+        tcp: median(tcp_runs),
     }
 }
 

@@ -13,7 +13,8 @@
 //! | maintenance compilers | [`ivm`] | delta rules, domain extraction, recursive / classical / re-evaluation plans |
 //! | local runtime | [`exec`] | the trigger interpreter (single-tuple & batched modes) |
 //! | distributed compiler & runtime | [`distributed`] | location tags, transformers, block fusion, the simulated cluster |
-//! | threaded runtime | [`runtime`] | the real thread-per-worker execution backend (`ThreadedCluster`) |
+//! | threaded runtime | [`runtime`] | the transport-generic driver and the thread-per-worker backend (`ThreadedCluster`) |
+//! | socket transport | [`net`] | length-prefixed binary codec and the multi-process TCP backend (`TcpCluster`) |
 //! | workloads | [`workload`] | TPC-H / TPC-DS style generators, streams and the query catalog |
 //!
 //! ## Quickstart
@@ -40,6 +41,7 @@ pub use hotdog_algebra as algebra;
 pub use hotdog_distributed as distributed;
 pub use hotdog_exec as exec;
 pub use hotdog_ivm as ivm;
+pub use hotdog_net as net;
 pub use hotdog_runtime as runtime;
 pub use hotdog_storage as storage;
 pub use hotdog_workload as workload;
@@ -60,8 +62,10 @@ pub mod prelude {
         compile, compile_classical, compile_recursive, compile_reevaluation, delta, extract_domain,
         MaintenancePlan, Strategy,
     };
+    pub use hotdog_net::{TcpCluster, TcpConfig, WorkerSpawn};
     pub use hotdog_runtime::{
-        AdaptiveConfig, CoalesceController, PipelineConfig, PipelineStats, ThreadedCluster,
+        AdaptiveConfig, ChannelTransport, CoalesceController, Driver, PipelineConfig,
+        PipelineStats, ThreadedCluster, Transport,
     };
     pub use hotdog_storage::{ColumnarBatch, RecordPool};
     pub use hotdog_workload::{

@@ -52,6 +52,10 @@ pub struct PipelineStats {
     pub executions_forced_by_latency: usize,
     /// Slowest worker's interpreter work observed across lazy reply drains.
     pub max_worker_instructions: u64,
+    /// Total interpreter work reported by workers across all settled block
+    /// completions (the lazily collected counts the adaptive controller
+    /// folds into its cost signal — see `hotdog_runtime::adaptive`).
+    pub worker_instructions: u64,
     /// Gather/repartition fetches issued while distributed-block
     /// completions were still pending: the tagged-reply protocol let the
     /// fetch overlap in-flight worker work instead of draining the window

@@ -375,8 +375,14 @@ impl Cluster {
 
 /// Split a driver-held relation into per-worker shards under a partition
 /// function; returns the shards and the bytes that cross the network.
-/// Shared by the simulated and the threaded backends so routing (and the
+/// Shared by the simulated, threaded and TCP backends so routing (and the
 /// byte accounting of the cost model) cannot diverge.
+///
+/// Shards are returned in wire-canonical layout
+/// ([`Relation::canonical`]): a shard's map layout must be a pure
+/// function of its content — not of the routing iteration that built it —
+/// so that a shard decoded from the socket transport is bit-identical to
+/// the shard an in-process backend hands its worker.
 pub fn partition_shards(
     pf: &PartitionFn,
     src: &Relation,
@@ -394,6 +400,7 @@ pub fn partition_shards(
             bytes += t.serialized_size() + 8;
         }
     }
+    let shards = shards.into_iter().map(|s| s.canonical()).collect();
     (shards, bytes)
 }
 

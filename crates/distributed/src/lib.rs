@@ -10,6 +10,10 @@
 //!   (`Scatter`/`Repart`/`Gather`), intra-statement optimization, CSE/DCE
 //!   and the block-fusion algorithm, staged behind [`program::OptLevel`]
 //!   (O0–O3, matching Figure 13);
+//! * [`protocol`] — the driver↔worker message set (FIFO commands,
+//!   id-tagged replies) and the per-node request interpreter shared by the
+//!   thread-channel transport (`hotdog-runtime`) and the TCP transport
+//!   (`hotdog-net`);
 //! * [`worker`] — backend-agnostic per-node state ([`worker::WorkerState`]):
 //!   one node's view partitions, exchange buffers and the statement
 //!   execution/application rules shared by every execution backend;
@@ -29,6 +33,7 @@ pub mod backend;
 pub mod cluster;
 pub mod partition;
 pub mod program;
+pub mod protocol;
 pub mod worker;
 
 pub use backend::{Backend, PipelineStats};
@@ -38,4 +43,5 @@ pub use program::{
     compile_distributed, Block, DistStatement, DistStmtKind, DistributedPlan, OptLevel, StmtMode,
     Transform, TriggerProgram,
 };
+pub use protocol::{handle_request, WorkerReply, WorkerRequest};
 pub use worker::{NodeCatalog, Temps, WorkerState};

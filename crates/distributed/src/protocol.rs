@@ -1,0 +1,183 @@
+//! The driver↔worker message set shared by every real execution backend.
+//!
+//! The thread-per-worker runtime (`hotdog-runtime`) and the multi-process
+//! TCP runtime (`hotdog-net`) speak the same protocol: FIFO command
+//! channels carrying [`WorkerRequest`]s, answered by id-tagged
+//! [`WorkerReply`]s.  Defining the messages here — next to
+//! [`WorkerState`], which executes them — keeps the two transports
+//! semantically identical by construction: both run
+//! [`handle_request`] over the same per-node state machine, and only the
+//! byte-level encoding (an in-process `mpsc` move vs. the `hotdog-net`
+//! length-prefixed codec) differs.
+//!
+//! Two-layer contract of the **tagged-reply protocol**:
+//!
+//! * **Command order is per-channel FIFO** — an `ApplyMany` enqueued before
+//!   a `RunBlock` is guaranteed to be installed before the block executes,
+//!   and a `Fetch` enqueued after a `RunBlock` observes the block's writes.
+//!   This is what keeps worker *state evolution* identical to the
+//!   synchronous schedule.
+//! * **Reply accounting is by request id, never by position** — every
+//!   command that produces a reply carries an `id` the worker echoes back,
+//!   and the driver matches replies against its completion ledger.  The
+//!   driver never has to drain replies it is not interested in yet, so a
+//!   gather of batch *k* waits only for its own ids while block
+//!   completions of the in-flight window settle whenever they arrive.
+
+use crate::program::DistStatement;
+use crate::worker::WorkerState;
+use hotdog_algebra::eval::EvalCounters;
+use hotdog_algebra::relation::Relation;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Commands the driver sends to a worker (thread or process).
+pub enum WorkerRequest {
+    /// Execute one distributed block over this worker's shard and report
+    /// the interpreter work performed.
+    RunBlock {
+        id: u64,
+        statements: Arc<Vec<DistStatement>>,
+        deltas: Arc<HashMap<String, Relation>>,
+    },
+    /// Install a batch of scattered shards into their statements' targets,
+    /// in statement order.  One `ApplyMany` per worker per batch replaces
+    /// the per-statement `Apply` messages of the positional protocol
+    /// (produces no reply; a `Barrier` or any later tagged reply proves
+    /// delivery via command FIFO).
+    ApplyMany {
+        /// Ids are uniform across the protocol; only replies are matched
+        /// against the ledger, so this one is never awaited.
+        id: u64,
+        applies: Vec<(Arc<DistStatement>, Relation)>,
+    },
+    /// Send back an exchange buffer (or this worker's view partition).
+    Fetch { id: u64, name: String },
+    /// Send back this worker's partition of a materialized view.
+    Snapshot { id: u64, view: String },
+    /// Acknowledge that everything enqueued so far has been processed
+    /// (drains trailing `ApplyMany`s so measured batch latency includes
+    /// them).
+    Barrier { id: u64 },
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Worker responses, each echoing the request id it answers
+/// (`RunBlock` → `Ran`, `Fetch`/`Snapshot` → `Rel`, `Barrier` → `Ack`).
+pub enum WorkerReply {
+    Ran { id: u64, instructions: u64 },
+    Rel { id: u64, rel: Relation },
+    Ack { id: u64 },
+}
+
+/// Execute one request against a worker's state — the single statement
+/// interpreter every transport's event loop delegates to, so the thread
+/// and TCP workers cannot diverge in semantics.
+///
+/// Returns the reply to send back, or `None` for fire-and-forget commands
+/// (`ApplyMany`).  [`WorkerRequest::Shutdown`] is a transport-level
+/// concern (the event loop must stop reading); callers match it before
+/// delegating here, and passing it anyway is a no-op returning `None`.
+pub fn handle_request(state: &mut WorkerState, request: WorkerRequest) -> Option<WorkerReply> {
+    match request {
+        WorkerRequest::RunBlock {
+            id,
+            statements,
+            deltas,
+        } => {
+            let mut counters = EvalCounters::default();
+            for stmt in statements.iter() {
+                state.run_compute(stmt, &deltas, &mut counters);
+            }
+            Some(WorkerReply::Ran {
+                id,
+                instructions: counters.instructions(),
+            })
+        }
+        WorkerRequest::ApplyMany { applies, .. } => {
+            state.apply_all(applies);
+            None
+        }
+        WorkerRequest::Fetch { id, name } => Some(WorkerReply::Rel {
+            id,
+            rel: state.read(&name),
+        }),
+        WorkerRequest::Snapshot { id, view } => Some(WorkerReply::Rel {
+            id,
+            rel: state.snapshot(&view),
+        }),
+        WorkerRequest::Barrier { id } => Some(WorkerReply::Ack { id }),
+        WorkerRequest::Shutdown => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{DistStmtKind, StmtMode};
+    use hotdog_algebra::expr::view;
+    use hotdog_algebra::schema::Schema;
+    use hotdog_algebra::tuple;
+    use hotdog_ivm::{compile_recursive, StmtOp};
+
+    fn state() -> WorkerState {
+        let plan = compile_recursive(
+            "Q",
+            &hotdog_algebra::expr::sum(
+                ["B"],
+                hotdog_algebra::expr::join(
+                    hotdog_algebra::expr::rel("R", ["A", "B"]),
+                    hotdog_algebra::expr::rel("S", ["B", "C"]),
+                ),
+            ),
+        );
+        WorkerState::for_plan(&plan)
+    }
+
+    #[test]
+    fn replies_echo_request_ids() {
+        let mut st = state();
+        match handle_request(
+            &mut st,
+            WorkerRequest::Snapshot {
+                id: 42,
+                view: "Q".into(),
+            },
+        ) {
+            Some(WorkerReply::Rel { id, .. }) => assert_eq!(id, 42),
+            _ => panic!("snapshot must answer with Rel"),
+        }
+        match handle_request(&mut st, WorkerRequest::Barrier { id: 7 }) {
+            Some(WorkerReply::Ack { id }) => assert_eq!(id, 7),
+            _ => panic!("barrier must answer with Ack"),
+        }
+    }
+
+    #[test]
+    fn apply_many_is_fire_and_forget_and_applies_in_order() {
+        let mut st = state();
+        let stmt = |op: StmtOp| {
+            Arc::new(DistStatement {
+                target: "buf".into(),
+                target_schema: Schema::new(["B"]),
+                op,
+                kind: DistStmtKind::Compute(view("Q", ["B"])),
+                mode: StmtMode::Local,
+            })
+        };
+        let a = Relation::from_pairs(Schema::new(["B"]), vec![(tuple![1], 1.0)]);
+        let b = Relation::from_pairs(Schema::new(["B"]), vec![(tuple![2], 5.0)]);
+        let reply = handle_request(
+            &mut st,
+            WorkerRequest::ApplyMany {
+                id: 1,
+                applies: vec![(stmt(StmtOp::AddTo), a), (stmt(StmtOp::SetTo), b.clone())],
+            },
+        );
+        assert!(reply.is_none());
+        // The later SetTo overwrote the earlier AddTo, as statement order
+        // demands.
+        assert!(st.temps["buf"].approx_eq(&b));
+    }
+}

@@ -251,11 +251,11 @@ impl LocalEngine {
 }
 
 /// Re-key a relation under a different (same-arity) schema, keeping tuples
-/// positionally.
+/// positionally.  The result is always in wire-canonical layout
+/// ([`Relation::canonical`]): relabelling marks the exchange boundaries of
+/// the distributed backends, where layouts must be a pure function of
+/// content so the socket transport can reproduce them from a byte stream.
 pub fn relabel(rel: &Relation, schema: &Schema) -> Relation {
-    if rel.schema() == schema {
-        return rel.clone();
-    }
     assert_eq!(
         rel.schema().len(),
         schema.len(),
@@ -263,7 +263,14 @@ pub fn relabel(rel: &Relation, schema: &Schema) -> Relation {
         rel.schema(),
         schema
     );
-    Relation::from_pairs(schema.clone(), rel.iter().map(|(t, m)| (t.clone(), m)))
+    // Always rebuild in wire-canonical (sorted) order — even when the
+    // schema already matches.  Relabelled relations feed the exchange
+    // paths of every execution backend (trigger deltas, scatter sources,
+    // gathered partials), and the canonical layout is what makes a
+    // relation decoded from the socket transport bit-identical — in
+    // iteration order, hence in every downstream float accumulation — to
+    // its in-process counterpart (see [`Relation::canonical`]).
+    Relation::from_pairs(schema.clone(), rel.sorted())
 }
 
 /// Columns of the update batch that the trigger's statements actually use

@@ -1,0 +1,530 @@
+//! The driver side of the socket transport: [`TcpTransport`] (a
+//! [`Transport`] over per-worker TCP streams) and [`TcpCluster`] (the
+//! multi-process execution backend).
+//!
+//! Topology: the **driver listens**, workers connect.  [`TcpCluster`]
+//! binds a listener (loopback by default, any host:port via
+//! [`TcpConfig::bind_addr`] for real multi-host deployments), spawns one
+//! `hotdog-worker` subprocess per worker slot — or waits for externally
+//! started workers ([`WorkerSpawn::External`]) — and handshakes each
+//! connection: the worker sends `Hello{index}` (connections race, so the
+//! slot travels in-band), the driver answers with `Init{plan}`, and from
+//! then on the connection carries the same FIFO-command/tagged-reply
+//! protocol as the in-process channel transport.
+//!
+//! Everything above the socket — the admission queue, delta coalescing,
+//! the request-id ledger, async gathers, `ApplyMany` scatter batching,
+//! adaptive tuning, backpressure, watermarks — is the transport-generic
+//! [`Driver`] of `hotdog-runtime`, *shared* with `ThreadedCluster`, so
+//! the two backends can only differ in how bytes move.  The differential
+//! oracle holds `TcpCluster` bit-for-bit against the simulated cluster.
+
+use crate::codec::{encode_to_vec, ToDriver, ToWorker};
+use crate::frame::{recv_msg, send_payload};
+use hotdog_algebra::relation::Relation;
+use hotdog_distributed::protocol::{WorkerReply, WorkerRequest};
+use hotdog_distributed::{Backend, BatchExecution, ClusterTotals, DistributedPlan, PipelineStats};
+use hotdog_runtime::{Driver, PipelineConfig, Transport, TransportNames};
+use std::io::{self, BufReader};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::ops::{Deref, DerefMut};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How worker endpoints come into existence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerSpawn {
+    /// Spawn one `hotdog-worker` subprocess per slot on this machine
+    /// (the default).  The binary is located via `HOTDOG_WORKER_BIN`,
+    /// [`TcpConfig::worker_bin`], or next to the current executable.
+    Subprocess,
+    /// Run each worker's event loop on an in-process thread that
+    /// connects through a real loopback socket: the full wire path
+    /// (framing, codec, kernel TCP) without process isolation.  Used by
+    /// tests and as a fallback where spawning is unavailable.
+    Thread,
+    /// Spawn nothing: wait for `workers` externally started
+    /// `hotdog-worker --connect <addr> --index <i>` processes (possibly
+    /// on other hosts) to connect to [`TcpConfig::bind_addr`].
+    External,
+}
+
+/// Configuration of a [`TcpCluster`].
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Number of worker slots.
+    pub workers: usize,
+    /// Address the driver listens on.  The default `127.0.0.1:0` picks a
+    /// free loopback port; bind a routable address (e.g. `0.0.0.0:7654`)
+    /// to accept workers from other hosts ([`WorkerSpawn::External`]).
+    pub bind_addr: String,
+    /// How worker endpoints are started.
+    pub spawn: WorkerSpawn,
+    /// Explicit path to the `hotdog-worker` binary (subprocess mode).
+    /// `None` falls back to `HOTDOG_WORKER_BIN`, then to probing next to
+    /// the current executable (which finds the workspace's target dir in
+    /// tests and benches).
+    pub worker_bin: Option<PathBuf>,
+    /// How long to wait for all workers to connect and handshake.
+    pub accept_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            workers: 4,
+            bind_addr: "127.0.0.1:0".to_string(),
+            spawn: WorkerSpawn::Subprocess,
+            worker_bin: None,
+            accept_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl TcpConfig {
+    pub fn with_workers(workers: usize) -> Self {
+        TcpConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style spawn mode.
+    pub fn with_spawn(mut self, spawn: WorkerSpawn) -> Self {
+        self.spawn = spawn;
+        self
+    }
+
+    /// Config honouring the `HOTDOG_TCP_SPAWN` environment knob:
+    /// `thread` swaps worker subprocesses for in-process socket threads
+    /// (identical wire path, no process isolation) on hosts where
+    /// spawning is unavailable; anything else keeps the subprocess
+    /// default.  The single home for the knob, shared by the
+    /// differential suites and the benches.
+    pub fn from_env(workers: usize) -> Self {
+        let spawn = match std::env::var("HOTDOG_TCP_SPAWN").as_deref() {
+            Ok("thread") => WorkerSpawn::Thread,
+            _ => WorkerSpawn::Subprocess,
+        };
+        TcpConfig::with_workers(workers).with_spawn(spawn)
+    }
+}
+
+/// Locate the `hotdog-worker` binary for subprocess spawning.
+fn worker_binary(config: &TcpConfig) -> io::Result<PathBuf> {
+    if let Some(p) = &config.worker_bin {
+        return Ok(p.clone());
+    }
+    if let Ok(p) = std::env::var("HOTDOG_WORKER_BIN") {
+        return Ok(PathBuf::from(p));
+    }
+    let exe = std::env::current_exe()?;
+    let name = format!("hotdog-worker{}", std::env::consts::EXE_SUFFIX);
+    // target/<profile>/deps/<test-bin> -> target/<profile>/hotdog-worker,
+    // target/<profile>/<bench-bin>     -> same directory.
+    for dir in exe.ancestors().skip(1).take(3) {
+        let cand = dir.join(&name);
+        if cand.is_file() {
+            return Ok(cand);
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        "hotdog-worker binary not found next to the current executable: build it first \
+         (`cargo build -p hotdog-worker`, with --release for release runs — \
+         target-filtered `cargo test --test ...` does not build it) or point \
+         HOTDOG_WORKER_BIN / TcpConfig::worker_bin at it",
+    ))
+}
+
+/// One connected worker endpoint, driver side.
+struct WorkerConn {
+    /// Command stream (writes are frame-at-a-time; `TCP_NODELAY` keeps
+    /// small command frames from stalling in the kernel).
+    stream: TcpStream,
+    /// Replies pumped off the socket by a dedicated reader thread —
+    /// giving `try_recv` channel semantics instead of non-blocking
+    /// partial-frame parsing.
+    inbox: Receiver<WorkerReply>,
+    reader: Option<JoinHandle<()>>,
+    /// Subprocess handle (subprocess mode only).
+    child: Option<Child>,
+    /// In-process serve thread (thread mode only).
+    serve_thread: Option<JoinHandle<()>>,
+}
+
+/// [`Transport`] implementation over per-worker TCP connections.
+pub struct TcpTransport {
+    conns: Vec<WorkerConn>,
+    shut: bool,
+}
+
+impl TcpTransport {
+    /// Bind, start workers per `config`, collect and handshake all
+    /// connections, ship the plan.
+    pub fn connect(dplan: &DistributedPlan, config: &TcpConfig) -> io::Result<Self> {
+        assert!(config.workers > 0);
+        let mut children: Vec<Option<Child>> = (0..config.workers).map(|_| None).collect();
+        let mut serve_threads: Vec<Option<JoinHandle<()>>> =
+            (0..config.workers).map(|_| None).collect();
+        match Self::connect_inner(dplan, config, &mut children, &mut serve_threads) {
+            Ok(transport) => Ok(transport),
+            Err(e) => {
+                // Reap whatever was already spawned: a failed construction
+                // (accept timeout, handshake error, dead worker) must not
+                // leak subprocesses — a driver retrying construction would
+                // otherwise accumulate zombies until it exits.
+                for mut child in children.iter_mut().filter_map(|c| c.take()) {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                // Thread-mode workers exit on their own once their socket
+                // (or the pending connect) dies with the listener.
+                for handle in serve_threads.iter_mut().filter_map(|t| t.take()) {
+                    let _ = handle.join();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn connect_inner(
+        dplan: &DistributedPlan,
+        config: &TcpConfig,
+        children: &mut [Option<Child>],
+        serve_threads: &mut [Option<JoinHandle<()>>],
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.bind_addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        match config.spawn {
+            WorkerSpawn::Subprocess => {
+                let bin = worker_binary(config)?;
+                for (i, slot) in children.iter_mut().enumerate() {
+                    let child = Command::new(&bin)
+                        .arg("--connect")
+                        .arg(addr.to_string())
+                        .arg("--index")
+                        .arg(i.to_string())
+                        .stdin(Stdio::null())
+                        .stdout(Stdio::null())
+                        .stderr(Stdio::inherit())
+                        .spawn()
+                        .map_err(|e| {
+                            io::Error::new(e.kind(), format!("spawning {}: {e}", bin.display()))
+                        })?;
+                    *slot = Some(child);
+                }
+            }
+            WorkerSpawn::Thread => {
+                for (i, slot) in serve_threads.iter_mut().enumerate() {
+                    let addr = addr.to_string();
+                    let handle = thread::Builder::new()
+                        .name(format!("hotdog-tcp-worker-{i}"))
+                        .spawn(move || {
+                            if let Err(e) = crate::worker::run_worker(&addr, i as u32) {
+                                eprintln!("hotdog-tcp-worker-{i}: {e}");
+                            }
+                        })
+                        .expect("failed to spawn worker thread");
+                    *slot = Some(handle);
+                }
+            }
+            WorkerSpawn::External => {
+                eprintln!(
+                    "hotdog-net: waiting for {} external worker(s) on {addr} \
+                     (start each with: hotdog-worker --connect {addr} --index <i>)",
+                    config.workers
+                );
+            }
+        }
+
+        // Accept until every slot has handshaken, under one deadline.
+        let deadline = Instant::now() + config.accept_timeout;
+        let mut slots: Vec<Option<(TcpStream, BufReader<TcpStream>)>> =
+            (0..config.workers).map(|_| None).collect();
+        let mut connected = 0usize;
+        while connected < config.workers {
+            // A spawned worker dying before it connects would otherwise
+            // stall the accept loop until the deadline.
+            for (i, child) in children.iter_mut().enumerate() {
+                if let Some(c) = child.as_mut() {
+                    if let Some(status) = c.try_wait()? {
+                        return Err(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            format!("worker {i} exited before connecting: {status}"),
+                        ));
+                    }
+                }
+            }
+            match listener.accept() {
+                // A connection that fails the handshake (no/garbage Hello,
+                // bad or duplicate index, stalled peer) is *rejected and
+                // dropped*, not fatal: on a routable bind a port scanner or
+                // health prober must not take down cluster construction
+                // while the real workers are connecting fine.
+                Ok((stream, peer)) => match Self::handshake(stream, config.workers, &slots) {
+                    Ok((index, stream, reader)) => {
+                        slots[index] = Some((stream, reader));
+                        connected += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("hotdog-net: rejecting connection from {peer}: {e}");
+                    }
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "only {connected}/{} worker(s) connected within {:?}",
+                                config.workers, config.accept_timeout
+                            ),
+                        ));
+                    }
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Ship the plan: encode once, frame per worker.
+        let init = encode_to_vec(&ToWorker::Init {
+            plan: dplan.plan.clone(),
+        });
+        let mut conns = Vec::with_capacity(config.workers);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (mut stream, mut reader) = slot.expect("slot filled");
+            send_payload(&mut stream, &init)?;
+            let (tx, rx): (Sender<WorkerReply>, Receiver<WorkerReply>) = channel();
+            let handle = thread::Builder::new()
+                .name(format!("hotdog-tcp-reader-{i}"))
+                .spawn(move || loop {
+                    match recv_msg::<ToDriver>(&mut reader) {
+                        Ok(ToDriver::Reply(rep)) => {
+                            if tx.send(rep).is_err() {
+                                return; // driver gone
+                            }
+                        }
+                        Ok(ToDriver::Hello { .. }) => {
+                            eprintln!("hotdog-tcp-reader-{i}: unexpected Hello");
+                            return;
+                        }
+                        // EOF (or our own shutdown) closes the inbox by
+                        // dropping the sender; the driver sees a
+                        // disconnected channel and panics loudly if it
+                        // still expected replies.
+                        Err(_) => return,
+                    }
+                })
+                .expect("failed to spawn reader thread");
+            conns.push(WorkerConn {
+                stream,
+                inbox: rx,
+                reader: Some(handle),
+                child: children[i].take(),
+                serve_thread: serve_threads[i].take(),
+            });
+        }
+        Ok(TcpTransport { conns, shut: false })
+    }
+
+    /// Handshake one accepted connection: read its `Hello` under a bounded
+    /// timeout and validate the announced worker slot.  Any failure
+    /// rejects just this connection (the accept loop keeps going).
+    #[allow(clippy::type_complexity)]
+    fn handshake(
+        stream: TcpStream,
+        workers: usize,
+        slots: &[Option<(TcpStream, BufReader<TcpStream>)>],
+    ) -> io::Result<(usize, TcpStream, BufReader<TcpStream>)> {
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        // Bound the handshake read so a stuck peer cannot stall the
+        // accept loop for the whole deadline.
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let index = match recv_msg::<ToDriver>(&mut reader)? {
+            ToDriver::Hello { index } => index as usize,
+            ToDriver::Reply(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "protocol error: reply before Hello",
+                ))
+            }
+        };
+        stream.set_read_timeout(None)?;
+        if index >= workers || slots[index].is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad or duplicate worker index {index}"),
+            ));
+        }
+        Ok((index, stream, reader))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn workers(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn send(&mut self, w: usize, request: WorkerRequest) {
+        let payload = encode_to_vec(&ToWorker::Request(request));
+        send_payload(&mut self.conns[w].stream, &payload)
+            .unwrap_or_else(|e| panic!("tcp worker {w} died: {e}"));
+    }
+
+    fn recv(&mut self, w: usize) -> WorkerReply {
+        self.conns[w]
+            .inbox
+            .recv()
+            .unwrap_or_else(|_| panic!("tcp worker {w} died (connection closed)"))
+    }
+
+    fn try_recv(&mut self, w: usize) -> Option<WorkerReply> {
+        self.conns[w].inbox.try_recv().ok()
+    }
+
+    fn shutdown(&mut self) {
+        if self.shut {
+            return;
+        }
+        self.shut = true;
+        let payload = encode_to_vec(&ToWorker::Request(WorkerRequest::Shutdown));
+        for conn in &mut self.conns {
+            // Best effort: a worker that already died must not fail the
+            // others' shutdown.
+            let _ = send_payload(&mut conn.stream, &payload);
+        }
+        for (w, conn) in self.conns.iter_mut().enumerate() {
+            if let Some(mut child) = conn.child.take() {
+                // Give the worker a moment to exit cleanly, then kill.
+                let deadline = Instant::now() + Duration::from_secs(10);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() >= deadline => {
+                            eprintln!("hotdog-net: killing unresponsive worker {w}");
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                        Ok(None) => thread::sleep(Duration::from_millis(5)),
+                        Err(_) => break,
+                    }
+                }
+            }
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            if let Some(handle) = conn.reader.take() {
+                let _ = handle.join();
+            }
+            if let Some(handle) = conn.serve_thread.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    fn names(&self) -> TransportNames {
+        TransportNames {
+            sync: "tcp",
+            pipelined: "tcp-pipelined",
+            fifo: "tcp-pipelined-fifo",
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The multi-process TCP execution backend: the transport-generic
+/// [`Driver`] over [`TcpTransport`].
+///
+/// Same public surface as `ThreadedCluster` (via `Deref`), same
+/// [`Backend`] impl, same FIFO-command/tagged-reply contract including
+/// fully async gathers and `ApplyMany` scatter batching — only the bytes
+/// move through the kernel instead of an `mpsc` channel.  Construction is
+/// fallible (sockets, subprocesses), hence `io::Result`.
+pub struct TcpCluster {
+    inner: Driver<TcpTransport>,
+}
+
+impl TcpCluster {
+    /// Epoch-synchronous TCP cluster (one batch in the system at a time).
+    pub fn new(dplan: DistributedPlan, config: &TcpConfig) -> io::Result<Self> {
+        let transport = TcpTransport::connect(&dplan, config)?;
+        Ok(TcpCluster {
+            inner: Driver::with_transport(dplan, transport, None),
+        })
+    }
+
+    /// Pipelined TCP cluster: admission queue, delta coalescing, bounded
+    /// in-flight window — the same pipeline as the threaded backend,
+    /// over sockets.
+    pub fn pipelined(
+        dplan: DistributedPlan,
+        config: &TcpConfig,
+        pipeline: PipelineConfig,
+    ) -> io::Result<Self> {
+        let transport = TcpTransport::connect(&dplan, config)?;
+        Ok(TcpCluster {
+            inner: Driver::with_transport(dplan, transport, Some(pipeline)),
+        })
+    }
+
+    /// Abandon queued batches, stop the workers and return the final
+    /// pipeline stats (see `Driver::close`).
+    pub fn close(self) -> PipelineStats {
+        self.inner.close()
+    }
+}
+
+impl Deref for TcpCluster {
+    type Target = Driver<TcpTransport>;
+    fn deref(&self) -> &Self::Target {
+        &self.inner
+    }
+}
+
+impl DerefMut for TcpCluster {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.inner
+    }
+}
+
+impl Backend for TcpCluster {
+    fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+
+    fn plan(&self) -> &DistributedPlan {
+        Backend::plan(&self.inner)
+    }
+
+    fn apply_batch(&mut self, relation: &str, batch: &Relation) -> BatchExecution {
+        Backend::apply_batch(&mut self.inner, relation, batch)
+    }
+
+    fn flush(&mut self) {
+        Backend::flush(&mut self.inner);
+    }
+
+    fn view_contents(&mut self, name: &str) -> Relation {
+        Backend::view_contents(&mut self.inner, name)
+    }
+
+    fn totals(&self) -> &ClusterTotals {
+        Backend::totals(&self.inner)
+    }
+
+    fn pipeline_stats(&self) -> Option<PipelineStats> {
+        Backend::pipeline_stats(&self.inner)
+    }
+}

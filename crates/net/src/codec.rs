@@ -1,0 +1,1020 @@
+//! Hand-rolled, length-prefixed binary codec for the driver↔worker
+//! message set.
+//!
+//! No serde: the build image is offline (mirroring `hotdog-bench::json`),
+//! so every type on the wire implements [`Wire`] by hand.  The encoding is
+//! deliberately boring — little-endian fixed-width integers, one tag byte
+//! per enum variant, `u32` length prefixes for strings and sequences — and
+//! makes two promises the differential oracle depends on:
+//!
+//! * **Bit-preserving floats.**  Multiplicities and `Double` values travel
+//!   as raw IEEE-754 bits (`f64::to_bits`), never through a decimal
+//!   round-trip, so NaN payloads, negative zero and every last ulp survive
+//!   the wire and [`ViewChecksum`]s computed on either side agree.
+//! * **Canonical relation layout.**  A [`Relation`] is encoded as its
+//!   *sorted* pair list and decoded by replaying exactly that insertion
+//!   order into an empty map — i.e. decoding yields
+//!   [`Relation::canonical`] of the encoded relation.  Since every
+//!   in-process backend canonicalizes relations at the same exchange
+//!   points (`relabel`, `partition_shards`), a decoded relation is
+//!   bit-identical — in content *and* iteration order, hence in every
+//!   downstream float accumulation — to the object an in-process worker
+//!   would have received.
+//!
+//! Decoding is paranoid: unknown tags, non-UTF-8 strings, truncated
+//! buffers and trailing garbage are all [`DecodeError`]s, never panics —
+//! a corrupt frame must kill the connection loudly, not the process
+//! silently.
+//!
+//! [`ViewChecksum`]: hotdog_algebra::relation::ViewChecksum
+
+use hotdog_algebra::expr::{CmpOp, Expr, RelKind, RelRef, ValExpr};
+use hotdog_algebra::relation::Relation;
+use hotdog_algebra::schema::Schema;
+use hotdog_algebra::tuple::Tuple;
+use hotdog_algebra::value::Value;
+use hotdog_distributed::program::{DistStatement, DistStmtKind, StmtMode, Transform};
+use hotdog_distributed::protocol::{WorkerReply, WorkerRequest};
+use hotdog_distributed::PartitionFn;
+use hotdog_ivm::StmtOp;
+use hotdog_ivm::{MaintenancePlan, Statement, Strategy, Trigger, ViewDef};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Decoding failure: the buffer does not contain a well-formed message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the message did.
+    UnexpectedEof,
+    /// An enum tag byte had no corresponding variant.
+    BadTag { what: &'static str, tag: u8 },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A boolean byte was neither 0 nor 1.
+    BadBool(u8),
+    /// The message decoded fully but bytes were left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of frame"),
+            DecodeError::BadTag { what, tag } => write!(f, "bad {what} tag {tag:#x}"),
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::BadBool(b) => write!(f, "bad boolean byte {b:#x}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Cursor over a received frame's payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+/// A type with a hand-rolled binary wire format.
+pub trait Wire: Sized {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Encode a message into a fresh payload buffer.
+pub fn encode_to_vec<M: Wire>(msg: &M) -> Vec<u8> {
+    let mut out = Vec::new();
+    msg.encode(&mut out);
+    out
+}
+
+/// Decode a message from a full payload buffer, rejecting trailing bytes.
+pub fn decode_from_slice<M: Wire>(buf: &[u8]) -> Result<M, DecodeError> {
+    let mut r = Reader::new(buf);
+    let msg = M::decode(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+impl Wire for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.u8()
+    }
+}
+
+impl Wire for u16 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(u16::from_le_bytes(r.take(2)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(u32::from_le_bytes(r.take(4)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(u64::from_le_bytes(r.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(i64::from_le_bytes(r.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Floats travel as raw bits — the exact-bit promise of the codec.
+impl Wire for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(DecodeError::BadBool(b)),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = u32::decode(r)? as usize;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = u32::decode(r)? as usize;
+        // A corrupt length must not pre-allocate gigabytes: every element
+        // costs at least one byte, so `remaining()` bounds a sane capacity.
+        let mut v = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<T: Wire> Wire for Arc<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (**self).encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Arc::new(T::decode(r)?))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Data model
+// ---------------------------------------------------------------------------
+
+impl Wire for Value {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Long(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Value::Double(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+            Value::Str(s) => {
+                out.push(2);
+                (s.len() as u32).encode(out);
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(3);
+                b.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(Value::Long(i64::decode(r)?)),
+            1 => Ok(Value::Double(f64::decode(r)?)),
+            2 => {
+                let len = u32::decode(r)? as usize;
+                let bytes = r.take(len)?;
+                let s = std::str::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)?;
+                Ok(Value::str(s))
+            }
+            3 => Ok(Value::Bool(bool::decode(r)?)),
+            tag => Err(DecodeError::BadTag { what: "Value", tag }),
+        }
+    }
+}
+
+impl Wire for Tuple {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.arity() as u16).encode(out);
+        for v in &self.0 {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let arity = u16::decode(r)? as usize;
+        let mut vals = Vec::with_capacity(arity.min(r.remaining()));
+        for _ in 0..arity {
+            vals.push(Value::decode(r)?);
+        }
+        Ok(Tuple(vals))
+    }
+}
+
+impl Wire for Schema {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for c in self.iter() {
+            (c.len() as u32).encode(out);
+            out.extend_from_slice(c.as_bytes());
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let cols: Vec<String> = {
+            let len = u32::decode(r)? as usize;
+            let mut v = Vec::with_capacity(len.min(r.remaining()));
+            for _ in 0..len {
+                v.push(String::decode(r)?);
+            }
+            v
+        };
+        Ok(Schema::new(cols))
+    }
+}
+
+/// Encoded as the **sorted** pair list; decoding replays that order into
+/// an empty map, so `decode(encode(r))` is exactly [`Relation::canonical`]
+/// of `r` — content-equal bit-for-bit, and layout-equal to what every
+/// in-process backend holds after its own canonicalization.
+impl Wire for Relation {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.schema().encode(out);
+        (self.len() as u32).encode(out);
+        for (t, m) in self.sorted() {
+            t.encode(out);
+            m.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let schema = Schema::decode(r)?;
+        let len = u32::decode(r)? as usize;
+        let mut rel = Relation::new(schema);
+        for _ in 0..len {
+            let t = Tuple::decode(r)?;
+            let m = f64::decode(r)?;
+            rel.add(t, m);
+        }
+        Ok(rel)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+impl Wire for CmpOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            CmpOp::Eq => 0,
+            CmpOp::Ne => 1,
+            CmpOp::Lt => 2,
+            CmpOp::Le => 3,
+            CmpOp::Gt => 4,
+            CmpOp::Ge => 5,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(CmpOp::Eq),
+            1 => Ok(CmpOp::Ne),
+            2 => Ok(CmpOp::Lt),
+            3 => Ok(CmpOp::Le),
+            4 => Ok(CmpOp::Gt),
+            5 => Ok(CmpOp::Ge),
+            tag => Err(DecodeError::BadTag { what: "CmpOp", tag }),
+        }
+    }
+}
+
+impl Wire for ValExpr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ValExpr::Var(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            ValExpr::Lit(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+            ValExpr::Add(a, b) => {
+                out.push(2);
+                a.encode(out);
+                b.encode(out);
+            }
+            ValExpr::Sub(a, b) => {
+                out.push(3);
+                a.encode(out);
+                b.encode(out);
+            }
+            ValExpr::Mul(a, b) => {
+                out.push(4);
+                a.encode(out);
+                b.encode(out);
+            }
+            ValExpr::Div(a, b) => {
+                out.push(5);
+                a.encode(out);
+                b.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let pair = |r: &mut Reader<'_>| -> Result<(Box<ValExpr>, Box<ValExpr>), DecodeError> {
+            Ok((Box::new(ValExpr::decode(r)?), Box::new(ValExpr::decode(r)?)))
+        };
+        match r.u8()? {
+            0 => Ok(ValExpr::Var(String::decode(r)?)),
+            1 => Ok(ValExpr::Lit(Value::decode(r)?)),
+            2 => pair(r).map(|(a, b)| ValExpr::Add(a, b)),
+            3 => pair(r).map(|(a, b)| ValExpr::Sub(a, b)),
+            4 => pair(r).map(|(a, b)| ValExpr::Mul(a, b)),
+            5 => pair(r).map(|(a, b)| ValExpr::Div(a, b)),
+            tag => Err(DecodeError::BadTag {
+                what: "ValExpr",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for RelKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            RelKind::Base => 0,
+            RelKind::View => 1,
+            RelKind::Delta => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(RelKind::Base),
+            1 => Ok(RelKind::View),
+            2 => Ok(RelKind::Delta),
+            tag => Err(DecodeError::BadTag {
+                what: "RelKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for RelRef {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.kind.encode(out);
+        self.cols.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(RelRef {
+            name: String::decode(r)?,
+            kind: RelKind::decode(r)?,
+            cols: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Expr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Expr::Rel(r) => {
+                out.push(0);
+                r.encode(out);
+            }
+            Expr::Union(l, r) => {
+                out.push(1);
+                l.encode(out);
+                r.encode(out);
+            }
+            Expr::Join(l, r) => {
+                out.push(2);
+                l.encode(out);
+                r.encode(out);
+            }
+            Expr::Sum { group_by, body } => {
+                out.push(3);
+                group_by.encode(out);
+                body.encode(out);
+            }
+            Expr::Const(c) => {
+                out.push(4);
+                c.encode(out);
+            }
+            Expr::Val(v) => {
+                out.push(5);
+                v.encode(out);
+            }
+            Expr::Cmp { op, lhs, rhs } => {
+                out.push(6);
+                op.encode(out);
+                lhs.encode(out);
+                rhs.encode(out);
+            }
+            Expr::AssignVal { var, value } => {
+                out.push(7);
+                var.encode(out);
+                value.encode(out);
+            }
+            Expr::AssignQuery { var, query } => {
+                out.push(8);
+                var.encode(out);
+                query.encode(out);
+            }
+            Expr::Exists(q) => {
+                out.push(9);
+                q.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(Expr::Rel(RelRef::decode(r)?)),
+            1 => Ok(Expr::Union(
+                Box::new(Expr::decode(r)?),
+                Box::new(Expr::decode(r)?),
+            )),
+            2 => Ok(Expr::Join(
+                Box::new(Expr::decode(r)?),
+                Box::new(Expr::decode(r)?),
+            )),
+            3 => Ok(Expr::Sum {
+                group_by: Schema::decode(r)?,
+                body: Box::new(Expr::decode(r)?),
+            }),
+            4 => Ok(Expr::Const(f64::decode(r)?)),
+            5 => Ok(Expr::Val(ValExpr::decode(r)?)),
+            6 => Ok(Expr::Cmp {
+                op: CmpOp::decode(r)?,
+                lhs: ValExpr::decode(r)?,
+                rhs: ValExpr::decode(r)?,
+            }),
+            7 => Ok(Expr::AssignVal {
+                var: String::decode(r)?,
+                value: ValExpr::decode(r)?,
+            }),
+            8 => Ok(Expr::AssignQuery {
+                var: String::decode(r)?,
+                query: Box::new(Expr::decode(r)?),
+            }),
+            9 => Ok(Expr::Exists(Box::new(Expr::decode(r)?))),
+            tag => Err(DecodeError::BadTag { what: "Expr", tag }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plans and statements
+// ---------------------------------------------------------------------------
+
+impl Wire for StmtOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            StmtOp::AddTo => 0,
+            StmtOp::SetTo => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(StmtOp::AddTo),
+            1 => Ok(StmtOp::SetTo),
+            tag => Err(DecodeError::BadTag {
+                what: "StmtOp",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for StmtMode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            StmtMode::Local => 0,
+            StmtMode::Distributed => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(StmtMode::Local),
+            1 => Ok(StmtMode::Distributed),
+            tag => Err(DecodeError::BadTag {
+                what: "StmtMode",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for PartitionFn {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PartitionFn::ByColumns(cols) => {
+                out.push(0);
+                cols.encode(out);
+            }
+            PartitionFn::Replicate => out.push(1),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(PartitionFn::ByColumns(Vec::decode(r)?)),
+            1 => Ok(PartitionFn::Replicate),
+            tag => Err(DecodeError::BadTag {
+                what: "PartitionFn",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for Transform {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Transform::Scatter(pf) => {
+                out.push(0);
+                pf.encode(out);
+            }
+            Transform::Repart(pf) => {
+                out.push(1);
+                pf.encode(out);
+            }
+            Transform::Gather => out.push(2),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(Transform::Scatter(PartitionFn::decode(r)?)),
+            1 => Ok(Transform::Repart(PartitionFn::decode(r)?)),
+            2 => Ok(Transform::Gather),
+            tag => Err(DecodeError::BadTag {
+                what: "Transform",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for DistStmtKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DistStmtKind::Compute(e) => {
+                out.push(0);
+                e.encode(out);
+            }
+            DistStmtKind::Transform { kind, source } => {
+                out.push(1);
+                kind.encode(out);
+                source.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(DistStmtKind::Compute(Expr::decode(r)?)),
+            1 => Ok(DistStmtKind::Transform {
+                kind: Transform::decode(r)?,
+                source: String::decode(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                what: "DistStmtKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for DistStatement {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.target.encode(out);
+        self.target_schema.encode(out);
+        self.op.encode(out);
+        self.kind.encode(out);
+        self.mode.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(DistStatement {
+            target: String::decode(r)?,
+            target_schema: Schema::decode(r)?,
+            op: StmtOp::decode(r)?,
+            kind: DistStmtKind::decode(r)?,
+            mode: StmtMode::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Strategy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Strategy::Reevaluation => 0,
+            Strategy::ClassicalIvm => 1,
+            Strategy::RecursiveIvm => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(Strategy::Reevaluation),
+            1 => Ok(Strategy::ClassicalIvm),
+            2 => Ok(Strategy::RecursiveIvm),
+            tag => Err(DecodeError::BadTag {
+                what: "Strategy",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for ViewDef {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.schema.encode(out);
+        self.definition.encode(out);
+        self.is_top.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ViewDef {
+            name: String::decode(r)?,
+            schema: Schema::decode(r)?,
+            definition: Expr::decode(r)?,
+            is_top: bool::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Statement {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.target.encode(out);
+        self.target_schema.encode(out);
+        self.op.encode(out);
+        self.expr.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Statement {
+            target: String::decode(r)?,
+            target_schema: Schema::decode(r)?,
+            op: StmtOp::decode(r)?,
+            expr: Expr::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Trigger {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.relation.encode(out);
+        self.relation_schema.encode(out);
+        self.statements.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Trigger {
+            relation: String::decode(r)?,
+            relation_schema: Schema::decode(r)?,
+            statements: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for MaintenancePlan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.query_name.encode(out);
+        self.strategy.encode(out);
+        self.top_view.encode(out);
+        self.views.encode(out);
+        self.triggers.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(MaintenancePlan {
+            query_name: String::decode(r)?,
+            strategy: Strategy::decode(r)?,
+            top_view: String::decode(r)?,
+            views: Vec::decode(r)?,
+            triggers: Vec::decode(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol messages
+// ---------------------------------------------------------------------------
+
+/// Deltas maps are encoded as a key-sorted entry list (deterministic bytes
+/// for identical content) and decoded into a fresh map; workers only look
+/// entries up by name, never iterate, so the map's own layout is inert.
+fn encode_deltas(deltas: &HashMap<String, Relation>, out: &mut Vec<u8>) {
+    let mut entries: Vec<(&String, &Relation)> = deltas.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    (entries.len() as u32).encode(out);
+    for (name, rel) in entries {
+        name.encode(out);
+        rel.encode(out);
+    }
+}
+
+fn decode_deltas(r: &mut Reader<'_>) -> Result<HashMap<String, Relation>, DecodeError> {
+    let len = u32::decode(r)? as usize;
+    let mut map = HashMap::with_capacity(len.min(r.remaining()));
+    for _ in 0..len {
+        let name = String::decode(r)?;
+        let rel = Relation::decode(r)?;
+        map.insert(name, rel);
+    }
+    Ok(map)
+}
+
+impl Wire for WorkerRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WorkerRequest::RunBlock {
+                id,
+                statements,
+                deltas,
+            } => {
+                out.push(0);
+                id.encode(out);
+                statements.encode(out);
+                encode_deltas(deltas, out);
+            }
+            WorkerRequest::ApplyMany { id, applies } => {
+                out.push(1);
+                id.encode(out);
+                applies.encode(out);
+            }
+            WorkerRequest::Fetch { id, name } => {
+                out.push(2);
+                id.encode(out);
+                name.encode(out);
+            }
+            WorkerRequest::Snapshot { id, view } => {
+                out.push(3);
+                id.encode(out);
+                view.encode(out);
+            }
+            WorkerRequest::Barrier { id } => {
+                out.push(4);
+                id.encode(out);
+            }
+            WorkerRequest::Shutdown => out.push(5),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(WorkerRequest::RunBlock {
+                id: u64::decode(r)?,
+                statements: Arc::decode(r)?,
+                deltas: Arc::new(decode_deltas(r)?),
+            }),
+            1 => Ok(WorkerRequest::ApplyMany {
+                id: u64::decode(r)?,
+                applies: Vec::decode(r)?,
+            }),
+            2 => Ok(WorkerRequest::Fetch {
+                id: u64::decode(r)?,
+                name: String::decode(r)?,
+            }),
+            3 => Ok(WorkerRequest::Snapshot {
+                id: u64::decode(r)?,
+                view: String::decode(r)?,
+            }),
+            4 => Ok(WorkerRequest::Barrier {
+                id: u64::decode(r)?,
+            }),
+            5 => Ok(WorkerRequest::Shutdown),
+            tag => Err(DecodeError::BadTag {
+                what: "WorkerRequest",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for WorkerReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WorkerReply::Ran { id, instructions } => {
+                out.push(0);
+                id.encode(out);
+                instructions.encode(out);
+            }
+            WorkerReply::Rel { id, rel } => {
+                out.push(1);
+                id.encode(out);
+                rel.encode(out);
+            }
+            WorkerReply::Ack { id } => {
+                out.push(2);
+                id.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(WorkerReply::Ran {
+                id: u64::decode(r)?,
+                instructions: u64::decode(r)?,
+            }),
+            1 => Ok(WorkerReply::Rel {
+                id: u64::decode(r)?,
+                rel: Relation::decode(r)?,
+            }),
+            2 => Ok(WorkerReply::Ack {
+                id: u64::decode(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                what: "WorkerReply",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Driver → worker frames: the `Init` handshake carrying the plan, then a
+/// stream of protocol requests.
+pub enum ToWorker {
+    /// First frame after the connection is slotted: the maintenance plan
+    /// the worker builds its [`WorkerState`] from.
+    ///
+    /// [`WorkerState`]: hotdog_distributed::WorkerState
+    Init {
+        plan: MaintenancePlan,
+    },
+    Request(WorkerRequest),
+}
+
+impl Wire for ToWorker {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ToWorker::Init { plan } => {
+                out.push(0x40);
+                plan.encode(out);
+            }
+            ToWorker::Request(req) => {
+                out.push(0x41);
+                req.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0x40 => Ok(ToWorker::Init {
+                plan: MaintenancePlan::decode(r)?,
+            }),
+            0x41 => Ok(ToWorker::Request(WorkerRequest::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "ToWorker",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Worker → driver frames: the `Hello` handshake naming the worker's
+/// slot, then a stream of protocol replies.
+pub enum ToDriver {
+    /// First frame a worker sends after connecting: which worker slot it
+    /// was started as (`--index`), so the driver can map the accepted
+    /// connection — connections race, arrival order is meaningless.
+    Hello {
+        index: u32,
+    },
+    Reply(WorkerReply),
+}
+
+impl Wire for ToDriver {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ToDriver::Hello { index } => {
+                out.push(0x80);
+                index.encode(out);
+            }
+            ToDriver::Reply(rep) => {
+                out.push(0x81);
+                rep.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0x80 => Ok(ToDriver::Hello {
+                index: u32::decode(r)?,
+            }),
+            0x81 => Ok(ToDriver::Reply(WorkerReply::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "ToDriver",
+                tag,
+            }),
+        }
+    }
+}

@@ -41,6 +41,17 @@ pub struct AdaptiveConfig {
     /// Trigger executions aggregated per probe window.  Larger windows
     /// smooth timing noise at the cost of slower adaptation.
     pub probe_triggers: usize,
+    /// Cost attributed to one unit of *worker* interpreter work, in
+    /// seconds per instruction.  The pipelined driver only measures its
+    /// own issue time — distributed blocks overlap and their cost is
+    /// invisible to the driver clock on multi-core hosts — so the
+    /// controller folds the workers' lazily reported instruction counts
+    /// into the window cost as `instructions × secs_per_instruction`
+    /// (ROADMAP "worker-time feedback").  `0.0` disables the term,
+    /// restoring the driver-time-only signal.  The default mirrors the
+    /// simulator's modelled instruction cost
+    /// (`ClusterConfig::secs_per_instruction`).
+    pub secs_per_instruction: f64,
 }
 
 impl Default for AdaptiveConfig {
@@ -51,6 +62,7 @@ impl Default for AdaptiveConfig {
             initial_tuples: 256,
             step: 2.0,
             probe_triggers: 3,
+            secs_per_instruction: 2.0e-9,
         }
     }
 }
@@ -112,23 +124,40 @@ impl CoalesceController {
         self.bound
     }
 
-    /// Record one maintenance-program execution: the executed delta's tuple
-    /// count and its measured trigger seconds.  Closes the probe window and
-    /// moves the bound once enough triggers have accumulated.
-    ///
-    /// The pipelined runtime feeds *driver-side issue time* here: worker
-    /// execution of distributed blocks overlaps and is excluded, except
-    /// when the in-flight window forces a collect — which charges a
-    /// previous trigger's worker cost to the current trigger.  The signal
-    /// is therefore noisy and slightly lagged; the probe-window averaging
-    /// (keep [`AdaptiveConfig::probe_triggers`] ≥ the in-flight window on
-    /// multi-core hosts) is what keeps the climb pointed the right way.
-    /// Folding the workers' reported instruction counts into the cost is a
-    /// ROADMAP follow-on.
+    /// Record one maintenance-program execution from driver-side timing
+    /// alone (no worker-work term); see
+    /// [`CoalesceController::observe_with_work`].
     pub fn observe(&mut self, executed_tuples: usize, trigger_secs: f64) {
+        self.observe_with_work(executed_tuples, trigger_secs, 0);
+    }
+
+    /// Record one maintenance-program execution: the executed delta's tuple
+    /// count, its measured driver-side trigger seconds, and the worker
+    /// interpreter work (instruction count) settled since the previous
+    /// observation.  Closes the probe window and moves the bound once
+    /// enough triggers have accumulated.
+    ///
+    /// The driver clock only sees *issue time*: worker execution of
+    /// distributed blocks overlaps and is invisible on multi-core hosts,
+    /// except when the in-flight window forces a collect — which charges a
+    /// previous trigger's worker cost to the current trigger.  The
+    /// instruction term (`instructions ×`
+    /// [`AdaptiveConfig::secs_per_instruction`]) restores the
+    /// worker-dominated part of the cost; because completions settle
+    /// lazily, it too is attributed with bounded lag.  Both signals are
+    /// therefore noisy and slightly shifted; the probe-window averaging
+    /// (keep [`AdaptiveConfig::probe_triggers`] ≥ the in-flight window)
+    /// is what keeps the climb pointed the right way.
+    pub fn observe_with_work(
+        &mut self,
+        executed_tuples: usize,
+        trigger_secs: f64,
+        worker_instructions: u64,
+    ) {
         self.window_triggers += 1;
         self.window_tuples += executed_tuples;
-        self.window_secs += trigger_secs.max(0.0);
+        self.window_secs += trigger_secs.max(0.0)
+            + worker_instructions as f64 * self.config.secs_per_instruction.max(0.0);
         if self.window_triggers < self.config.probe_triggers {
             return;
         }
@@ -308,6 +337,68 @@ mod tests {
         assert!(
             (125.0..=8000.0).contains(&b),
             "bound {b} should recover toward the optimum 1000"
+        );
+    }
+
+    #[test]
+    fn worker_dominated_curve_needs_the_instruction_term() {
+        // A worker-dominated workload: the driver-side issue time is a
+        // flat, tiny constant (the driver just broadcasts and moves on),
+        // while the real cost — fixed per-trigger overhead plus a
+        // superlinear per-tuple term — happens on the workers and is only
+        // visible as their reported instruction counts.  With the
+        // instruction term folded in (secs_per_instruction = 2e-9) the
+        // effective cost is `driver + spi*instr(n)`, concave-optimal at
+        // n* = 1000.
+        let spi = 2.0e-9;
+        let instr = move |n: usize| ((1e-3 + 1e-9 * (n as f64) * (n as f64)) / spi) as u64;
+        let driver_secs = 1e-6; // flat: carries no batch-size signal
+
+        let mut informed = CoalesceController::new(AdaptiveConfig {
+            initial_tuples: 16,
+            secs_per_instruction: spi,
+            ..Default::default()
+        });
+        for _ in 0..400 {
+            let n = informed.bound();
+            informed.observe_with_work(n, driver_secs, instr(n));
+        }
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for _ in 0..100 {
+            let n = informed.bound();
+            lo = lo.min(n);
+            hi = hi.max(n);
+            informed.observe_with_work(n, driver_secs, instr(n));
+        }
+        let step = informed.config.step;
+        let slack = step * step;
+        assert!(
+            (hi as f64) >= 1000.0 / slack && (lo as f64) <= 1000.0 * slack,
+            "informed search range [{lo}, {hi}] does not straddle the optimum 1000"
+        );
+        assert!(
+            (hi as f64) <= 1000.0 * slack * step,
+            "informed search wandered above the optimum: [{lo}, {hi}]"
+        );
+
+        // Control: with the instruction term disabled the driver-side
+        // signal is pure `n / driver_secs` — monotone increasing — so the
+        // blind controller rides the bound to the upper clamp instead of
+        // finding the worker-side optimum.
+        let mut blind = CoalesceController::new(AdaptiveConfig {
+            initial_tuples: 16,
+            max_tuples: 1 << 16,
+            secs_per_instruction: 0.0,
+            ..Default::default()
+        });
+        for _ in 0..400 {
+            let n = blind.bound();
+            blind.observe_with_work(n, driver_secs, instr(n));
+        }
+        assert!(
+            blind.bound() >= 1 << 14,
+            "without the instruction term the bound should climb to the clamp, got {}",
+            blind.bound()
         );
     }
 

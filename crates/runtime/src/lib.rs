@@ -105,6 +105,9 @@ pub use hotdog_distributed::PipelineStats;
 
 use hotdog_algebra::eval::EvalCounters;
 use hotdog_algebra::relation::Relation;
+use hotdog_distributed::protocol::{
+    handle_request, WorkerReply as Reply, WorkerRequest as Request,
+};
 use hotdog_distributed::{
     partition_shards, Backend, BatchExecution, ClusterTotals, DistStatement, DistStmtKind,
     DistributedPlan, LocTag, PartitionFn, StmtMode, Transform, TriggerProgram, WorkerState,
@@ -117,94 +120,134 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// Commands the driver sends to a worker thread.
+/// How a [`Driver`] reaches its workers: an in-process `mpsc` channel pair
+/// per worker thread ([`ChannelTransport`]), or a TCP stream per worker
+/// subprocess (`hotdog-net`'s `TcpTransport`).
 ///
-/// Two-layer contract of the **tagged-reply protocol**:
+/// The transport only moves [`WorkerRequest`]/[`WorkerReply`] messages; all
+/// scheduling — the admission queue, delta coalescing, the request-id
+/// ledger, adaptive tuning, backpressure — lives in the transport-generic
+/// [`Driver`], so every real backend shares one pipeline implementation
+/// and can only differ in how bytes move.
 ///
-/// * **Command order is per-channel FIFO** — an `ApplyMany` enqueued before
-///   a `RunBlock` is guaranteed to be installed before the block executes,
-///   and a `Fetch` enqueued after a `RunBlock` observes the block's writes.
-///   This is what keeps worker *state evolution* identical to the
-///   synchronous schedule.
-/// * **Reply accounting is by request id, never by position** — every
-///   command that produces a reply carries an `id` the worker echoes back,
-///   and the driver matches replies against its completion ledger.  The
-///   driver never has to drain replies it is not interested in yet, so a
-///   gather of batch *k* waits only for its own ids while block
-///   completions of the in-flight window settle whenever they arrive.
-enum Request {
-    /// Execute one distributed block over this worker's shard and report
-    /// the interpreter work performed.
-    RunBlock {
-        id: u64,
-        statements: Arc<Vec<DistStatement>>,
-        deltas: Arc<HashMap<String, Relation>>,
-    },
-    /// Install a batch of scattered shards into their statements' targets,
-    /// in statement order.  One `ApplyMany` per worker per batch replaces
-    /// the per-statement `Apply` messages of the positional protocol
-    /// (produces no reply; a `Barrier` or any later tagged reply proves
-    /// delivery via command FIFO).
-    ApplyMany {
-        #[allow(dead_code)] // ids are uniform across the protocol; only
-        // replies are matched against the ledger.
-        id: u64,
-        applies: Vec<(Arc<DistStatement>, Relation)>,
-    },
-    /// Send back an exchange buffer (or this worker's view partition).
-    Fetch { id: u64, name: String },
-    /// Send back this worker's partition of a materialized view.
-    Snapshot { id: u64, view: String },
-    /// Acknowledge that everything enqueued so far has been processed
-    /// (drains trailing `ApplyMany`s so measured batch latency includes
-    /// them).
-    Barrier { id: u64 },
-    /// Exit the worker loop.
-    Shutdown,
+/// Contract (what the driver's ledger accounting relies on):
+///
+/// * [`Transport::send`] preserves per-worker FIFO command order;
+/// * [`Transport::recv`] blocks until one more reply from worker `w`
+///   arrives, in arrival order; [`Transport::try_recv`] is its
+///   non-blocking form;
+/// * a dead worker is a panic, not a silent stall — the differential
+///   suites want loud failures;
+/// * [`Transport::shutdown`] is idempotent and must not hang on workers
+///   that already exited.
+///
+/// [`WorkerRequest`]: hotdog_distributed::protocol::WorkerRequest
+/// [`WorkerReply`]: hotdog_distributed::protocol::WorkerReply
+pub trait Transport {
+    /// Number of workers this transport reaches.
+    fn workers(&self) -> usize;
+    /// Enqueue one command to worker `w` (per-worker FIFO).
+    fn send(&mut self, w: usize, request: Request);
+    /// Block for the next reply from worker `w`.
+    fn recv(&mut self, w: usize) -> Reply;
+    /// The next reply from worker `w` if one has already arrived.
+    fn try_recv(&mut self, w: usize) -> Option<Reply>;
+    /// Stop all workers (idempotent).
+    fn shutdown(&mut self);
+    /// Backend names a [`Driver`] over this transport reports, by mode.
+    fn names(&self) -> TransportNames;
 }
 
-/// Worker responses, each echoing the request id it answers
-/// (`RunBlock` → `Ran`, `Fetch`/`Snapshot` → `Rel`, `Barrier` → `Ack`).
-enum Reply {
-    Ran { id: u64, instructions: u64 },
-    Rel { id: u64, rel: Relation },
-    Ack { id: u64 },
+/// The [`Backend::backend_name`] strings of a transport, per execution
+/// mode (epoch-synchronous / pipelined tagged / pipelined FIFO-compat).
+#[derive(Clone, Copy, Debug)]
+pub struct TransportNames {
+    pub sync: &'static str,
+    pub pipelined: &'static str,
+    pub fifo: &'static str,
 }
 
 fn worker_loop(mut state: WorkerState, rx: Receiver<Request>, tx: Sender<Reply>) {
     while let Ok(msg) = rx.recv() {
-        match msg {
-            Request::RunBlock {
-                id,
-                statements,
-                deltas,
-            } => {
-                let mut counters = EvalCounters::default();
-                for stmt in statements.iter() {
-                    state.run_compute(stmt, &deltas, &mut counters);
-                }
-                let _ = tx.send(Reply::Ran {
-                    id,
-                    instructions: counters.instructions(),
-                });
-            }
-            Request::ApplyMany { applies, .. } => state.apply_all(applies),
-            Request::Fetch { id, name } => {
-                let _ = tx.send(Reply::Rel {
-                    id,
-                    rel: state.read(&name),
-                });
-            }
-            Request::Snapshot { id, view } => {
-                let _ = tx.send(Reply::Rel {
-                    id,
-                    rel: state.snapshot(&view),
-                });
-            }
-            Request::Barrier { id } => {
-                let _ = tx.send(Reply::Ack { id });
-            }
-            Request::Shutdown => break,
+        if matches!(msg, Request::Shutdown) {
+            break;
+        }
+        if let Some(reply) = handle_request(&mut state, msg) {
+            let _ = tx.send(reply);
+        }
+    }
+}
+
+/// The in-process transport: one OS thread per worker, joined by a pair of
+/// `mpsc` channels playing the role of the cluster fabric.
+pub struct ChannelTransport {
+    requests: Vec<Sender<Request>>,
+    replies: Vec<Receiver<Reply>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ChannelTransport {
+    /// Spawn `workers` worker threads, each owning an empty
+    /// [`WorkerState`] for the plan.
+    pub fn spawn(dplan: &DistributedPlan, workers: usize) -> Self {
+        assert!(workers > 0);
+        let mut requests = Vec::with_capacity(workers);
+        let mut replies = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let state = WorkerState::for_plan(&dplan.plan);
+            let (req_tx, req_rx) = channel();
+            let (rep_tx, rep_rx) = channel();
+            let handle = thread::Builder::new()
+                .name(format!("hotdog-worker-{i}"))
+                .spawn(move || worker_loop(state, req_rx, rep_tx))
+                .expect("failed to spawn worker thread");
+            requests.push(req_tx);
+            replies.push(rep_rx);
+            handles.push(handle);
+        }
+        ChannelTransport {
+            requests,
+            replies,
+            handles,
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn workers(&self) -> usize {
+        self.requests.len()
+    }
+
+    fn send(&mut self, w: usize, request: Request) {
+        self.requests[w].send(request).expect("worker thread died");
+    }
+
+    fn recv(&mut self, w: usize) -> Reply {
+        self.replies[w].recv().expect("worker thread died")
+    }
+
+    fn try_recv(&mut self, w: usize) -> Option<Reply> {
+        self.replies[w].try_recv().ok()
+    }
+
+    fn shutdown(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        for tx in &self.requests {
+            let _ = tx.send(Request::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn names(&self) -> TransportNames {
+        TransportNames {
+            sync: "threaded",
+            pipelined: "pipelined",
+            fifo: "pipelined-fifo",
         }
     }
 }
@@ -214,6 +257,13 @@ fn worker_loop(mut state: WorkerState, rx: Receiver<Request>, tx: Sender<Reply>)
 struct SharedBlock {
     mode: StmtMode,
     statements: Arc<Vec<DistStatement>>,
+    /// Whether any statement of this block references a delta relation.
+    /// The distributed compiler rewrites delta references into scattered
+    /// temps, so worker-bound blocks normally never read the batch — a
+    /// block that doesn't is broadcast with an *empty* deltas map, which
+    /// keeps byte-counting transports from shipping the batch N times for
+    /// nothing.
+    needs_delta: bool,
 }
 
 struct SharedProgram {
@@ -231,6 +281,10 @@ fn share_program(p: &TriggerProgram) -> SharedProgram {
             .iter()
             .map(|b| SharedBlock {
                 mode: b.mode,
+                needs_delta: b.statements.iter().any(|s| match &s.kind {
+                    DistStmtKind::Compute(e) => e.has_delta_relations(),
+                    DistStmtKind::Transform { .. } => false,
+                }),
                 statements: Arc::new(b.statements.clone()),
             })
             .collect(),
@@ -380,23 +434,30 @@ struct QueuedDelta {
     admitted_at: Instant,
 }
 
-/// One driver + N worker threads executing a distributed plan for real.
+/// One driver + N workers executing a distributed plan for real, generic
+/// over the [`Transport`] that reaches the workers.
+///
+/// [`ThreadedCluster`] (= `Driver<ChannelTransport>`) is the in-process
+/// thread-per-worker backend; `hotdog-net`'s `TcpCluster` runs the *same*
+/// driver over worker subprocesses joined by TCP sockets.  Everything
+/// above the transport — trigger execution, the admission queue, delta
+/// coalescing, the request-id ledger, scatter batching, adaptive tuning,
+/// backpressure, watermarks — is shared, so the backends can only differ
+/// in how bytes move.
 ///
 /// Public surface matches the simulated
 /// [`Cluster`](hotdog_distributed::Cluster) (`apply_batch`,
-/// `view_contents`, `query_result`, `plan`, `totals`) so the two backends
+/// `view_contents`, `query_result`, `plan`, `totals`) so the backends
 /// are drop-in interchangeable; [`BatchExecution`] fields that model time in
 /// the simulator hold *measured* wall-clock values here.  See the crate
 /// docs for the epoch-synchronous vs. pipelined execution modes.
-pub struct ThreadedCluster {
-    /// Number of worker threads.
+pub struct Driver<T: Transport> {
+    /// Number of workers.
     pub workers: usize,
     dplan: DistributedPlan,
     driver: WorkerState,
     programs: HashMap<String, SharedProgram>,
-    requests: Vec<Sender<Request>>,
-    replies: Vec<Receiver<Reply>>,
-    handles: Vec<JoinHandle<()>>,
+    transport: T,
     /// Monotonic request-id source (shared across workers: ids are globally
     /// unique, which makes ledger mismatches loud).
     next_request_id: u64,
@@ -414,6 +475,14 @@ pub struct ThreadedCluster {
     /// Slowest worker's interpreter work settled during the current
     /// `execute_canonical` call (reported per batch in synchronous mode).
     batch_max_instructions: u64,
+    /// Worker interpreter work settled since the adaptive controller last
+    /// observed a trigger — the lazily collected cost signal folded into
+    /// the hill climber (see [`adaptive`]).
+    instructions_since_observe: u64,
+    /// Shared empty deltas map broadcast with blocks that never read the
+    /// batch (the usual case: the compiler rewrites delta references into
+    /// scattered temps).
+    empty_deltas: Arc<HashMap<String, Relation>>,
     /// Whether `ApplyMany` messages have been shipped with no barrier
     /// behind them yet (a trailing scatter must be drained before worker
     /// state is read, or before a synchronous batch's wall clock stops).
@@ -440,11 +509,16 @@ pub struct ThreadedCluster {
     pub totals: ClusterTotals,
 }
 
+/// The in-process thread-per-worker backend: the transport-generic
+/// [`Driver`] over [`ChannelTransport`].
+pub type ThreadedCluster = Driver<ChannelTransport>;
+
 impl ThreadedCluster {
     /// Spawn `workers` worker threads with empty view partitions, in
     /// epoch-synchronous mode (one batch in the system at a time).
     pub fn new(dplan: DistributedPlan, workers: usize) -> Self {
-        Self::build(dplan, workers, None)
+        let transport = ChannelTransport::spawn(&dplan, workers);
+        Driver::with_transport(dplan, transport, None)
     }
 
     /// Spawn `workers` worker threads with empty view partitions, in
@@ -453,10 +527,24 @@ impl ThreadedCluster {
     /// in-flight window.  Call [`ThreadedCluster::flush`] (or read a view)
     /// to force admitted batches through.
     pub fn pipelined(dplan: DistributedPlan, workers: usize, config: PipelineConfig) -> Self {
-        Self::build(dplan, workers, Some(config))
+        let transport = ChannelTransport::spawn(&dplan, workers);
+        Driver::with_transport(dplan, transport, Some(config))
     }
+}
 
-    fn build(dplan: DistributedPlan, workers: usize, pipeline: Option<PipelineConfig>) -> Self {
+impl<T: Transport> Driver<T> {
+    /// Build a driver over an already-connected transport (whose workers
+    /// hold empty view partitions for `dplan`), in epoch-synchronous mode
+    /// when `pipeline` is `None` and pipelined mode otherwise.  This is
+    /// the constructor other transports (e.g. `hotdog-net`'s TCP backend)
+    /// use; the thread-channel backend wraps it as
+    /// [`ThreadedCluster::new`] / [`ThreadedCluster::pipelined`].
+    pub fn with_transport(
+        dplan: DistributedPlan,
+        transport: T,
+        pipeline: Option<PipelineConfig>,
+    ) -> Self {
+        let workers = transport.workers();
         assert!(workers > 0);
         let controller = pipeline
             .as_ref()
@@ -468,39 +556,24 @@ impl ThreadedCluster {
             .iter()
             .map(|p| (p.relation.clone(), share_program(p)))
             .collect();
-        let mut requests = Vec::with_capacity(workers);
-        let mut replies = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for i in 0..workers {
-            let state = WorkerState::for_plan(&dplan.plan);
-            let (req_tx, req_rx) = channel();
-            let (rep_tx, rep_rx) = channel();
-            let handle = thread::Builder::new()
-                .name(format!("hotdog-worker-{i}"))
-                .spawn(move || worker_loop(state, req_rx, rep_tx))
-                .expect("failed to spawn worker thread");
-            requests.push(req_tx);
-            replies.push(rep_rx);
-            handles.push(handle);
-        }
         let reply_shuffle = pipeline
             .as_ref()
             .and_then(|c| c.shuffle_replies)
             .map(StdRng::seed_from_u64);
-        let mut cluster = ThreadedCluster {
+        let mut cluster = Driver {
             workers,
             dplan,
             driver,
             programs,
-            requests,
-            replies,
-            handles,
+            transport,
             next_request_id: 0,
             pending_blocks: vec![HashSet::new(); workers],
             inbox: (0..workers).map(|_| Vec::new()).collect(),
             pending_applies: (0..workers).map(|_| Vec::new()).collect(),
             reply_shuffle,
             batch_max_instructions: 0,
+            instructions_since_observe: 0,
+            empty_deltas: Arc::new(HashMap::new()),
             applies_in_flight: false,
             pipeline,
             controller,
@@ -581,14 +654,14 @@ impl ThreadedCluster {
     /// Move every already-arrived reply from worker `w`'s channel into its
     /// inbox without blocking.
     fn pump(&mut self, w: usize) {
-        while let Ok(reply) = self.replies[w].try_recv() {
+        while let Some(reply) = self.transport.try_recv(w) {
             self.stash_reply(w, reply);
         }
     }
 
     /// Block for one more reply from worker `w` and stash it.
     fn recv_one(&mut self, w: usize) {
-        let reply = self.replies[w].recv().expect("worker thread died");
+        let reply = self.transport.recv(w);
         self.stash_reply(w, reply);
     }
 
@@ -608,6 +681,8 @@ impl ThreadedCluster {
                 );
                 self.stats.max_worker_instructions =
                     self.stats.max_worker_instructions.max(instructions);
+                self.stats.worker_instructions += instructions;
+                self.instructions_since_observe += instructions;
                 self.batch_max_instructions = self.batch_max_instructions.max(instructions);
             } else {
                 i += 1;
@@ -688,9 +763,7 @@ impl ThreadedCluster {
         self.stats.scatter_messages_sent += 1;
         self.stats.scatter_messages_saved += applies.len() - 1;
         let id = self.fresh_request_id();
-        self.requests[w]
-            .send(Request::ApplyMany { id, applies })
-            .expect("worker thread died");
+        self.transport.send(w, Request::ApplyMany { id, applies });
         self.applies_in_flight = true;
     }
 
@@ -707,9 +780,7 @@ impl ThreadedCluster {
         let ids: Vec<u64> = (0..self.workers)
             .map(|w| {
                 let id = self.fresh_request_id();
-                self.requests[w]
-                    .send(Request::Barrier { id })
-                    .expect("worker thread died");
+                self.transport.send(w, Request::Barrier { id });
                 id
             })
             .collect();
@@ -773,7 +844,13 @@ impl ThreadedCluster {
         self.queue_bytes -= entry.delta.serialized_size();
         let stats = self.execute_canonical(&entry.relation, entry.delta, true);
         if let Some(ctl) = self.controller.as_mut() {
-            ctl.observe(stats.input_tuples, stats.wall_secs);
+            // Fold the worker interpreter work settled since the last
+            // observation into the cost signal.  Completions settle
+            // lazily, so this attributes a previous trigger's worker cost
+            // to the current one — a bounded lag the probe-window
+            // averaging absorbs (the window sums both terms).
+            let settled = std::mem::take(&mut self.instructions_since_observe);
+            ctl.observe_with_work(stats.input_tuples, stats.wall_secs, settled);
             self.stats.coalesce_bound = ctl.bound();
             self.stats.bound_reversals = ctl.reversals;
             self.stats.bound_adjustments = ctl.adjustments;
@@ -829,7 +906,7 @@ impl ThreadedCluster {
             .map(|w| {
                 self.ship_applies(w);
                 let id = self.fresh_request_id();
-                self.requests[w].send(make(id)).expect("worker thread died");
+                self.transport.send(w, make(id));
                 id
             })
             .collect();
@@ -862,12 +939,13 @@ impl ThreadedCluster {
                 // Every worker holds an identical copy; read one.
                 if self.workers > 0 {
                     let id = self.fresh_request_id();
-                    self.requests[0]
-                        .send(Request::Snapshot {
+                    self.transport.send(
+                        0,
+                        Request::Snapshot {
                             id,
                             view: name.to_string(),
-                        })
-                        .expect("worker thread died");
+                        },
+                    );
                     let r = self.await_rel(0, id);
                     out.merge(&r);
                 }
@@ -1046,9 +1124,18 @@ impl ThreadedCluster {
 
         let mut driver_counters = EvalCounters::default();
         for block_idx in 0..self.programs[relation].blocks.len() {
-            let (mode, statements) = {
+            let (mode, statements, needs_delta) = {
                 let b = &self.programs[relation].blocks[block_idx];
-                (b.mode, b.statements.clone())
+                (b.mode, b.statements.clone(), b.needs_delta)
+            };
+            // Blocks that never read the batch (the usual case after the
+            // compiler rewrote delta references into scattered temps) are
+            // broadcast with a shared empty map, so byte-counting
+            // transports don't ship the delta once per worker for nothing.
+            let block_deltas = if needs_delta {
+                deltas.clone()
+            } else {
+                self.empty_deltas.clone()
             };
             match mode {
                 StmtMode::Local => {
@@ -1080,13 +1167,14 @@ impl ThreadedCluster {
                         for w in 0..self.workers {
                             self.ship_applies(w);
                             let id = self.fresh_request_id();
-                            self.requests[w]
-                                .send(Request::RunBlock {
+                            self.transport.send(
+                                w,
+                                Request::RunBlock {
                                     id,
                                     statements: statements.clone(),
-                                    deltas: deltas.clone(),
-                                })
-                                .expect("worker thread died");
+                                    deltas: block_deltas.clone(),
+                                },
+                            );
                             self.pending_blocks[w].insert(id);
                         }
                     } else {
@@ -1095,13 +1183,14 @@ impl ThreadedCluster {
                         for w in 0..self.workers {
                             self.ship_applies(w);
                             let id = self.fresh_request_id();
-                            self.requests[w]
-                                .send(Request::RunBlock {
+                            self.transport.send(
+                                w,
+                                Request::RunBlock {
                                     id,
                                     statements: statements.clone(),
-                                    deltas: deltas.clone(),
-                                })
-                                .expect("worker thread died");
+                                    deltas: block_deltas.clone(),
+                                },
+                            );
                             self.pending_blocks[w].insert(id);
                         }
                         self.drain_pending_blocks();
@@ -1221,29 +1310,30 @@ impl ThreadedCluster {
     }
 }
 
-impl Backend for ThreadedCluster {
+impl<T: Transport> Backend for Driver<T> {
     fn backend_name(&self) -> &'static str {
+        let names = self.transport.names();
         match &self.pipeline {
-            None => "threaded",
-            Some(c) if c.async_gather => "pipelined",
-            Some(_) => "pipelined-fifo",
+            None => names.sync,
+            Some(c) if c.async_gather => names.pipelined,
+            Some(_) => names.fifo,
         }
     }
 
     fn plan(&self) -> &DistributedPlan {
-        ThreadedCluster::plan(self)
+        Driver::plan(self)
     }
 
     fn apply_batch(&mut self, relation: &str, batch: &Relation) -> BatchExecution {
-        ThreadedCluster::apply_batch(self, relation, batch)
+        Driver::apply_batch(self, relation, batch)
     }
 
     fn flush(&mut self) {
-        ThreadedCluster::flush(self);
+        Driver::flush(self);
     }
 
     fn view_contents(&mut self, name: &str) -> Relation {
-        ThreadedCluster::view_contents(self, name)
+        Driver::view_contents(self, name)
     }
 
     fn totals(&self) -> &ClusterTotals {
@@ -1259,7 +1349,7 @@ impl Backend for ThreadedCluster {
     }
 }
 
-impl ThreadedCluster {
+impl<T: Transport> Driver<T> {
     /// Abandon every admitted-but-unissued batch *without executing it*,
     /// shut the worker threads down, and return the final pipeline stats
     /// (with [`PipelineStats::batches_abandoned`] counting the dropped
@@ -1279,23 +1369,15 @@ impl ThreadedCluster {
         self.queue_bytes = 0;
     }
 
-    /// Stop the worker threads.  Workers only need their command channels
-    /// drained; any uncollected block replies are discarded with the
-    /// reply channels.  Idempotent.
+    /// Stop the workers via the transport.  Workers only need their
+    /// command channels drained; any uncollected block replies are
+    /// discarded with the reply channels.  Idempotent.
     fn shutdown_workers(&mut self) {
-        if self.handles.is_empty() {
-            return;
-        }
-        for tx in &self.requests {
-            let _ = tx.send(Request::Shutdown);
-        }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+        self.transport.shutdown();
     }
 }
 
-impl Drop for ThreadedCluster {
+impl<T: Transport> Drop for Driver<T> {
     fn drop(&mut self) {
         // Dropping without a `flush` abandons queued batches — they must
         // never execute from a destructor (a drop during unwinding must not

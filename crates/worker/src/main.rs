@@ -1,0 +1,41 @@
+//! `hotdog-worker` — one TCP worker process of a `hotdog-net` cluster.
+//!
+//! Connects to a driver, introduces itself as a worker slot, receives
+//! the maintenance plan, then serves the FIFO-command/tagged-reply
+//! protocol until told to shut down.  Start one by hand against a
+//! driver bound to a routable address:
+//!
+//! ```text
+//! hotdog-worker --connect 192.168.0.10:7654 --index 2
+//! ```
+
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: hotdog-worker --connect <host:port> --index <n>");
+    exit(2);
+}
+
+fn main() {
+    let mut connect: Option<String> = None;
+    let mut index: Option<u32> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => connect = args.next(),
+            "--index" => index = args.next().and_then(|s| s.parse().ok()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("hotdog-worker: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let (Some(addr), Some(index)) = (connect, index) else {
+        usage();
+    };
+    if let Err(e) = hotdog_net::run_worker(&addr, index) {
+        eprintln!("hotdog-worker {index}: {e}");
+        exit(1);
+    }
+}

@@ -16,6 +16,13 @@
 //! * **adaptive pipelined** — the self-tuning coalescing controller with
 //!   byte-bounded backpressure and a latency target (timing-driven, so its
 //!   trigger schedule differs run to run — the state must not);
+//! * **TCP** — `hotdog-net`'s `TcpCluster`: worker *subprocesses* on
+//!   loopback speaking the length-prefixed binary codec, behind the same
+//!   transport-generic driver.  The third independently-scheduled backend
+//!   pinned by the oracle: framing, codec, handshake, reader threads and
+//!   process isolation must be bit-transparent (`HOTDOG_TCP_SPAWN=thread`
+//!   swaps the subprocesses for in-process socket threads — same wire
+//!   path — on hosts where spawning is unavailable);
 //! * **full recomputation** — from-scratch evaluation of the query over the
 //!   accumulated base relations (the ground truth).
 //!
@@ -55,6 +62,14 @@ fn workers_under_test() -> Vec<usize> {
 }
 
 const OPT_LEVELS: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+
+/// TCP cluster configuration for the oracle: worker subprocesses by
+/// default; `HOTDOG_TCP_SPAWN=thread` (handled by [`TcpConfig::from_env`])
+/// swaps in in-process socket threads for hosts where spawning is
+/// unavailable.
+fn tcp_config(workers: usize) -> TcpConfig {
+    TcpConfig::from_env(workers)
+}
 
 /// A seeded mixed insert/delete stream matching the query's workload family.
 fn mixed_stream(q: &CatalogQuery, tuples: usize, seed: u64, delete_fraction: f64) -> UpdateStream {
@@ -110,7 +125,13 @@ fn run_backend<B: Backend>(mut backend: B, batches: &[Vec<(&'static str, Relatio
 /// * **adaptive** pipelined (self-tuning coalescing bound + byte-bounded
 ///   backpressure + a latency target) ≈ simulated (`1e-9` relative): the
 ///   controller and the backpressure paths only move *trigger boundaries*,
-///   never view state — whatever schedule the measured timings produce.
+///   never view state — whatever schedule the measured timings produce;
+/// * **TCP** (worker subprocesses, binary codec, no coalescing) ==
+///   simulated, **bit-for-bit** — the wire is pure transport: floats
+///   travel as raw bits and decoded relations reproduce the canonical
+///   layout every in-process backend holds;
+/// * **TCP with coalescing** ≈ simulated (`1e-9` relative), like every
+///   coalesced schedule.
 ///
 /// Returns an error message for the proptest shrinker instead of
 /// panicking.
@@ -148,8 +169,9 @@ fn differential_check(
         ThreadedCluster::pipelined(compile_for(q, opt), workers, fifo_config),
         &batches,
     );
-    let shuffled_config =
-        no_coalesce.with_shuffled_replies(0x7A66ED ^ (batch_size as u64) << 8 ^ workers as u64);
+    let shuffled_config = no_coalesce
+        .clone()
+        .with_shuffled_replies(0x7A66ED ^ (batch_size as u64) << 8 ^ workers as u64);
     let shuffled = run_backend(
         ThreadedCluster::pipelined(compile_for(q, opt), workers, shuffled_config),
         &batches,
@@ -174,7 +196,25 @@ fn differential_check(
         &batches,
     );
     let coalesced = run_backend(
-        ThreadedCluster::pipelined(compile_for(q, opt), workers, pipeline),
+        ThreadedCluster::pipelined(compile_for(q, opt), workers, pipeline.clone()),
+        &batches,
+    );
+    // The socket transport, both modes: pipelined with coalescing
+    // disabled (must be bit-for-bit — the codec, framing and reader
+    // threads are pure transport) and with the same coalescing bound as
+    // the threaded arm (1e-9, same as every coalesced schedule).
+    let tcp = run_backend(
+        TcpCluster::pipelined(
+            compile_for(q, opt),
+            &tcp_config(workers),
+            no_coalesce.clone(),
+        )
+        .expect("tcp cluster"),
+        &batches,
+    );
+    let tcp_coalesced = run_backend(
+        TcpCluster::pipelined(compile_for(q, opt), &tcp_config(workers), pipeline)
+            .expect("tcp cluster"),
         &batches,
     );
 
@@ -208,6 +248,19 @@ fn differential_check(
     if cs_shuffled != cs_sim {
         return Err(format!(
             "{} {opt:?} x{workers} b{batch_size}: shuffled-reply pipeline != simulated bit-for-bit ({cs_shuffled} vs {cs_sim})",
+            q.id
+        ));
+    }
+    let cs_tcp = tcp.checksum();
+    if cs_tcp != cs_sim {
+        return Err(format!(
+            "{} {opt:?} x{workers} b{batch_size}: TCP != simulated bit-for-bit ({cs_tcp} vs {cs_sim})",
+            q.id
+        ));
+    }
+    if !tcp_coalesced.approx_eq_eps(&sim, 1e-9) {
+        return Err(format!(
+            "{} {opt:?} x{workers} b{batch_size}: coalesced TCP diverged beyond float tolerance\nsim {sim:?}\ntcp {tcp_coalesced:?}",
             q.id
         ));
     }

@@ -1,0 +1,192 @@
+//! TCP-focused differential oracle: the scenarios that stress what is
+//! *unique* to the socket transport — process isolation, the handshake,
+//! mid-stream watermark reads over sockets, spawn modes — beyond the
+//! per-case TCP arms that `pipeline_differential.rs` already runs.
+//!
+//! This is the test target the CI `differential-tcp` matrix job runs
+//! (HOTDOG_WORKERS={1,2,4}); `HOTDOG_SEED` replays a red cell
+//! bit-for-bit, and `HOTDOG_TCP_SPAWN=thread` swaps subprocesses for
+//! in-process socket threads (same wire path) where spawning is
+//! unavailable.
+
+use hotdog::prelude::*;
+
+fn workers_under_test() -> usize {
+    std::env::var("HOTDOG_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(2)
+        .max(1)
+}
+
+fn tcp_config(workers: usize) -> TcpConfig {
+    TcpConfig::from_env(workers)
+}
+
+fn compile_for(q: &CatalogQuery, opt: OptLevel) -> DistributedPlan {
+    let plan = compile_recursive(q.id, &q.expr);
+    let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
+    compile_distributed(&plan, &spec, opt)
+}
+
+fn seeded_stream(q: &CatalogQuery, tuples: usize, seed: u64) -> UpdateStream {
+    let base = match q.workload {
+        hotdog::workload::Workload::TpcH => generate_tpch(seed, tuples),
+        hotdog::workload::Workload::TpcDs => generate_tpcds(seed, tuples),
+    };
+    base.with_deletions(seed, 0.25)
+}
+
+/// Every catalog query through the epoch-synchronous TCP cluster,
+/// bit-for-bit against the simulated cluster.
+#[test]
+fn tcp_sync_matches_simulated_across_catalog() {
+    let workers = workers_under_test();
+    for (i, q) in all_queries().iter().enumerate() {
+        let opt = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3][i % 4];
+        let stream = seeded_stream(q, 180, 0x7C9 + i as u64);
+        let batches = stream.batches(32);
+        let mut sim = Cluster::new(compile_for(q, opt), ClusterConfig::with_workers(workers));
+        let mut tcp =
+            TcpCluster::new(compile_for(q, opt), &tcp_config(workers)).expect("tcp cluster");
+        sim.apply_stream(&batches);
+        tcp.apply_stream(&batches);
+        assert_eq!(
+            tcp.query_result().checksum(),
+            sim.query_result().checksum(),
+            "{} {opt:?} x{workers}: sync TCP != simulated bit-for-bit",
+            q.id
+        );
+    }
+}
+
+/// Mid-stream watermark reads over sockets: a pre-flush read must observe
+/// a consistent batch boundary, reproducible by re-running the committed
+/// prefix synchronously — exactly as the threaded runtime guarantees.
+#[test]
+fn tcp_watermark_reads_are_consistent() {
+    let workers = workers_under_test();
+    let q = query("Q3").unwrap();
+    let stream = seeded_stream(&q, 160, 0xBEEF);
+    let batches = stream.batches(8);
+    let flat: Vec<(&str, Relation)> = batches
+        .iter()
+        .flatten()
+        .map(|(r, b)| (*r, b.clone()))
+        .collect();
+
+    let config = PipelineConfig {
+        coalesce_tuples: 0, // keep every batch a distinct trigger
+        admit_capacity: 1,  // eager execution, bounded queue
+        ..Default::default()
+    };
+    let dplan = compile_for(&q, OptLevel::O3);
+    // Only trigger-bearing batches are admitted and counted by the
+    // watermark; batches to relations outside the query are no-ops.
+    let triggering: Vec<&(&str, Relation)> = flat
+        .iter()
+        .filter(|(rel, _)| dplan.plan.trigger(rel).is_some())
+        .collect();
+    let mut tcp = TcpCluster::pipelined(dplan, &tcp_config(workers), config).expect("tcp cluster");
+    for (rel, batch) in &flat {
+        tcp.apply_batch(rel, batch);
+    }
+    let partial = tcp.query_result();
+    let committed = tcp.watermark() as usize;
+    assert!(
+        committed >= triggering.len() - 1,
+        "eager execution should issue all but the queued tail \
+         ({committed} of {})",
+        triggering.len()
+    );
+    let mut prefix = ThreadedCluster::new(compile_for(&q, OptLevel::O3), workers);
+    for (rel, batch) in triggering.iter().take(committed) {
+        prefix.apply_batch(rel, batch);
+    }
+    assert_eq!(
+        partial.checksum(),
+        prefix.query_result().checksum(),
+        "TCP pre-flush read is not a consistent prefix"
+    );
+    tcp.flush();
+    assert_eq!(tcp.outstanding_replies(), 0);
+    let stats = tcp.close();
+    assert_eq!(stats.batches_abandoned, 0);
+}
+
+/// Aggressive pipelined configurations over the socket transport: tiny
+/// windows, shuffled reply consumption, FIFO-compat, heavy coalescing —
+/// all bit-for-bit (or 1e-9 when coalescing re-associates floats)
+/// against the simulated cluster.
+#[test]
+fn tcp_aggressive_pipeline_configs_agree() {
+    let workers = workers_under_test();
+    let q = query("Q7").unwrap();
+    let stream = seeded_stream(&q, 140, 0xA11CE);
+    let batches = stream.batches(8);
+    let mut sim = Cluster::new(
+        compile_for(&q, OptLevel::O2),
+        ClusterConfig::with_workers(workers),
+    );
+    sim.apply_stream(&batches);
+    let reference = sim.query_result();
+
+    for (coalesces, config) in [
+        (
+            false,
+            PipelineConfig {
+                coalesce_tuples: 0,
+                admit_capacity: 1,
+                inflight_blocks: 1,
+                ..Default::default()
+            },
+        ),
+        (
+            false,
+            PipelineConfig {
+                coalesce_tuples: 0,
+                inflight_blocks: 16,
+                ..Default::default()
+            }
+            .with_shuffled_replies(0x5EED),
+        ),
+        (
+            false,
+            PipelineConfig {
+                coalesce_tuples: 0,
+                async_gather: false,
+                batch_scatters: false,
+                ..Default::default()
+            },
+        ),
+        (
+            true,
+            PipelineConfig {
+                coalesce_tuples: 100_000,
+                admit_capacity: 1,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let mut tcp = TcpCluster::pipelined(
+            compile_for(&q, OptLevel::O2),
+            &tcp_config(workers),
+            config.clone(),
+        )
+        .expect("tcp cluster");
+        tcp.apply_stream(&batches);
+        let got = tcp.query_result();
+        if coalesces {
+            assert!(
+                got.approx_eq_eps(&reference, 1e-9),
+                "coalesced TCP diverged under {config:?}"
+            );
+        } else {
+            assert_eq!(
+                got.checksum(),
+                reference.checksum(),
+                "TCP diverged bit-for-bit under {config:?}"
+            );
+        }
+    }
+}
