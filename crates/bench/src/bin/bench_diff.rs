@@ -101,6 +101,17 @@ fn main() -> ExitCode {
     for missing in &report.missing {
         println!("note: {missing} missing from candidate (skipped)");
     }
+    // Telemetry counters ride along for trend visibility but never gate:
+    // message/instruction counts legitimately move with protocol changes.
+    for d in &report.tracked {
+        println!(
+            "tracked (non-gating): {} {} -> {} ({:+.1}%)",
+            d.metric,
+            f(d.baseline),
+            f(d.candidate),
+            -d.drop * 100.0
+        );
+    }
 
     let regressions = report.regressions();
     if report.compared.is_empty() {

@@ -78,6 +78,12 @@ pub struct DiffReport {
     /// or its comparison keys drifting) must not leave the deterministic
     /// modelled rows keeping CI green, so callers treat this as a failure.
     pub ratio_gate_lost: bool,
+    /// Tracked-but-non-gating metrics: the per-run telemetry counters
+    /// (`telemetry_*` row fields).  Reported for trend visibility — a
+    /// message-count or instruction-count shift is worth seeing in the CI
+    /// log — but never fails the gate: counts legitimately move with any
+    /// intentional protocol or plan change.
+    pub tracked: Vec<MetricDelta>,
 }
 
 impl DiffReport {
@@ -185,6 +191,51 @@ pub const RATIO_SECTIONS: [(&str, &str); 5] = [
     ("net_overhead", "tcp_vs_threaded"),
 ];
 
+/// Per-run telemetry counters tracked across artifacts *without* gating
+/// (see [`DiffReport::tracked`]): deterministic message/work counts plus
+/// the wire byte counters, on the sections whose rows carry them.
+pub const TRACKED_TELEMETRY_FIELDS: [&str; 4] = [
+    "telemetry_messages_sent",
+    "telemetry_instructions",
+    "telemetry_net_bytes_sent",
+    "telemetry_tuples_applied",
+];
+
+/// Where the telemetry counters actually live in the artifact: the
+/// measured runs nested inside the comparison sections (`(section,
+/// run_field)`).  The fig9/fig10 `rows` are modelled by default and
+/// carry no telemetry; the head-to-head comparisons always run on a
+/// real backend, so their embedded [`DistRun`](crate::DistRun) objects
+/// are the durable cross-PR record of message/byte/instruction counts.
+pub const TRACKED_TELEMETRY_RUNS: [(&str, &str); 6] = [
+    ("pipeline_stream", "sync"),
+    ("pipeline_stream", "pipelined"),
+    ("async_gather", "fifo"),
+    ("async_gather", "tagged"),
+    ("net_overhead", "threaded"),
+    ("net_overhead", "tcp"),
+];
+
+/// Collect `(key, value)` for one telemetry field over the nested run
+/// objects of a comparison section.
+fn nested_run_rows(
+    artifact: &JsonValue,
+    section: &str,
+    run_field: &str,
+    metric: &str,
+) -> Vec<(String, f64)> {
+    artifact
+        .get(section)
+        .and_then(|v| v.as_array())
+        .into_iter()
+        .flatten()
+        .filter_map(|entry| {
+            let v = entry.get(run_field)?.get(metric)?.as_f64()?;
+            Some((cmp_key(entry), v))
+        })
+        .collect()
+}
+
 /// Flatten every tracked ratio metric of an artifact into
 /// `("section.field[key]", value)` rows — the per-run record shape of the
 /// committed bench history.
@@ -230,6 +281,33 @@ pub fn diff_artifacts(
             tolerances.throughput,
         );
     }
+    // Telemetry counters: tracked for visibility, never gating.  Collected
+    // into a scratch report so their comparisons and missing keys stay out
+    // of the gated lists.
+    let mut scratch = DiffReport::default();
+    for section in ["fig9_weak_scaling", "fig10_strong_scaling"] {
+        for field in TRACKED_TELEMETRY_FIELDS {
+            diff_metric(
+                &mut scratch,
+                &metric_rows(baseline, section, Some("rows"), field, row_key),
+                &metric_rows(candidate, section, Some("rows"), field, row_key),
+                &format!("{section}.{field}"),
+                f64::INFINITY,
+            );
+        }
+    }
+    for (section, run) in TRACKED_TELEMETRY_RUNS {
+        for field in TRACKED_TELEMETRY_FIELDS {
+            diff_metric(
+                &mut scratch,
+                &nested_run_rows(baseline, section, run, field),
+                &nested_run_rows(candidate, section, run, field),
+                &format!("{section}.{run}.{field}"),
+                f64::INFINITY,
+            );
+        }
+    }
+    report.tracked = scratch.compared;
     report
 }
 
@@ -381,6 +459,55 @@ mod tests {
         .unwrap();
         let report = diff_artifacts(&base, &cand, Tolerances::default());
         assert!(report.ratio_gate_lost, "async_gather_strong loss must flag");
+    }
+
+    #[test]
+    fn telemetry_counters_are_tracked_but_never_gate() {
+        let with_telemetry = |msgs: u64, instr: u64| {
+            JsonValue::parse(&format!(
+                r#"{{
+                  "pipeline_stream": [
+                    {{"query": "Q3", "workers": 1, "speedup": 1.5,
+                      "sync": {{"telemetry_messages_sent": {msgs},
+                               "telemetry_instructions": {instr}}},
+                      "pipelined": {{"telemetry_messages_sent": {msgs}}}}}
+                  ],
+                  "fig9_weak_scaling": {{"rows": [
+                    {{"query": "Q6", "backend": "threaded", "workers": 2,
+                      "batch_tuples": 4000, "throughput_tps": 60000.0,
+                      "telemetry_messages_sent": {msgs},
+                      "telemetry_instructions": {instr},
+                      "telemetry_net_bytes_sent": 0,
+                      "telemetry_tuples_applied": 777}}
+                  ]}}
+                }}"#
+            ))
+            .unwrap()
+        };
+        let base = with_telemetry(1000, 500_000);
+        // A 10x message-count jump and an instruction collapse are both
+        // reported in the tracked list — and neither trips the gate.
+        let cand = with_telemetry(10_000, 50);
+        let report = diff_artifacts(&base, &cand, Tolerances::default());
+        assert!(report.regressions().is_empty());
+        // 4 flat fig9 row fields + 3 nested comparison-run fields.
+        assert_eq!(report.tracked.len(), 7);
+        assert!(report.tracked.iter().all(|d| !d.regressed()));
+        assert!(report.tracked.iter().any(|d| d
+            .metric
+            .starts_with("fig9_weak_scaling.telemetry_messages_sent")));
+        assert!(report.tracked.iter().any(|d| d
+            .metric
+            .starts_with("pipeline_stream.sync.telemetry_instructions")));
+        // Candidates without the new fields stay silent (old artifacts):
+        // nothing compared, nothing missing from the *gated* lists.
+        let old = JsonValue::parse(
+            r#"{"pipeline_stream": [{"query": "Q3", "workers": 1, "speedup": 1.5}]}"#,
+        )
+        .unwrap();
+        let report = diff_artifacts(&base, &old, Tolerances::default());
+        assert!(report.tracked.is_empty());
+        assert!(report.regressions().is_empty());
     }
 
     #[test]

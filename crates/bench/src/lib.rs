@@ -250,6 +250,43 @@ impl BackendKind {
     }
 }
 
+/// Per-run telemetry counters embedded into `BENCH_runtime.json`: the
+/// deterministic totals gathered over the protocol's `Stats` message,
+/// plus the wire-level `net.*` counters (zero on the in-process
+/// transports — only the TCP backend moves frames).
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryRun {
+    pub messages_sent: u64,
+    pub replies_received: u64,
+    pub instructions: u64,
+    pub blocks_run: u64,
+    pub statements: u64,
+    pub tuples_applied: u64,
+    pub net_frames_sent: u64,
+    pub net_bytes_sent: u64,
+    pub net_frames_received: u64,
+    pub net_bytes_received: u64,
+}
+
+/// Gather a driver's telemetry for a bench row (flushes the pipeline and
+/// collects every worker's counters over the protocol).
+fn collect_telemetry<T: Transport>(d: &mut Driver<T>) -> TelemetryRun {
+    let totals = d.telemetry_totals();
+    let snap = d.telemetry().snapshot();
+    TelemetryRun {
+        messages_sent: totals.messages_sent,
+        replies_received: totals.replies_received,
+        instructions: totals.instructions,
+        blocks_run: totals.blocks_run,
+        statements: totals.statements,
+        tuples_applied: totals.tuples_applied,
+        net_frames_sent: snap.counter("net.frames.sent"),
+        net_bytes_sent: snap.counter("net.bytes.sent"),
+        net_frames_received: snap.counter("net.frames.received"),
+        net_bytes_received: snap.counter("net.bytes.received"),
+    }
+}
+
 /// Result of one distributed run.
 #[derive(Clone, Debug)]
 pub struct DistRun {
@@ -267,6 +304,9 @@ pub struct DistRun {
     pub stages: usize,
     /// Pipelined-ingestion counters (`None` for synchronous backends).
     pub coalesce: Option<PipelineStats>,
+    /// Per-run telemetry counters (`None` for the modelled simulator,
+    /// which has no real driver).
+    pub telemetry: Option<TelemetryRun>,
 }
 
 impl DistRun {
@@ -307,6 +347,21 @@ impl DistRun {
                     .int("scatter_messages_saved", c.scatter_messages_saved as u64)
                     .render(),
             );
+        }
+        if let Some(t) = &self.telemetry {
+            // Flat `telemetry_*` fields so `bench_diff` can track them
+            // with the same one-level row accessors as every other metric.
+            obj = obj
+                .int("telemetry_messages_sent", t.messages_sent)
+                .int("telemetry_replies_received", t.replies_received)
+                .int("telemetry_instructions", t.instructions)
+                .int("telemetry_blocks_run", t.blocks_run)
+                .int("telemetry_statements", t.statements)
+                .int("telemetry_tuples_applied", t.tuples_applied)
+                .int("telemetry_net_frames_sent", t.net_frames_sent)
+                .int("telemetry_net_bytes_sent", t.net_bytes_sent)
+                .int("telemetry_net_frames_received", t.net_frames_received)
+                .int("telemetry_net_bytes_received", t.net_bytes_received);
         }
         obj.render()
     }
@@ -360,35 +415,39 @@ pub fn run_distributed_batches(
     let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
     let dplan = compile_distributed(&plan, &spec, opt);
     let (jobs, stages) = dplan.complexity();
-    let (totals, coalesce) = match (backend, backend.pipeline_config()) {
+    let (totals, coalesce, telemetry) = match (backend, backend.pipeline_config()) {
         (BackendKind::Simulated, _) => {
             let mut cluster = Cluster::new(dplan, ClusterConfig::with_workers(workers));
             cluster.apply_stream(batches);
-            (cluster.totals().clone(), None)
+            (cluster.totals().clone(), None, None)
         }
         (BackendKind::Tcp, _) => {
             let mut cluster =
                 TcpCluster::new(dplan, &tcp_bench_config(workers)).expect("tcp cluster");
             cluster.apply_stream(batches);
-            (cluster.totals().clone(), None)
+            let telemetry = collect_telemetry(&mut cluster);
+            (cluster.totals().clone(), None, Some(telemetry))
         }
         (BackendKind::TcpPipelined { .. }, Some(config)) => {
             let mut cluster = TcpCluster::pipelined(dplan, &tcp_bench_config(workers), config)
                 .expect("tcp cluster");
             cluster.apply_stream(batches);
             let stats = cluster.pipeline_stats();
-            (cluster.totals().clone(), stats)
+            let telemetry = collect_telemetry(&mut cluster);
+            (cluster.totals().clone(), stats, Some(telemetry))
         }
         (_, None) => {
             let mut cluster = ThreadedCluster::new(dplan, workers);
             cluster.apply_stream(batches);
-            (cluster.totals().clone(), None)
+            let telemetry = collect_telemetry(&mut cluster);
+            (cluster.totals().clone(), None, Some(telemetry))
         }
         (_, Some(config)) => {
             let mut cluster = ThreadedCluster::pipelined(dplan, workers, config);
             cluster.apply_stream(batches);
             let stats = cluster.pipeline_stats();
-            (cluster.totals().clone(), stats)
+            let telemetry = collect_telemetry(&mut cluster);
+            (cluster.totals().clone(), stats, Some(telemetry))
         }
     };
     DistRun {
@@ -408,6 +467,7 @@ pub fn run_distributed_batches(
         jobs,
         stages,
         coalesce,
+        telemetry,
     }
 }
 

@@ -15,6 +15,7 @@
 //! | distributed compiler & runtime | [`distributed`] | location tags, transformers, block fusion, the simulated cluster |
 //! | threaded runtime | [`runtime`] | the transport-generic driver and the thread-per-worker backend (`ThreadedCluster`) |
 //! | socket transport | [`net`] | length-prefixed binary codec and the multi-process TCP backend (`TcpCluster`) |
+//! | telemetry | [`telemetry`] | dependency-free metrics registry and the bounded flight recorder shared by every backend |
 //! | workloads | [`workload`] | TPC-H / TPC-DS style generators, streams and the query catalog |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@ pub use hotdog_ivm as ivm;
 pub use hotdog_net as net;
 pub use hotdog_runtime as runtime;
 pub use hotdog_storage as storage;
+pub use hotdog_telemetry as telemetry;
 pub use hotdog_workload as workload;
 
 /// Convenience re-exports covering the most common entry points.
@@ -55,7 +57,7 @@ pub mod prelude {
     };
     pub use hotdog_distributed::{
         compile_distributed, Backend, Cluster, ClusterConfig, DistributedPlan, LocTag, OptLevel,
-        PartitionFn, PartitioningSpec, WorkerState,
+        PartitionFn, PartitioningSpec, WorkerState, WorkerStats, WorkerStatsSnapshot,
     };
     pub use hotdog_exec::{BatchStats, Database, ExecMode, LocalEngine};
     pub use hotdog_ivm::{
@@ -65,9 +67,10 @@ pub mod prelude {
     pub use hotdog_net::{TcpCluster, TcpConfig, WorkerSpawn};
     pub use hotdog_runtime::{
         AdaptiveConfig, ChannelTransport, CoalesceController, Driver, PipelineConfig,
-        PipelineStats, ThreadedCluster, Transport,
+        PipelineStats, TelemetryTotals, ThreadedCluster, Transport,
     };
     pub use hotdog_storage::{ColumnarBatch, RecordPool};
+    pub use hotdog_telemetry::{FlightRecorder, MetricsSnapshot, Registry, Telemetry};
     pub use hotdog_workload::{
         all_queries, generate_tpcds, generate_tpch, query, tpcds_queries, tpch_queries,
         CatalogQuery, UpdateStream,

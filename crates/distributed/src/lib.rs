@@ -44,4 +44,4 @@ pub use program::{
     Transform, TriggerProgram,
 };
 pub use protocol::{handle_request, WorkerReply, WorkerRequest};
-pub use worker::{NodeCatalog, Temps, WorkerState};
+pub use worker::{NodeCatalog, Temps, WorkerState, WorkerStats, WorkerStatsSnapshot};

@@ -25,7 +25,7 @@
 //!   completions of the in-flight window settle whenever they arrive.
 
 use crate::program::DistStatement;
-use crate::worker::WorkerState;
+use crate::worker::{WorkerState, WorkerStatsSnapshot};
 use hotdog_algebra::eval::EvalCounters;
 use hotdog_algebra::relation::Relation;
 use std::collections::HashMap;
@@ -59,16 +59,33 @@ pub enum WorkerRequest {
     /// (drains trailing `ApplyMany`s so measured batch latency includes
     /// them).
     Barrier { id: u64 },
+    /// Report this node's cumulative work counters and view-partition
+    /// cardinalities (the telemetry gather; command FIFO means the
+    /// snapshot reflects every previously enqueued command).
+    Stats { id: u64 },
     /// Exit the worker loop.
     Shutdown,
 }
 
 /// Worker responses, each echoing the request id it answers
-/// (`RunBlock` → `Ran`, `Fetch`/`Snapshot` → `Rel`, `Barrier` → `Ack`).
+/// (`RunBlock` → `Ran`, `Fetch`/`Snapshot` → `Rel`, `Barrier` → `Ack`,
+/// `Stats` → `Stats`).
 pub enum WorkerReply {
-    Ran { id: u64, instructions: u64 },
-    Rel { id: u64, rel: Relation },
-    Ack { id: u64 },
+    Ran {
+        id: u64,
+        instructions: u64,
+    },
+    Rel {
+        id: u64,
+        rel: Relation,
+    },
+    Ack {
+        id: u64,
+    },
+    Stats {
+        id: u64,
+        snapshot: WorkerStatsSnapshot,
+    },
 }
 
 /// Execute one request against a worker's state — the single statement
@@ -86,6 +103,7 @@ pub fn handle_request(state: &mut WorkerState, request: WorkerRequest) -> Option
             statements,
             deltas,
         } => {
+            state.stats.blocks_run += 1;
             let mut counters = EvalCounters::default();
             for stmt in statements.iter() {
                 state.run_compute(stmt, &deltas, &mut counters);
@@ -108,6 +126,10 @@ pub fn handle_request(state: &mut WorkerState, request: WorkerRequest) -> Option
             rel: state.snapshot(&view),
         }),
         WorkerRequest::Barrier { id } => Some(WorkerReply::Ack { id }),
+        WorkerRequest::Stats { id } => Some(WorkerReply::Stats {
+            id,
+            snapshot: state.stats_snapshot(),
+        }),
         WorkerRequest::Shutdown => None,
     }
 }

@@ -27,6 +27,37 @@ use std::collections::{HashMap, HashSet};
 /// views, partial results), keyed by temp name.
 pub type Temps = HashMap<String, Relation>;
 
+/// Cumulative per-node work counters, maintained inline by [`WorkerState`]
+/// as it executes statements.  Every field is a deterministic function of
+/// the command sequence the node processed — no wall-clock, no transport —
+/// so the same admission stream must produce identical counters on the
+/// threaded and TCP backends (the telemetry differential oracle asserts
+/// exactly that, via the `Stats` protocol message).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Distributed blocks executed (triggers fired on this node).
+    pub blocks_run: u64,
+    /// `Compute` statements interpreted.
+    pub statements: u64,
+    /// Weighted interpreter work (see `EvalCounters::instructions`).
+    pub instructions: u64,
+    /// Scattered shards installed via `ApplyMany`.
+    pub applies: u64,
+    /// Tuples across those installed shards.
+    pub tuples_applied: u64,
+}
+
+/// One node's [`WorkerStats`] plus the cardinality of each of its view
+/// partitions, as shipped back in a `Stats` protocol reply.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStatsSnapshot {
+    /// The cumulative work counters.
+    pub stats: WorkerStats,
+    /// `(view name, tuple count)` of this node's partition of every
+    /// persistent view, sorted by name.
+    pub cardinalities: Vec<(String, u64)>,
+}
+
 /// The state of one node (driver or worker): its partition of the
 /// materialized views and its exchange buffers.
 #[derive(Debug)]
@@ -35,6 +66,8 @@ pub struct WorkerState {
     pub db: Database,
     /// Exchange buffers, refreshed per batch by transformer statements.
     pub temps: Temps,
+    /// Cumulative work counters (see [`WorkerStats`]).
+    pub stats: WorkerStats,
     /// Names of the plan's real (persistent) views; everything else written
     /// by a statement is an exchange buffer.
     views: HashSet<String>,
@@ -46,7 +79,23 @@ impl WorkerState {
         WorkerState {
             db: Database::for_plan(plan),
             temps: Temps::new(),
+            stats: WorkerStats::default(),
             views: plan.views.iter().map(|v| v.name.clone()).collect(),
+        }
+    }
+
+    /// Freeze this node's counters and view-partition cardinalities (the
+    /// payload of a `Stats` protocol reply).
+    pub fn stats_snapshot(&self) -> WorkerStatsSnapshot {
+        let mut cardinalities: Vec<(String, u64)> = self
+            .views
+            .iter()
+            .map(|v| (v.clone(), self.db.snapshot(v).len() as u64))
+            .collect();
+        cardinalities.sort();
+        WorkerStatsSnapshot {
+            stats: self.stats,
+            cardinalities,
         }
     }
 
@@ -69,6 +118,8 @@ impl WorkerState {
                 };
                 let mut ev = Evaluator::new(&cat);
                 let r = ev.eval(expr);
+                self.stats.statements += 1;
+                self.stats.instructions += ev.counters.instructions();
                 counters.add(&ev.counters);
                 r
             };
@@ -107,6 +158,8 @@ impl WorkerState {
         applies: impl IntoIterator<Item = (std::sync::Arc<DistStatement>, Relation)>,
     ) {
         for (stmt, shard) in applies {
+            self.stats.applies += 1;
+            self.stats.tuples_applied += shard.len() as u64;
             self.apply(&stmt, shard);
         }
     }

@@ -19,18 +19,20 @@
 //! the two backends can only differ in how bytes move.  The differential
 //! oracle holds `TcpCluster` bit-for-bit against the simulated cluster.
 
-use crate::codec::{encode_to_vec, ToDriver, ToWorker};
-use crate::frame::{recv_msg, send_payload};
+use crate::codec::{decode_from_slice, encode_to_vec, ToDriver, ToWorker};
+use crate::frame::{read_frame, recv_msg, send_payload};
 use hotdog_algebra::relation::Relation;
 use hotdog_distributed::protocol::{WorkerReply, WorkerRequest};
 use hotdog_distributed::{Backend, BatchExecution, ClusterTotals, DistributedPlan, PipelineStats};
 use hotdog_runtime::{Driver, PipelineConfig, Transport, TransportNames};
+use hotdog_telemetry::{Counter, Histogram, Telemetry};
 use std::io::{self, BufReader};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::ops::{Deref, DerefMut};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -140,6 +142,36 @@ fn worker_binary(config: &TcpConfig) -> io::Result<PathBuf> {
     ))
 }
 
+/// Cached handles into the transport's metric registry: the wire-level
+/// `net.*` counters.  These measure how bytes move, so they are
+/// *excluded* from the deterministic cross-backend contract (see
+/// `MetricsSnapshot::deterministic`) — the threaded backend has no wire
+/// and records none of them.
+#[derive(Clone)]
+struct NetMetrics {
+    frames_sent: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    frames_received: Arc<Counter>,
+    bytes_received: Arc<Counter>,
+    rejected_connections: Arc<Counter>,
+    encode_micros: Arc<Histogram>,
+    decode_micros: Arc<Histogram>,
+}
+
+impl NetMetrics {
+    fn register(t: &Telemetry) -> Self {
+        NetMetrics {
+            frames_sent: t.counter("net.frames.sent"),
+            bytes_sent: t.counter("net.bytes.sent"),
+            frames_received: t.counter("net.frames.received"),
+            bytes_received: t.counter("net.bytes.received"),
+            rejected_connections: t.counter("net.rejected_connections"),
+            encode_micros: t.histogram("net.encode_micros"),
+            decode_micros: t.histogram("net.decode_micros"),
+        }
+    }
+}
+
 /// One connected worker endpoint, driver side.
 struct WorkerConn {
     /// Command stream (writes are frame-at-a-time; `TCP_NODELAY` keeps
@@ -160,6 +192,11 @@ struct WorkerConn {
 pub struct TcpTransport {
     conns: Vec<WorkerConn>,
     shut: bool,
+    /// The transport's telemetry sink.  The generic `Driver` *adopts* it
+    /// (via [`Transport::telemetry`]) so wire counters and scheduler
+    /// counters land in one registry.
+    telemetry: Arc<Telemetry>,
+    metrics: NetMetrics,
 }
 
 impl TcpTransport {
@@ -167,10 +204,19 @@ impl TcpTransport {
     /// connections, ship the plan.
     pub fn connect(dplan: &DistributedPlan, config: &TcpConfig) -> io::Result<Self> {
         assert!(config.workers > 0);
+        let telemetry = Telemetry::shared();
+        let metrics = NetMetrics::register(&telemetry);
         let mut children: Vec<Option<Child>> = (0..config.workers).map(|_| None).collect();
         let mut serve_threads: Vec<Option<JoinHandle<()>>> =
             (0..config.workers).map(|_| None).collect();
-        match Self::connect_inner(dplan, config, &mut children, &mut serve_threads) {
+        match Self::connect_inner(
+            dplan,
+            config,
+            &telemetry,
+            &metrics,
+            &mut children,
+            &mut serve_threads,
+        ) {
             Ok(transport) => Ok(transport),
             Err(e) => {
                 // Reap whatever was already spawned: a failed construction
@@ -194,6 +240,8 @@ impl TcpTransport {
     fn connect_inner(
         dplan: &DistributedPlan,
         config: &TcpConfig,
+        telemetry: &Arc<Telemetry>,
+        metrics: &NetMetrics,
         children: &mut [Option<Child>],
         serve_threads: &mut [Option<JoinHandle<()>>],
     ) -> io::Result<Self> {
@@ -217,28 +265,50 @@ impl TcpTransport {
                         .map_err(|e| {
                             io::Error::new(e.kind(), format!("spawning {}: {e}", bin.display()))
                         })?;
+                    telemetry.event(
+                        "worker.spawned",
+                        vec![
+                            ("worker", i.into()),
+                            ("mode", "subprocess".into()),
+                            ("pid", u64::from(child.id()).into()),
+                        ],
+                    );
                     *slot = Some(child);
                 }
             }
             WorkerSpawn::Thread => {
                 for (i, slot) in serve_threads.iter_mut().enumerate() {
                     let addr = addr.to_string();
+                    let t = telemetry.clone();
                     let handle = thread::Builder::new()
                         .name(format!("hotdog-tcp-worker-{i}"))
                         .spawn(move || {
                             if let Err(e) = crate::worker::run_worker(&addr, i as u32) {
-                                eprintln!("hotdog-tcp-worker-{i}: {e}");
+                                t.event(
+                                    "worker.error",
+                                    vec![("worker", i.into()), ("error", e.to_string().into())],
+                                );
                             }
                         })
                         .expect("failed to spawn worker thread");
+                    telemetry.event(
+                        "worker.spawned",
+                        vec![("worker", i.into()), ("mode", "thread".into())],
+                    );
                     *slot = Some(handle);
                 }
             }
             WorkerSpawn::External => {
-                eprintln!(
-                    "hotdog-net: waiting for {} external worker(s) on {addr} \
-                     (start each with: hotdog-worker --connect {addr} --index <i>)",
-                    config.workers
+                telemetry.event(
+                    "net.waiting_external",
+                    vec![
+                        ("workers", config.workers.into()),
+                        ("addr", addr.to_string().into()),
+                        (
+                            "hint",
+                            format!("hotdog-worker --connect {addr} --index <i>").into(),
+                        ),
+                    ],
                 );
             }
         }
@@ -269,11 +339,24 @@ impl TcpTransport {
                 // while the real workers are connecting fine.
                 Ok((stream, peer)) => match Self::handshake(stream, config.workers, &slots) {
                     Ok((index, stream, reader)) => {
+                        telemetry.event(
+                            "worker.connected",
+                            vec![("worker", index.into()), ("peer", peer.to_string().into())],
+                        );
                         slots[index] = Some((stream, reader));
                         connected += 1;
                     }
+                    // The error used to be logged and *dropped*; now every
+                    // rejection is counted and carries its reason.
                     Err(e) => {
-                        eprintln!("hotdog-net: rejecting connection from {peer}: {e}");
+                        metrics.rejected_connections.inc();
+                        telemetry.event(
+                            "net.connection_rejected",
+                            vec![
+                                ("peer", peer.to_string().into()),
+                                ("error", e.to_string().into()),
+                            ],
+                        );
                     }
                 },
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -301,24 +384,49 @@ impl TcpTransport {
             let (mut stream, mut reader) = slot.expect("slot filled");
             send_payload(&mut stream, &init)?;
             let (tx, rx): (Sender<WorkerReply>, Receiver<WorkerReply>) = channel();
+            let t = telemetry.clone();
+            let m = metrics.clone();
             let handle = thread::Builder::new()
                 .name(format!("hotdog-tcp-reader-{i}"))
                 .spawn(move || loop {
-                    match recv_msg::<ToDriver>(&mut reader) {
+                    // EOF (or our own shutdown) closes the inbox by
+                    // dropping the sender; the driver sees a disconnected
+                    // channel and panics loudly if it still expected
+                    // replies.
+                    let Ok(payload) = read_frame(&mut reader) else {
+                        return;
+                    };
+                    m.frames_received.inc();
+                    m.bytes_received.add(payload.len() as u64 + 4);
+                    let decode_start = Instant::now();
+                    let msg = decode_from_slice::<ToDriver>(&payload);
+                    m.decode_micros.record_duration(decode_start.elapsed());
+                    match msg {
                         Ok(ToDriver::Reply(rep)) => {
                             if tx.send(rep).is_err() {
                                 return; // driver gone
                             }
                         }
                         Ok(ToDriver::Hello { .. }) => {
-                            eprintln!("hotdog-tcp-reader-{i}: unexpected Hello");
+                            t.event(
+                                "net.protocol_error",
+                                vec![
+                                    ("worker", i.into()),
+                                    ("error", "unexpected Hello after handshake".into()),
+                                ],
+                            );
                             return;
                         }
-                        // EOF (or our own shutdown) closes the inbox by
-                        // dropping the sender; the driver sees a
-                        // disconnected channel and panics loudly if it
-                        // still expected replies.
-                        Err(_) => return,
+                        Err(e) => {
+                            t.event(
+                                "net.protocol_error",
+                                vec![
+                                    ("worker", i.into()),
+                                    ("error", format!("bad frame: {e}").into()),
+                                ],
+                            );
+                            return;
+                        }
                     }
                 })
                 .expect("failed to spawn reader thread");
@@ -330,7 +438,12 @@ impl TcpTransport {
                 serve_thread: serve_threads[i].take(),
             });
         }
-        Ok(TcpTransport { conns, shut: false })
+        Ok(TcpTransport {
+            conns,
+            shut: false,
+            telemetry: telemetry.clone(),
+            metrics: metrics.clone(),
+        })
     }
 
     /// Handshake one accepted connection: read its `Hello` under a bounded
@@ -374,7 +487,13 @@ impl Transport for TcpTransport {
     }
 
     fn send(&mut self, w: usize, request: WorkerRequest) {
+        let encode_start = Instant::now();
         let payload = encode_to_vec(&ToWorker::Request(request));
+        self.metrics
+            .encode_micros
+            .record_duration(encode_start.elapsed());
+        self.metrics.frames_sent.inc();
+        self.metrics.bytes_sent.add(payload.len() as u64 + 4);
         send_payload(&mut self.conns[w].stream, &payload)
             .unwrap_or_else(|e| panic!("tcp worker {w} died: {e}"));
     }
@@ -399,17 +518,27 @@ impl Transport for TcpTransport {
         for conn in &mut self.conns {
             // Best effort: a worker that already died must not fail the
             // others' shutdown.
+            self.metrics.frames_sent.inc();
+            self.metrics.bytes_sent.add(payload.len() as u64 + 4);
             let _ = send_payload(&mut conn.stream, &payload);
         }
+        const KILL_GRACE: Duration = Duration::from_secs(10);
         for (w, conn) in self.conns.iter_mut().enumerate() {
             if let Some(mut child) = conn.child.take() {
                 // Give the worker a moment to exit cleanly, then kill.
-                let deadline = Instant::now() + Duration::from_secs(10);
+                let deadline = Instant::now() + KILL_GRACE;
                 loop {
                     match child.try_wait() {
                         Ok(Some(_)) => break,
                         Ok(None) if Instant::now() >= deadline => {
-                            eprintln!("hotdog-net: killing unresponsive worker {w}");
+                            self.telemetry.event(
+                                "worker.killed",
+                                vec![
+                                    ("worker", w.into()),
+                                    ("reason", "shutdown_grace_expired".into()),
+                                    ("grace_secs", KILL_GRACE.as_secs().into()),
+                                ],
+                            );
                             let _ = child.kill();
                             let _ = child.wait();
                             break;
@@ -435,6 +564,10 @@ impl Transport for TcpTransport {
             pipelined: "tcp-pipelined",
             fifo: "tcp-pipelined-fifo",
         }
+    }
+
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        Some(self.telemetry.clone())
     }
 }
 

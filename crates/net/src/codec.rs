@@ -35,7 +35,7 @@ use hotdog_algebra::tuple::Tuple;
 use hotdog_algebra::value::Value;
 use hotdog_distributed::program::{DistStatement, DistStmtKind, StmtMode, Transform};
 use hotdog_distributed::protocol::{WorkerReply, WorkerRequest};
-use hotdog_distributed::PartitionFn;
+use hotdog_distributed::{PartitionFn, WorkerStats, WorkerStatsSnapshot};
 use hotdog_ivm::StmtOp;
 use hotdog_ivm::{MaintenancePlan, Statement, Strategy, Trigger, ViewDef};
 use std::collections::HashMap;
@@ -834,6 +834,38 @@ fn decode_deltas(r: &mut Reader<'_>) -> Result<HashMap<String, Relation>, Decode
     Ok(map)
 }
 
+impl Wire for WorkerStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.blocks_run.encode(out);
+        self.statements.encode(out);
+        self.instructions.encode(out);
+        self.applies.encode(out);
+        self.tuples_applied.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(WorkerStats {
+            blocks_run: u64::decode(r)?,
+            statements: u64::decode(r)?,
+            instructions: u64::decode(r)?,
+            applies: u64::decode(r)?,
+            tuples_applied: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for WorkerStatsSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.stats.encode(out);
+        self.cardinalities.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(WorkerStatsSnapshot {
+            stats: WorkerStats::decode(r)?,
+            cardinalities: Vec::decode(r)?,
+        })
+    }
+}
+
 impl Wire for WorkerRequest {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -867,6 +899,10 @@ impl Wire for WorkerRequest {
                 id.encode(out);
             }
             WorkerRequest::Shutdown => out.push(5),
+            WorkerRequest::Stats { id } => {
+                out.push(6);
+                id.encode(out);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -892,6 +928,9 @@ impl Wire for WorkerRequest {
                 id: u64::decode(r)?,
             }),
             5 => Ok(WorkerRequest::Shutdown),
+            6 => Ok(WorkerRequest::Stats {
+                id: u64::decode(r)?,
+            }),
             tag => Err(DecodeError::BadTag {
                 what: "WorkerRequest",
                 tag,
@@ -917,6 +956,11 @@ impl Wire for WorkerReply {
                 out.push(2);
                 id.encode(out);
             }
+            WorkerReply::Stats { id, snapshot } => {
+                out.push(3);
+                id.encode(out);
+                snapshot.encode(out);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -931,6 +975,10 @@ impl Wire for WorkerReply {
             }),
             2 => Ok(WorkerReply::Ack {
                 id: u64::decode(r)?,
+            }),
+            3 => Ok(WorkerReply::Stats {
+                id: u64::decode(r)?,
+                snapshot: WorkerStatsSnapshot::decode(r)?,
             }),
             tag => Err(DecodeError::BadTag {
                 what: "WorkerReply",

@@ -360,3 +360,36 @@ fn protocol_messages_roundtrip() {
         _ => panic!("wrong variant"),
     }
 }
+
+#[test]
+fn stats_messages_roundtrip() {
+    use hotdog_distributed::{WorkerStats, WorkerStatsSnapshot};
+
+    let req = ToWorker::Request(WorkerRequest::Stats { id: 41 });
+    match decode_from_slice::<ToWorker>(&encode_to_vec(&req)).unwrap() {
+        ToWorker::Request(WorkerRequest::Stats { id }) => assert_eq!(id, 41),
+        _ => panic!("wrong variant"),
+    }
+
+    let snapshot = WorkerStatsSnapshot {
+        stats: WorkerStats {
+            blocks_run: 3,
+            statements: 17,
+            instructions: u64::MAX, // counters must survive the full range
+            applies: 5,
+            tuples_applied: 1 << 40,
+        },
+        cardinalities: vec![("Q".to_string(), 12), ("part_R".to_string(), 0)],
+    };
+    let rep = ToDriver::Reply(WorkerReply::Stats {
+        id: 42,
+        snapshot: snapshot.clone(),
+    });
+    match decode_from_slice::<ToDriver>(&encode_to_vec(&rep)).unwrap() {
+        ToDriver::Reply(WorkerReply::Stats { id, snapshot: s }) => {
+            assert_eq!(id, 42);
+            assert_eq!(s, snapshot);
+        }
+        _ => panic!("wrong variant"),
+    }
+}

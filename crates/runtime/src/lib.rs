@@ -111,8 +111,10 @@ use hotdog_distributed::protocol::{
 use hotdog_distributed::{
     partition_shards, Backend, BatchExecution, ClusterTotals, DistStatement, DistStmtKind,
     DistributedPlan, LocTag, PartitionFn, StmtMode, Transform, TriggerProgram, WorkerState,
+    WorkerStatsSnapshot,
 };
 use hotdog_exec::relabel;
+use hotdog_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Telemetry};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -156,6 +158,14 @@ pub trait Transport {
     fn shutdown(&mut self);
     /// Backend names a [`Driver`] over this transport reports, by mode.
     fn names(&self) -> TransportNames;
+    /// The transport's own [`Telemetry`] instance, if it keeps one (the
+    /// TCP transport counts frames, bytes and codec time).  The driver
+    /// *adopts* it, so wire-level and scheduler-level metrics land in one
+    /// registry; `None` (the default) makes the driver create a fresh
+    /// instance.
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        None
+    }
 }
 
 /// The [`Backend::backend_name`] strings of a transport, per execution
@@ -425,6 +435,102 @@ impl PipelineConfig {
     }
 }
 
+/// Cached handles into the driver's metric registry, registered once at
+/// construction so every hot-path update is a single relaxed atomic op.
+///
+/// The `driver.*` counters are deterministic functions of the admission
+/// sequence and the (transport-generic) driver schedule: they must be
+/// bit-identical across the threaded and TCP backends.  The gauges and
+/// the latency-valued histograms are *not* part of that contract (see
+/// [`MetricsSnapshot::deterministic`]).
+struct DriverMetrics {
+    requests_total: Arc<Counter>,
+    requests_run_block: Arc<Counter>,
+    requests_apply_many: Arc<Counter>,
+    requests_fetch: Arc<Counter>,
+    requests_snapshot: Arc<Counter>,
+    requests_barrier: Arc<Counter>,
+    requests_stats: Arc<Counter>,
+    replies_total: Arc<Counter>,
+    batches_admitted: Arc<Counter>,
+    batches_coalesced: Arc<Counter>,
+    batches_executed: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    queue_bytes: Arc<Gauge>,
+    ledger_outstanding: Arc<Gauge>,
+    gather_micros: Arc<Histogram>,
+    batch_tuples: Arc<Histogram>,
+}
+
+impl DriverMetrics {
+    fn register(t: &Telemetry) -> Self {
+        DriverMetrics {
+            requests_total: t.counter("driver.requests.total"),
+            requests_run_block: t.counter("driver.requests.run_block"),
+            requests_apply_many: t.counter("driver.requests.apply_many"),
+            requests_fetch: t.counter("driver.requests.fetch"),
+            requests_snapshot: t.counter("driver.requests.snapshot"),
+            requests_barrier: t.counter("driver.requests.barrier"),
+            requests_stats: t.counter("driver.requests.stats"),
+            replies_total: t.counter("driver.replies.total"),
+            batches_admitted: t.counter("driver.batches.admitted"),
+            batches_coalesced: t.counter("driver.batches.coalesced"),
+            batches_executed: t.counter("driver.batches.executed"),
+            queue_depth: t.gauge("driver.queue.depth"),
+            queue_bytes: t.gauge("driver.queue.bytes"),
+            ledger_outstanding: t.gauge("driver.ledger.outstanding"),
+            gather_micros: t.histogram("driver.gather_micros"),
+            batch_tuples: t.histogram("driver.batch_tuples"),
+        }
+    }
+
+    fn count_request(&self, request: &Request) {
+        self.requests_total.inc();
+        match request {
+            Request::RunBlock { .. } => self.requests_run_block.inc(),
+            Request::ApplyMany { .. } => self.requests_apply_many.inc(),
+            Request::Fetch { .. } => self.requests_fetch.inc(),
+            Request::Snapshot { .. } => self.requests_snapshot.inc(),
+            Request::Barrier { .. } => self.requests_barrier.inc(),
+            Request::Stats { .. } => self.requests_stats.inc(),
+            // Shutdown travels through `Transport::shutdown`, never here.
+            Request::Shutdown => {}
+        }
+    }
+}
+
+/// The deterministic cross-backend telemetry totals: every field is a
+/// function of the admission sequence and the shared driver schedule
+/// only — never of wall-clock time or of how bytes move — so for the
+/// same update stream the threaded and TCP backends must produce
+/// **bit-identical** values.  The workspace telemetry oracle asserts
+/// exactly that (derived `Eq`).
+///
+/// Obtained from [`Driver::telemetry_totals`], which flushes the
+/// pipeline and gathers every worker's counters over the protocol's
+/// `Stats` message.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryTotals {
+    /// Messages the driver sent to workers (all kinds except `Shutdown`),
+    /// captured after the flush but *before* the `Stats` gather round that
+    /// collects the worker counters.
+    pub messages_sent: u64,
+    /// Replies received from workers, captured at the same instant as
+    /// `messages_sent`.
+    pub replies_received: u64,
+    /// Total worker interpreter work (weighted `EvalCounters` units).
+    pub instructions: u64,
+    /// Distributed blocks run across all workers (triggers fired).
+    pub blocks_run: u64,
+    /// `Compute` statements interpreted across all workers.
+    pub statements: u64,
+    /// Scattered tuples installed across all workers.
+    pub tuples_applied: u64,
+    /// Per-worker counters and view-partition cardinalities, in worker
+    /// order.
+    pub per_worker: Vec<WorkerStatsSnapshot>,
+}
+
 /// One admitted-but-unissued coalesced delta in the admission queue.
 struct QueuedDelta {
     relation: String,
@@ -507,6 +613,12 @@ pub struct Driver<T: Transport> {
     pub stats: PipelineStats,
     /// Accumulated measured totals (same shape as the simulator's).
     pub totals: ClusterTotals,
+    /// Shared metrics registry + flight recorder (adopted from the
+    /// transport when it keeps one, so wire- and scheduler-level metrics
+    /// land together).
+    telemetry: Arc<Telemetry>,
+    /// Cached metric handles for the driver hot paths.
+    metrics: DriverMetrics,
 }
 
 /// The in-process thread-per-worker backend: the transport-generic
@@ -560,6 +672,9 @@ impl<T: Transport> Driver<T> {
             .as_ref()
             .and_then(|c| c.shuffle_replies)
             .map(StdRng::seed_from_u64);
+        let telemetry = transport.telemetry().unwrap_or_else(Telemetry::shared);
+        telemetry.install_signal_dump();
+        let metrics = DriverMetrics::register(&telemetry);
         let mut cluster = Driver {
             workers,
             dplan,
@@ -584,6 +699,8 @@ impl<T: Transport> Driver<T> {
             stream_start: None,
             stats: PipelineStats::default(),
             totals: ClusterTotals::default(),
+            telemetry,
+            metrics,
         };
         cluster.stats.coalesce_bound = cluster.effective_coalesce_bound();
         cluster
@@ -636,11 +753,19 @@ impl<T: Transport> Driver<T> {
         self.next_request_id
     }
 
+    /// The single driver→worker send chokepoint: counts the message by
+    /// kind, then hands it to the transport.
+    fn send_to(&mut self, w: usize, request: Request) {
+        self.metrics.count_request(&request);
+        self.transport.send(w, request);
+    }
+
     /// Stash one received reply in worker `w`'s inbox.  Under the
     /// [`PipelineConfig::shuffle_replies`] chaos knob the inbox is
     /// re-shuffled on every arrival, so consumers can never rely on
     /// position — only on request ids.
     fn stash_reply(&mut self, w: usize, reply: Reply) {
+        self.metrics.replies_total.inc();
         self.inbox[w].push(reply);
         if let Some(rng) = self.reply_shuffle.as_mut() {
             let inbox = &mut self.inbox[w];
@@ -762,8 +887,23 @@ impl<T: Transport> Driver<T> {
         let applies = std::mem::take(&mut self.pending_applies[w]);
         self.stats.scatter_messages_sent += 1;
         self.stats.scatter_messages_saved += applies.len() - 1;
+        self.telemetry.event(
+            "batch.scattered",
+            vec![
+                ("worker", w.into()),
+                ("shards", applies.len().into()),
+                (
+                    "tuples",
+                    applies
+                        .iter()
+                        .map(|(_, shard)| shard.len() as u64)
+                        .sum::<u64>()
+                        .into(),
+                ),
+            ],
+        );
         let id = self.fresh_request_id();
-        self.transport.send(w, Request::ApplyMany { id, applies });
+        self.send_to(w, Request::ApplyMany { id, applies });
         self.applies_in_flight = true;
     }
 
@@ -780,7 +920,7 @@ impl<T: Transport> Driver<T> {
         let ids: Vec<u64> = (0..self.workers)
             .map(|w| {
                 let id = self.fresh_request_id();
-                self.transport.send(w, Request::Barrier { id });
+                self.send_to(w, Request::Barrier { id });
                 id
             })
             .collect();
@@ -830,6 +970,16 @@ impl<T: Transport> Driver<T> {
             .front()
             .is_some_and(|q| q.admitted_at.elapsed() >= target)
         {
+            self.telemetry.event(
+                "backpressure.latency",
+                vec![
+                    ("queue_depth", self.queue.len().into()),
+                    (
+                        "target_micros",
+                        (target.as_micros().min(u64::MAX as u128) as u64).into(),
+                    ),
+                ],
+            );
             self.execute_queue_front();
             self.stats.executions_forced_by_latency += 1;
         }
@@ -849,11 +999,24 @@ impl<T: Transport> Driver<T> {
             // lazily, so this attributes a previous trigger's worker cost
             // to the current one — a bounded lag the probe-window
             // averaging absorbs (the window sums both terms).
+            let old_bound = ctl.bound();
             let settled = std::mem::take(&mut self.instructions_since_observe);
             ctl.observe_with_work(stats.input_tuples, stats.wall_secs, settled);
             self.stats.coalesce_bound = ctl.bound();
             self.stats.bound_reversals = ctl.reversals;
             self.stats.bound_adjustments = ctl.adjustments;
+            if ctl.bound() != old_bound {
+                self.telemetry.event(
+                    "controller.step",
+                    vec![
+                        ("old_bound", old_bound.into()),
+                        ("new_bound", ctl.bound().into()),
+                        ("tuples", stats.input_tuples.into()),
+                        ("wall_secs", stats.wall_secs.into()),
+                        ("settled_instructions", settled.into()),
+                    ],
+                );
+            }
         }
     }
 
@@ -906,14 +1069,27 @@ impl<T: Transport> Driver<T> {
             .map(|w| {
                 self.ship_applies(w);
                 let id = self.fresh_request_id();
-                self.transport.send(w, make(id));
+                self.send_to(w, make(id));
                 id
             })
             .collect();
-        ids.into_iter()
+        let gather_start = Instant::now();
+        let rels: Vec<Relation> = ids
+            .into_iter()
             .enumerate()
             .map(|(w, id)| self.await_rel(w, id))
-            .collect()
+            .collect();
+        let micros = gather_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.metrics.gather_micros.record(micros);
+        self.telemetry.event(
+            "batch.gathered",
+            vec![
+                ("workers", self.workers.into()),
+                ("overlapped", outstanding.into()),
+                ("micros", micros.into()),
+            ],
+        );
+        rels
     }
 
     /// Full contents of a view, merged across all nodes holding a piece.
@@ -927,6 +1103,7 @@ impl<T: Transport> Driver<T> {
     /// docs).  Admitted-but-queued batches require a
     /// [`ThreadedCluster::flush`] to become visible.
     pub fn view_contents(&mut self, name: &str) -> Relation {
+        self.telemetry.poll_dump();
         // Under a latency target, overdue queued deltas are forced through
         // first: a read never observes data staler than the target.
         self.enforce_latency_target();
@@ -939,7 +1116,7 @@ impl<T: Transport> Driver<T> {
                 // Every worker holds an identical copy; read one.
                 if self.workers > 0 {
                     let id = self.fresh_request_id();
-                    self.transport.send(
+                    self.send_to(
                         0,
                         Request::Snapshot {
                             id,
@@ -995,8 +1172,18 @@ impl<T: Transport> Driver<T> {
     fn admit(&mut self, relation: &str, batch: &Relation) -> BatchExecution {
         let config = self.pipeline.clone().expect("admit requires pipeline mode");
         self.stream_start.get_or_insert_with(Instant::now);
+        self.telemetry.poll_dump();
         self.stats.batches_admitted += 1;
         self.stats.tuples_admitted += batch.len();
+        self.metrics.batches_admitted.inc();
+        self.telemetry.event(
+            "batch.admitted",
+            vec![
+                ("relation", relation.into()),
+                ("tuples", batch.len().into()),
+                ("queue_depth", self.queue.len().into()),
+            ],
+        );
         let stats = BatchExecution {
             input_tuples: batch.len(),
             ..Default::default()
@@ -1043,6 +1230,15 @@ impl<T: Transport> Driver<T> {
         };
         if coalesced {
             self.stats.batches_coalesced += 1;
+            self.metrics.batches_coalesced.inc();
+            self.telemetry.event(
+                "batch.coalesced",
+                vec![
+                    ("relation", relation.into()),
+                    ("tuples", batch.len().into()),
+                    ("bound", coalesce_bound.into()),
+                ],
+            );
         } else {
             // Same canonicalization as the synchronous path, so a
             // non-coalesced pipelined run is bit-identical to it.
@@ -1056,11 +1252,20 @@ impl<T: Transport> Driver<T> {
         }
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
         self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.queue_bytes);
+        self.metrics.queue_depth.set(self.queue.len() as u64);
+        self.metrics.queue_bytes.set(self.queue_bytes as u64);
 
         // Backpressure, oldest first.  Byte bound: shed queued work until
         // the footprint fits (a single oversized delta executes
         // immediately, emptying the queue).
         while config.admit_bytes > 0 && self.queue_bytes > config.admit_bytes {
+            self.telemetry.event(
+                "backpressure.bytes",
+                vec![
+                    ("queue_bytes", self.queue_bytes.into()),
+                    ("bound", config.admit_bytes.into()),
+                ],
+            );
             self.execute_queue_front();
             self.stats.executions_forced_by_bytes += 1;
         }
@@ -1071,6 +1276,8 @@ impl<T: Transport> Driver<T> {
         while self.queue.len() > config.admit_capacity {
             self.execute_queue_front();
         }
+        self.metrics.queue_depth.set(self.queue.len() as u64);
+        self.metrics.queue_bytes.set(self.queue_bytes as u64);
         stats
     }
 
@@ -1110,6 +1317,8 @@ impl<T: Transport> Driver<T> {
         if !self.programs.contains_key(relation) {
             return stats;
         }
+        self.metrics.batches_executed.inc();
+        self.metrics.batch_tuples.record(stats.input_tuples as u64);
         self.batch_max_instructions = 0;
         let inflight_blocks = self
             .pipeline
@@ -1167,7 +1376,7 @@ impl<T: Transport> Driver<T> {
                         for w in 0..self.workers {
                             self.ship_applies(w);
                             let id = self.fresh_request_id();
-                            self.transport.send(
+                            self.send_to(
                                 w,
                                 Request::RunBlock {
                                     id,
@@ -1183,7 +1392,7 @@ impl<T: Transport> Driver<T> {
                         for w in 0..self.workers {
                             self.ship_applies(w);
                             let id = self.fresh_request_id();
-                            self.transport.send(
+                            self.send_to(
                                 w,
                                 Request::RunBlock {
                                     id,
@@ -1228,6 +1437,18 @@ impl<T: Transport> Driver<T> {
         stats.latency_secs = stats.wall_secs;
 
         self.issued += 1;
+        self.metrics
+            .ledger_outstanding
+            .set(self.pending_blocks.iter().map(|p| p.len() as u64).sum());
+        self.telemetry.event(
+            "batch.executed",
+            vec![
+                ("relation", relation.into()),
+                ("tuples", stats.input_tuples.into()),
+                ("pipelined", u64::from(pipelined).into()),
+                ("wall_secs", stats.wall_secs.into()),
+            ],
+        );
         if pipelined {
             // Stream tuples were counted at admission; stream wall-clock is
             // folded in at `flush`.
@@ -1350,6 +1571,92 @@ impl<T: Transport> Backend for Driver<T> {
 }
 
 impl<T: Transport> Driver<T> {
+    /// The telemetry sink this driver records into.  For the TCP backend
+    /// this is the transport's own registry (wire counters and scheduler
+    /// counters share one namespace); the threaded backend owns a fresh
+    /// one.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Wait for the `Stats` reply tagged `id` from worker `w`, settling
+    /// any block completions that arrive ahead of it (mirrors
+    /// [`Driver::await_rel`]).
+    fn await_stats(&mut self, w: usize, id: u64) -> WorkerStatsSnapshot {
+        loop {
+            self.settle_completions(w);
+            if let Some(pos) = self.inbox[w]
+                .iter()
+                .position(|r| matches!(r, Reply::Stats { id: rid, .. } if *rid == id))
+            {
+                let Reply::Stats { snapshot, .. } = self.inbox[w].swap_remove(pos) else {
+                    unreachable!()
+                };
+                return snapshot;
+            }
+            self.recv_one(w);
+        }
+    }
+
+    /// Gather every worker's counter snapshot over the protocol's `Stats`
+    /// message, in worker order (tagged schedule: all requests issued
+    /// first, replies awaited by id).
+    fn fetch_worker_stats(&mut self) -> Vec<WorkerStatsSnapshot> {
+        let ids: Vec<u64> = (0..self.workers)
+            .map(|w| {
+                self.ship_applies(w);
+                let id = self.fresh_request_id();
+                self.send_to(w, Request::Stats { id });
+                id
+            })
+            .collect();
+        ids.into_iter()
+            .enumerate()
+            .map(|(w, id)| self.await_stats(w, id))
+            .collect()
+    }
+
+    /// Flush the pipeline and return the deterministic cross-backend
+    /// telemetry totals (see [`TelemetryTotals`]): driver-side message
+    /// counts captured *before* the stats gather itself, plus every
+    /// worker's counters collected over the protocol.
+    pub fn telemetry_totals(&mut self) -> TelemetryTotals {
+        self.flush();
+        // Capture the driver-side counters before the `Stats` round so
+        // repeated calls still agree across backends: each call adds
+        // exactly `workers` requests and `workers` replies.
+        let messages_sent = self.metrics.requests_total.get();
+        let replies_received = self.metrics.replies_total.get();
+        let per_worker = self.fetch_worker_stats();
+        let mut totals = TelemetryTotals {
+            messages_sent,
+            replies_received,
+            per_worker,
+            ..Default::default()
+        };
+        for snap in &totals.per_worker {
+            totals.instructions += snap.stats.instructions;
+            totals.blocks_run += snap.stats.blocks_run;
+            totals.statements += snap.stats.statements;
+            totals.tuples_applied += snap.stats.tuples_applied;
+        }
+        totals
+    }
+
+    /// Flush, gather worker counters, and return a [`MetricsSnapshot`] of
+    /// the whole registry with the aggregated `worker.*` counters folded
+    /// in as absolute values (idempotent across repeated calls — the
+    /// worker counters are cumulative on the worker, not re-summed here).
+    pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
+        let totals = self.telemetry_totals();
+        let mut snap = self.telemetry.snapshot();
+        snap.set_counter("worker.instructions", totals.instructions);
+        snap.set_counter("worker.blocks_run", totals.blocks_run);
+        snap.set_counter("worker.statements", totals.statements);
+        snap.set_counter("worker.tuples_applied", totals.tuples_applied);
+        snap
+    }
+
     /// Abandon every admitted-but-unissued batch *without executing it*,
     /// shut the worker threads down, and return the final pipeline stats
     /// (with [`PipelineStats::batches_abandoned`] counting the dropped
@@ -1384,6 +1691,8 @@ impl<T: Transport> Drop for Driver<T> {
         // run maintenance programs or block on workers beyond joining).
         self.abandon_queue();
         self.shutdown_workers();
+        // After shutdown, so worker-teardown flight events make the flush.
+        self.telemetry.flush_on_drop();
     }
 }
 

@@ -1,0 +1,207 @@
+//! # hotdog-telemetry
+//!
+//! The observability substrate of the distributed runtime: a lock-cheap
+//! [metrics registry](metrics) (counters, gauges, fixed log2-bucket
+//! histograms — no external deps, matching the vendored-offline policy)
+//! plus a bounded in-memory [flight recorder](flight) of structured
+//! events, bundled as one [`Telemetry`] handle that driver, transport and
+//! benches share through an `Arc`.
+//!
+//! Three read paths:
+//!
+//! * **[`MetricsSnapshot`]** — frozen maps with derived equality.  Its
+//!   [`MetricsSnapshot::deterministic`] subset (`driver.*` / `worker.*`
+//!   counters) must be bit-identical across the threaded and TCP
+//!   backends; the workspace telemetry oracle asserts it.
+//! * **`SIGUSR1` / drop dumps** — [`Telemetry::install_signal_dump`]
+//!   arms a flag-only signal handler; instrumented code polls
+//!   [`Telemetry::poll_dump`] at safe points and prints
+//!   [`Telemetry::dump_text`] to stderr.  With `HOTDOG_TELEMETRY=<path>`
+//!   set, dropping the owning cluster appends the flight ring as JSON
+//!   lines (plus one final `metrics.snapshot` line) to `<path>`.
+//! * **bench embedding** — `hotdog-bench` folds key counters (messages,
+//!   bytes, instructions) into `BENCH_runtime.json` per run.
+//!
+//! `HOTDOG_LOG=1` additionally mirrors every flight event to stderr as
+//! it happens.
+
+#![deny(unsafe_code)]
+
+pub mod flight;
+pub mod metrics;
+pub mod signal;
+
+pub use flight::{Event, FieldValue, FlightRecorder};
+pub use metrics::{
+    bucket_floor, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
+    Registry, HISTOGRAM_BUCKETS,
+};
+
+use std::io::Write as _;
+use std::sync::Arc;
+
+/// Environment variable naming the JSONL flush path for drop-time dumps.
+pub const TELEMETRY_ENV: &str = "HOTDOG_TELEMETRY";
+
+/// One shared telemetry handle: a [`Registry`] plus a [`FlightRecorder`].
+///
+/// The driver creates one per cluster (or adopts the transport's, so the
+/// wire-level and scheduler-level metrics land in the same registry) and
+/// shares it via `Arc` with reader threads and callers.
+#[derive(Default)]
+pub struct Telemetry {
+    registry: Registry,
+    flight: FlightRecorder,
+}
+
+impl Telemetry {
+    /// Fresh telemetry with the default flight-ring capacity.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Fresh telemetry behind an `Arc`, ready to share.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Telemetry::new())
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Get or register a counter (see [`Registry::counter`]).
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        self.registry.counter(name)
+    }
+
+    /// Get or register a gauge (see [`Registry::gauge`]).
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        self.registry.gauge(name)
+    }
+
+    /// Get or register a histogram (see [`Registry::histogram`]).
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.registry.histogram(name)
+    }
+
+    /// Record one flight event.
+    pub fn event(&self, kind: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+        self.flight.record(kind, fields);
+    }
+
+    /// Freeze the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Arm the `SIGUSR1` handler for this process (idempotent).  Pair
+    /// with [`Telemetry::poll_dump`] at safe points.
+    pub fn install_signal_dump(&self) {
+        signal::install();
+    }
+
+    /// If a `SIGUSR1` arrived since the last poll, print the
+    /// human-readable dump to stderr.  One relaxed atomic read when idle.
+    pub fn poll_dump(&self) {
+        if signal::take_pending() {
+            eprintln!("{}", self.dump_text());
+        }
+    }
+
+    /// Human-readable dump: every metric, then the most recent flight
+    /// events.
+    pub fn dump_text(&self) -> String {
+        let mut out = String::from("== hotdog telemetry ==\n");
+        out.push_str(&self.snapshot().render_text());
+        let events = self.flight.events();
+        out.push_str(&format!(
+            "-- flight recorder: {} event(s) held, {} dropped --\n",
+            events.len(),
+            self.flight.dropped()
+        ));
+        for e in events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Append the flight ring as JSON lines (plus one final
+    /// `metrics.snapshot` line carrying every counter) to `path`.
+    pub fn flush_jsonl(&self, path: &str) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(self.flight.render_jsonl().as_bytes())?;
+        let snap = self.snapshot();
+        let mut line = String::from("{\"event\":\"metrics.snapshot\"");
+        for (k, v) in &snap.counters {
+            line.push_str(&format!(",\"{k}\":{v}"));
+        }
+        line.push_str("}\n");
+        file.write_all(line.as_bytes())
+    }
+
+    /// Drop-time hook: flush to `HOTDOG_TELEMETRY`'s path when set
+    /// (best-effort — a broken path must not panic a destructor).
+    pub fn flush_on_drop(&self) {
+        if let Ok(path) = std::env::var(TELEMETRY_ENV) {
+            if !path.is_empty() {
+                let _ = self.flush_jsonl(&path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_text_carries_metrics_and_events() {
+        let t = Telemetry::new();
+        t.counter("driver.requests.total").add(3);
+        t.event("batch.admitted", vec![("relation", "R".into())]);
+        let dump = t.dump_text();
+        assert!(dump.contains("driver.requests.total = 3"));
+        assert!(dump.contains("\"event\":\"batch.admitted\""));
+        assert!(dump.contains("1 event(s) held, 0 dropped"));
+    }
+
+    #[test]
+    fn jsonl_flush_appends_snapshot_line() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "hotdog-telemetry-test-{}.jsonl",
+            std::process::id()
+        ));
+        let path_str = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        let t = Telemetry::new();
+        t.counter("net.frames_sent").add(2);
+        t.event("worker.spawned", vec![("worker", 0u64.into())]);
+        t.flush_jsonl(&path_str).expect("flush");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"worker.spawned\""));
+        assert!(lines[1].contains("\"event\":\"metrics.snapshot\""));
+        assert!(lines[1].contains("\"net.frames_sent\":2"));
+    }
+
+    #[test]
+    fn signal_poll_is_quiet_without_a_signal() {
+        let t = Telemetry::new();
+        t.install_signal_dump();
+        t.poll_dump(); // must not print or panic
+        assert!(!signal::take_pending());
+    }
+}

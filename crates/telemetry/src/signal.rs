@@ -1,0 +1,65 @@
+//! `SIGUSR1`-triggered dumps, without a libc crate (the build image is
+//! offline): the handler is installed through the raw `signal(2)` symbol
+//! libc already links into every Rust binary.
+//!
+//! The handler itself does the only async-signal-safe thing possible — a
+//! relaxed atomic store.  Instrumented code polls [`take_pending`] at its
+//! next safe point (batch admission, reads) and produces the dump from
+//! ordinary code.  On non-Unix targets everything is a no-op.
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Once;
+
+    static PENDING: AtomicBool = AtomicBool::new(false);
+    static INSTALL: Once = Once::new();
+
+    // Signal numbers are ABI constants, not discoverable without libc
+    // bindings: 10 on Linux/Android, 30 on the BSD family (macOS).
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    const SIGUSR1: i32 = 10;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    const SIGUSR1: i32 = 30;
+
+    extern "C" fn on_sigusr1(_signum: i32) {
+        PENDING.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Install the `SIGUSR1` flag-setting handler (idempotent,
+    /// process-wide).
+    pub fn install() {
+        INSTALL.call_once(|| {
+            // SAFETY: `signal(2)` with a handler that only performs an
+            // atomic store is async-signal-safe; the previous disposition
+            // (returned) is discarded on purpose — this process never
+            // chains USR1 handlers.
+            unsafe {
+                let _ = signal(SIGUSR1, on_sigusr1);
+            }
+        });
+    }
+
+    /// Consume the pending-dump flag (true at most once per signal).
+    pub fn take_pending() -> bool {
+        PENDING.swap(false, Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op on non-Unix targets.
+    pub fn install() {}
+
+    /// Always `false` on non-Unix targets.
+    pub fn take_pending() -> bool {
+        false
+    }
+}
+
+pub use imp::{install, take_pending};

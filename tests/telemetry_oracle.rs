@@ -1,0 +1,157 @@
+//! Telemetry oracle: the `driver.*` / `worker.*` counters are
+//! deterministic functions of the admission sequence and the shared
+//! driver schedule — never of wall-clock time or of how bytes move — so
+//! for the same update stream the threaded and TCP backends must produce
+//! **bit-identical** totals.  This suite holds that contract across the
+//! differential-oracle catalog, plus the StatsReply hygiene invariants
+//! (a stats gather leaves no unconsumed reply in the ledger).
+
+use hotdog::prelude::*;
+
+fn workers_under_test() -> usize {
+    std::env::var("HOTDOG_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(2)
+        .max(1)
+}
+
+fn compile_for(q: &CatalogQuery, opt: OptLevel) -> DistributedPlan {
+    let plan = compile_recursive(q.id, &q.expr);
+    let spec = PartitioningSpec::heuristic(&plan, &q.partition_keys);
+    compile_distributed(&plan, &spec, opt)
+}
+
+fn seeded_stream(q: &CatalogQuery, tuples: usize, seed: u64) -> UpdateStream {
+    let base = match q.workload {
+        hotdog::workload::Workload::TpcH => generate_tpch(seed, tuples),
+        hotdog::workload::Workload::TpcDs => generate_tpcds(seed, tuples),
+    };
+    base.with_deletions(seed, 0.25)
+}
+
+/// Every catalog query, epoch-synchronous: the full [`TelemetryTotals`]
+/// (driver message counts + per-worker counters + per-view partition
+/// cardinalities) and the deterministic slice of the metrics registry
+/// must agree bit-for-bit between the threaded and TCP backends.
+#[test]
+fn telemetry_totals_agree_threaded_vs_tcp_across_catalog() {
+    let workers = workers_under_test();
+    for (i, q) in all_queries().iter().enumerate() {
+        let opt = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3][i % 4];
+        let stream = seeded_stream(q, 120, 0x7E1E + i as u64);
+        let batches = stream.batches(24);
+
+        let mut threaded = ThreadedCluster::new(compile_for(q, opt), workers);
+        let mut tcp = TcpCluster::new(compile_for(q, opt), &TcpConfig::from_env(workers))
+            .expect("tcp cluster");
+        threaded.apply_stream(&batches);
+        tcp.apply_stream(&batches);
+
+        let threaded_totals = threaded.telemetry_totals();
+        let tcp_totals = tcp.telemetry_totals();
+        assert_eq!(
+            threaded_totals, tcp_totals,
+            "{} {opt:?} x{workers}: telemetry totals diverged threaded vs TCP",
+            q.id
+        );
+        assert!(
+            threaded_totals.instructions > 0,
+            "{}: a maintained catalog query must execute interpreter work",
+            q.id
+        );
+        assert!(
+            threaded_totals.messages_sent > 0 && threaded_totals.replies_received > 0,
+            "{}: driver traffic counters must be live",
+            q.id
+        );
+
+        // The deterministic registry slice (driver.* and worker.*
+        // counters) agrees too — the snapshot path and the totals path
+        // are two views of the same counters.
+        let threaded_snap = threaded.metrics_snapshot().deterministic();
+        let tcp_snap = tcp.metrics_snapshot().deterministic();
+        assert_eq!(
+            threaded_snap, tcp_snap,
+            "{} {opt:?} x{workers}: deterministic metrics snapshot diverged",
+            q.id
+        );
+        assert!(
+            threaded_snap.counter("worker.instructions") > 0,
+            "{}: worker.instructions missing from the snapshot",
+            q.id
+        );
+
+        // Stats gathers are tagged requests like any other: after the
+        // gather the ledger owes nothing (no unconsumed StatsReply).
+        assert_eq!(threaded.outstanding_replies(), 0);
+        assert_eq!(tcp.outstanding_replies(), 0);
+    }
+}
+
+/// Pipelined mode with a *fixed* coalescing bound (adaptive tuning and
+/// latency targets are wall-clock-driven, hence excluded): same
+/// admission stream, same coalesced schedule, same totals on both
+/// backends — and repeated gathers stay in agreement (each round adds
+/// exactly `workers` requests and replies on each side).
+#[test]
+fn telemetry_totals_agree_pipelined_fixed_coalesce() {
+    let workers = workers_under_test();
+    let q = query("Q3").unwrap();
+    let stream = seeded_stream(&q, 140, 0xD06);
+    let batches = stream.batches(8);
+    let config = PipelineConfig {
+        coalesce_tuples: 4096,
+        admit_capacity: 4,
+        ..Default::default()
+    };
+
+    let mut threaded =
+        ThreadedCluster::pipelined(compile_for(&q, OptLevel::O3), workers, config.clone());
+    let mut tcp = TcpCluster::pipelined(
+        compile_for(&q, OptLevel::O3),
+        &TcpConfig::from_env(workers),
+        config,
+    )
+    .expect("tcp cluster");
+    threaded.apply_stream(&batches);
+    tcp.apply_stream(&batches);
+
+    let first = (threaded.telemetry_totals(), tcp.telemetry_totals());
+    assert_eq!(
+        first.0, first.1,
+        "pipelined totals diverged threaded vs TCP"
+    );
+    assert!(first.0.instructions > 0);
+
+    let second = (threaded.telemetry_totals(), tcp.telemetry_totals());
+    assert_eq!(second.0, second.1, "repeated gathers diverged");
+    assert_eq!(
+        second.0.messages_sent,
+        first.0.messages_sent + workers as u64,
+        "a stats gather costs exactly one request per worker"
+    );
+    assert_eq!(threaded.outstanding_replies(), 0);
+    assert_eq!(tcp.outstanding_replies(), 0);
+}
+
+/// The per-worker cardinalities riding in the stats snapshot describe
+/// real partitioned state: summed across workers they match the
+/// cluster-wide view cardinality for distributed views.
+#[test]
+fn worker_cardinalities_are_live() {
+    let workers = workers_under_test();
+    let q = query("Q3").unwrap();
+    let stream = seeded_stream(&q, 120, 0xCA8D);
+    let batches = stream.batches(16);
+    let mut threaded = ThreadedCluster::new(compile_for(&q, OptLevel::O3), workers);
+    threaded.apply_stream(&batches);
+    let totals = threaded.telemetry_totals();
+    assert_eq!(totals.per_worker.len(), workers);
+    let held: u64 = totals
+        .per_worker
+        .iter()
+        .flat_map(|w| w.cardinalities.iter().map(|(_, n)| *n))
+        .sum();
+    assert!(held > 0, "workers hold no view partitions after a stream");
+}
