@@ -57,17 +57,20 @@ pub mod prelude {
     };
     pub use hotdog_distributed::{
         compile_distributed, Backend, Cluster, ClusterConfig, DistributedPlan, LocTag, OptLevel,
-        PartitionFn, PartitioningSpec, WorkerState, WorkerStats, WorkerStatsSnapshot,
+        PartitionFn, PartitioningSpec, WorkerSnapshot, WorkerState, WorkerStats,
+        WorkerStatsSnapshot,
     };
     pub use hotdog_exec::{BatchStats, Database, ExecMode, LocalEngine};
     pub use hotdog_ivm::{
         compile, compile_classical, compile_recursive, compile_reevaluation, delta, extract_domain,
         MaintenancePlan, Strategy,
     };
-    pub use hotdog_net::{TcpCluster, TcpConfig, WorkerSpawn};
+    pub use hotdog_net::{
+        FaultKind, FaultPlan, KillSpec, Phase, TcpCluster, TcpConfig, WorkerSpawn,
+    };
     pub use hotdog_runtime::{
-        AdaptiveConfig, ChannelTransport, CoalesceController, Driver, PipelineConfig,
-        PipelineStats, TelemetryTotals, ThreadedCluster, Transport,
+        AdaptiveConfig, ChannelTransport, CoalesceController, Driver, FaultConfig, PipelineConfig,
+        PipelineStats, RecoveryMode, TelemetryTotals, ThreadedCluster, Transport, WorkerDead,
     };
     pub use hotdog_storage::{ColumnarBatch, RecordPool};
     pub use hotdog_telemetry::{FlightRecorder, MetricsSnapshot, Registry, Telemetry};

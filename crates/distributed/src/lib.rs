@@ -44,4 +44,6 @@ pub use program::{
     Transform, TriggerProgram,
 };
 pub use protocol::{handle_request, WorkerReply, WorkerRequest};
-pub use worker::{NodeCatalog, Temps, WorkerState, WorkerStats, WorkerStatsSnapshot};
+pub use worker::{
+    NodeCatalog, Temps, WorkerSnapshot, WorkerState, WorkerStats, WorkerStatsSnapshot,
+};

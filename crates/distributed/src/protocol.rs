@@ -25,7 +25,7 @@
 //!   completions of the in-flight window settle whenever they arrive.
 
 use crate::program::DistStatement;
-use crate::worker::{WorkerState, WorkerStatsSnapshot};
+use crate::worker::{WorkerSnapshot, WorkerState, WorkerStatsSnapshot};
 use hotdog_algebra::eval::EvalCounters;
 use hotdog_algebra::relation::Relation;
 use std::collections::HashMap;
@@ -63,6 +63,27 @@ pub enum WorkerRequest {
     /// cardinalities (the telemetry gather; command FIFO means the
     /// snapshot reflects every previously enqueued command).
     Stats { id: u64 },
+    /// Liveness probe: answered immediately with a `Pong` echoing the id.
+    /// Heartbeats are a *transport* concern — the TCP transport injects
+    /// Pings below the driver's accounting chokepoint and consumes the
+    /// Pongs itself — but the message rides the shared protocol so every
+    /// backend's worker loop answers it identically.
+    Ping { id: u64 },
+    /// Checkpoint epoch: canonicalize this node's state (the epoch barrier
+    /// that makes restored and surviving nodes bit-identical) and reply
+    /// with a `Checkpoint` carrying the node's [`WorkerSnapshot`].  With
+    /// `ship: false` (the driver re-scatters from its own canonical views
+    /// on recovery) the reply's snapshot carries only the work counters,
+    /// not the relations.
+    Checkpoint { id: u64, ship: bool },
+    /// Reset this node to a previously checkpointed state (or to empty,
+    /// for a respawned worker with no checkpoint yet); answered with an
+    /// `Ack`.  Command FIFO means every stale in-flight command lands
+    /// before the `Restore`, and its effects are wiped by it.
+    Restore {
+        id: u64,
+        snapshot: Box<WorkerSnapshot>,
+    },
     /// Exit the worker loop.
     Shutdown,
 }
@@ -85,6 +106,13 @@ pub enum WorkerReply {
     Stats {
         id: u64,
         snapshot: WorkerStatsSnapshot,
+    },
+    Pong {
+        id: u64,
+    },
+    Checkpoint {
+        id: u64,
+        snapshot: Box<WorkerSnapshot>,
     },
 }
 
@@ -130,6 +158,26 @@ pub fn handle_request(state: &mut WorkerState, request: WorkerRequest) -> Option
             id,
             snapshot: state.stats_snapshot(),
         }),
+        WorkerRequest::Ping { id } => Some(WorkerReply::Pong { id }),
+        WorkerRequest::Checkpoint { id, ship } => {
+            state.canonicalize();
+            let snapshot = if ship {
+                state.snapshot_state()
+            } else {
+                WorkerSnapshot {
+                    stats: state.stats,
+                    ..WorkerSnapshot::default()
+                }
+            };
+            Some(WorkerReply::Checkpoint {
+                id,
+                snapshot: Box::new(snapshot),
+            })
+        }
+        WorkerRequest::Restore { id, snapshot } => {
+            state.restore_state(&snapshot);
+            Some(WorkerReply::Ack { id })
+        }
         WorkerRequest::Shutdown => None,
     }
 }

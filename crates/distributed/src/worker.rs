@@ -58,6 +58,26 @@ pub struct WorkerStatsSnapshot {
     pub cardinalities: Vec<(String, u64)>,
 }
 
+/// A full serializable image of one node's state: every view partition and
+/// exchange buffer in **canonical** (sorted-content) form, plus the work
+/// counters — the payload of the fault-tolerance `Checkpoint`/`Restore`
+/// protocol round.
+///
+/// Both vectors are sorted by name so the encoded bytes are a pure function
+/// of the state, and every relation is [`Relation::canonical`] so a node
+/// rebuilt from a snapshot lands in exactly the layout the checkpoint
+/// epoch's canonicalization barrier left the original node in (see
+/// [`WorkerState::canonicalize`]).
+#[derive(Clone, Debug, Default)]
+pub struct WorkerSnapshot {
+    /// `(view name, canonical partition contents)`, sorted by name.
+    pub views: Vec<(String, Relation)>,
+    /// `(temp name, canonical buffer contents)`, sorted by name.
+    pub temps: Vec<(String, Relation)>,
+    /// The node's cumulative work counters at the checkpoint cut.
+    pub stats: WorkerStats,
+}
+
 /// The state of one node (driver or worker): its partition of the
 /// materialized views and its exchange buffers.
 #[derive(Debug)]
@@ -97,6 +117,68 @@ impl WorkerState {
             stats: self.stats,
             cardinalities,
         }
+    }
+
+    /// Rebuild this node's state in canonical layout — the **epoch
+    /// barrier** of the fault-tolerant runtime.  Every view pool is rebuilt
+    /// from scratch in sorted-content order and every exchange buffer is
+    /// replaced by its canonical twin, making all subsequent scan-order-
+    /// dependent float arithmetic a pure function of *contents* rather than
+    /// of the node's insertion history.  A node restored from a
+    /// [`WorkerSnapshot`] taken at this cut is bit-identical to a node that
+    /// canonicalized and kept running — which is what lets the recovery
+    /// oracle assert exact equality instead of epsilon closeness.
+    pub fn canonicalize(&mut self) {
+        self.db.canonicalize();
+        for rel in self.temps.values_mut() {
+            *rel = rel.canonical();
+        }
+    }
+
+    /// Freeze this node's full state as a canonical [`WorkerSnapshot`]
+    /// (the payload of a `Checkpoint` protocol reply).
+    pub fn snapshot_state(&self) -> WorkerSnapshot {
+        let mut views: Vec<(String, Relation)> = self
+            .views
+            .iter()
+            .map(|v| (v.clone(), self.db.snapshot(v).canonical()))
+            .collect();
+        views.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut temps: Vec<(String, Relation)> = self
+            .temps
+            .iter()
+            .map(|(k, r)| (k.clone(), r.canonical()))
+            .collect();
+        temps.sort_by(|a, b| a.0.cmp(&b.0));
+        WorkerSnapshot {
+            views,
+            temps,
+            stats: self.stats,
+        }
+    }
+
+    /// Reset this node to the state captured in `snapshot` (the handler of
+    /// a `Restore` protocol request).  Views absent from the snapshot are
+    /// emptied; every pool is rebuilt from scratch in canonical order, so
+    /// the restored node's layout is bit-identical to the snapshotted
+    /// node's post-[`canonicalize`](WorkerState::canonicalize) layout.
+    pub fn restore_state(&mut self, snapshot: &WorkerSnapshot) {
+        let names: Vec<String> = self.views.iter().cloned().collect();
+        for v in names {
+            match snapshot.views.iter().find(|(n, _)| *n == v) {
+                Some((_, rel)) => self.db.rebuild(&v, &rel.canonical()),
+                None => {
+                    let schema = self.db.schema(&v).cloned().unwrap_or_default();
+                    self.db.rebuild(&v, &Relation::new(schema));
+                }
+            }
+        }
+        self.temps = snapshot
+            .temps
+            .iter()
+            .map(|(k, r)| (k.clone(), r.canonical()))
+            .collect();
+        self.stats = snapshot.stats;
     }
 
     /// Execute one `Compute` statement against this node's state and apply

@@ -79,6 +79,43 @@ impl Database {
         }
     }
 
+    /// Rebuild a view's pool **from scratch** with the given contents: a
+    /// fresh slab (no free-list history, no inherited capacity) populated in
+    /// `contents`' iteration order, with the same secondary indexes.
+    ///
+    /// This is the restore/canonicalization primitive of the fault-tolerant
+    /// runtime.  [`Database::replace`] deliberately recycles the existing
+    /// slab (its `clear` refills the free list, so re-inserts fill slots
+    /// top-down), which makes the resulting slot order — and therefore scan
+    /// order, and therefore float accumulation in later batches — a function
+    /// of the pool's entire history.  `rebuild` makes it a pure function of
+    /// `contents`: feeding it the same canonical relation always produces
+    /// bit-identical scan order, no matter what the pool held before.
+    pub fn rebuild(&mut self, view: &str, contents: &Relation) {
+        if let Some(pool) = self.pools.get_mut(view) {
+            let mut fresh =
+                RecordPool::with_secondary_indexes(pool.arity(), &pool.secondary_index_specs());
+            for (t, m) in contents.iter() {
+                fresh.update(t.clone(), m);
+            }
+            *pool = fresh;
+        }
+    }
+
+    /// Rebuild every pool in canonical (sorted-content) layout: the
+    /// epoch barrier of the fault-tolerant runtime.  After `canonicalize`,
+    /// each pool's slot order is a pure function of its *contents*, so a
+    /// node restored from a canonical snapshot and a node that simply kept
+    /// running agree bit-for-bit on all subsequent scan-order-dependent
+    /// float arithmetic.
+    pub fn canonicalize(&mut self) {
+        let views: Vec<String> = self.pools.keys().cloned().collect();
+        for v in views {
+            let canon = self.snapshot(&v).canonical();
+            self.rebuild(&v, &canon);
+        }
+    }
+
     /// Merge a relation into a view (`+=`).
     pub fn merge(&mut self, view: &str, contents: &Relation) {
         if let Some(pool) = self.pools.get_mut(view) {

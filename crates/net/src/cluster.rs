@@ -20,18 +20,20 @@
 //! oracle holds `TcpCluster` bit-for-bit against the simulated cluster.
 
 use crate::codec::{decode_from_slice, encode_to_vec, ToDriver, ToWorker};
+use crate::faults::{FaultPlan, FaultState, KillSpec, Phase};
 use crate::frame::{read_frame, recv_msg, send_payload};
 use hotdog_algebra::relation::Relation;
 use hotdog_distributed::protocol::{WorkerReply, WorkerRequest};
 use hotdog_distributed::{Backend, BatchExecution, ClusterTotals, DistributedPlan, PipelineStats};
-use hotdog_runtime::{Driver, PipelineConfig, Transport, TransportNames};
+use hotdog_runtime::{Driver, PipelineConfig, Transport, TransportNames, WorkerDead};
 use hotdog_telemetry::{Counter, Histogram, Telemetry};
 use std::io::{self, BufReader};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::ops::{Deref, DerefMut};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, TryRecvError};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -72,6 +74,22 @@ pub struct TcpConfig {
     pub worker_bin: Option<PathBuf>,
     /// How long to wait for all workers to connect and handshake.
     pub accept_timeout: Duration,
+    /// How long a worker may stay silent while a reply is awaited before
+    /// the transport probes it with a `Ping` (and starts counting missed
+    /// heartbeats).  `Duration::ZERO` disables failure detection: `recv`
+    /// blocks forever, as the pre-heartbeat transport did.
+    ///
+    /// Workers run a single-threaded event loop, so a worker deep in one
+    /// long block answers no pings until it finishes — size the budget
+    /// (`heartbeat_interval * heartbeat_misses`) above the longest block
+    /// you expect, not above the network round-trip.
+    pub heartbeat_interval: Duration,
+    /// Consecutive silent intervals after the first probe before the
+    /// worker is declared dead.
+    pub heartbeat_misses: u32,
+    /// Deterministic fault schedule evaluated at the transport's send
+    /// chokepoint (see [`crate::faults`]).  `None` injects nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for TcpConfig {
@@ -82,6 +100,9 @@ impl Default for TcpConfig {
             spawn: WorkerSpawn::Subprocess,
             worker_bin: None,
             accept_timeout: Duration::from_secs(30),
+            heartbeat_interval: Duration::from_secs(2),
+            heartbeat_misses: 5,
+            faults: None,
         }
     }
 }
@@ -100,18 +121,49 @@ impl TcpConfig {
         self
     }
 
-    /// Config honouring the `HOTDOG_TCP_SPAWN` environment knob:
-    /// `thread` swaps worker subprocesses for in-process socket threads
-    /// (identical wire path, no process isolation) on hosts where
-    /// spawning is unavailable; anything else keeps the subprocess
-    /// default.  The single home for the knob, shared by the
-    /// differential suites and the benches.
+    /// Builder-style failure-detection knobs (interval `ZERO` disables).
+    pub fn with_heartbeat(mut self, interval: Duration, misses: u32) -> Self {
+        self.heartbeat_interval = interval;
+        self.heartbeat_misses = misses;
+        self
+    }
+
+    /// Builder-style fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Config honouring the environment knobs — the single home for
+    /// them, shared by the differential suites and the benches:
+    ///
+    /// * `HOTDOG_TCP_SPAWN=thread` swaps worker subprocesses for
+    ///   in-process socket threads (identical wire path, no process
+    ///   isolation) on hosts where spawning is unavailable;
+    /// * `HOTDOG_HEARTBEAT_MS` / `HOTDOG_HEARTBEAT_MISSES` tune failure
+    ///   detection (`HOTDOG_HEARTBEAT_MS=0` disables it);
+    /// * `HOTDOG_FAULT` installs a deterministic kill schedule (see
+    ///   [`FaultPlan::parse`] for the syntax) — malformed values panic
+    ///   rather than silently running fault-free.
     pub fn from_env(workers: usize) -> Self {
         let spawn = match std::env::var("HOTDOG_TCP_SPAWN").as_deref() {
             Ok("thread") => WorkerSpawn::Thread,
             _ => WorkerSpawn::Subprocess,
         };
-        TcpConfig::with_workers(workers).with_spawn(spawn)
+        let mut config = TcpConfig::with_workers(workers).with_spawn(spawn);
+        if let Ok(ms) = std::env::var("HOTDOG_HEARTBEAT_MS") {
+            config.heartbeat_interval = Duration::from_millis(
+                ms.parse()
+                    .unwrap_or_else(|e| panic!("invalid HOTDOG_HEARTBEAT_MS={ms:?}: {e}")),
+            );
+        }
+        if let Ok(n) = std::env::var("HOTDOG_HEARTBEAT_MISSES") {
+            config.heartbeat_misses = n
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid HOTDOG_HEARTBEAT_MISSES={n:?}: {e}"));
+        }
+        config.faults = FaultPlan::from_env(workers);
+        config
     }
 }
 
@@ -154,6 +206,13 @@ struct NetMetrics {
     frames_received: Arc<Counter>,
     bytes_received: Arc<Counter>,
     rejected_connections: Arc<Counter>,
+    /// Silent heartbeat intervals observed.  Registered under the
+    /// `worker.*` prefix but wall-clock valued, so it is excluded from
+    /// the deterministic cross-backend snapshot by name (see
+    /// `MetricsSnapshot::deterministic`).
+    heartbeat_missed: Arc<Counter>,
+    /// Kill specs fired by the fault-injection schedule.
+    fault_injected: Arc<Counter>,
     encode_micros: Arc<Histogram>,
     decode_micros: Arc<Histogram>,
 }
@@ -166,6 +225,8 @@ impl NetMetrics {
             frames_received: t.counter("net.frames.received"),
             bytes_received: t.counter("net.bytes.received"),
             rejected_connections: t.counter("net.rejected_connections"),
+            heartbeat_missed: t.counter("worker.heartbeat_missed"),
+            fault_injected: t.counter("fault.injected"),
             encode_micros: t.histogram("net.encode_micros"),
             decode_micros: t.histogram("net.decode_micros"),
         }
@@ -186,18 +247,41 @@ struct WorkerConn {
     child: Option<Child>,
     /// In-process serve thread (thread mode only).
     serve_thread: Option<JoinHandle<()>>,
+    /// Pongs observed by the reader thread (heartbeat answers are
+    /// transport-private: counted here, never surfaced to the driver).
+    pongs: Arc<AtomicU64>,
+    /// Declared dead (heartbeat timeout, closed connection or injected
+    /// fault).  Every subsequent operation fast-fails with the typed
+    /// error until [`Transport::respawn`] replaces the connection.
+    dead: bool,
 }
 
 /// [`Transport`] implementation over per-worker TCP connections.
 pub struct TcpTransport {
     conns: Vec<WorkerConn>,
     shut: bool,
+    /// Retained so dead workers can be respawned: replacements connect
+    /// to the same address the original cluster handshook on.
+    listener: TcpListener,
+    config: TcpConfig,
+    /// The encoded `Init{plan}` frame, kept for replays to respawned
+    /// workers (encode once, ship per (re)connection).
+    init: Vec<u8>,
+    faults: FaultState,
+    ping_seq: u64,
     /// The transport's telemetry sink.  The generic `Driver` *adopts* it
     /// (via [`Transport::telemetry`]) so wire counters and scheduler
     /// counters land in one registry.
     telemetry: Arc<Telemetry>,
     metrics: NetMetrics,
 }
+
+/// Request ids for transport-injected `Ping`s live in their own half of
+/// the id space so they can never collide with the driver's ledger ids
+/// (the driver allocates from 0 upward and consumes no `Pong`s anyway —
+/// the reader thread filters them — but disjoint id spaces make the
+/// invariant structural).
+const PING_ID_BASE: u64 = 1 << 63;
 
 impl TcpTransport {
     /// Bind, start workers per `config`, collect and handshake all
@@ -381,69 +465,94 @@ impl TcpTransport {
         });
         let mut conns = Vec::with_capacity(config.workers);
         for (i, slot) in slots.into_iter().enumerate() {
-            let (mut stream, mut reader) = slot.expect("slot filled");
+            let (mut stream, reader) = slot.expect("slot filled");
             send_payload(&mut stream, &init)?;
-            let (tx, rx): (Sender<WorkerReply>, Receiver<WorkerReply>) = channel();
-            let t = telemetry.clone();
-            let m = metrics.clone();
-            let handle = thread::Builder::new()
-                .name(format!("hotdog-tcp-reader-{i}"))
-                .spawn(move || loop {
-                    // EOF (or our own shutdown) closes the inbox by
-                    // dropping the sender; the driver sees a disconnected
-                    // channel and panics loudly if it still expected
-                    // replies.
-                    let Ok(payload) = read_frame(&mut reader) else {
-                        return;
-                    };
-                    m.frames_received.inc();
-                    m.bytes_received.add(payload.len() as u64 + 4);
-                    let decode_start = Instant::now();
-                    let msg = decode_from_slice::<ToDriver>(&payload);
-                    m.decode_micros.record_duration(decode_start.elapsed());
-                    match msg {
-                        Ok(ToDriver::Reply(rep)) => {
-                            if tx.send(rep).is_err() {
-                                return; // driver gone
-                            }
-                        }
-                        Ok(ToDriver::Hello { .. }) => {
-                            t.event(
-                                "net.protocol_error",
-                                vec![
-                                    ("worker", i.into()),
-                                    ("error", "unexpected Hello after handshake".into()),
-                                ],
-                            );
-                            return;
-                        }
-                        Err(e) => {
-                            t.event(
-                                "net.protocol_error",
-                                vec![
-                                    ("worker", i.into()),
-                                    ("error", format!("bad frame: {e}").into()),
-                                ],
-                            );
-                            return;
-                        }
-                    }
-                })
-                .expect("failed to spawn reader thread");
+            let (handle, rx, pongs) = Self::spawn_reader(i, reader, telemetry, metrics);
             conns.push(WorkerConn {
                 stream,
                 inbox: rx,
                 reader: Some(handle),
                 child: children[i].take(),
                 serve_thread: serve_threads[i].take(),
+                pongs,
+                dead: false,
             });
         }
+        let faults = FaultState::new(config.faults.clone().unwrap_or_default());
         Ok(TcpTransport {
             conns,
             shut: false,
+            listener,
+            config: config.clone(),
+            init,
+            faults,
+            ping_seq: 0,
             telemetry: telemetry.clone(),
             metrics: metrics.clone(),
         })
+    }
+
+    /// Spawn the reply-pump thread for one connection.  EOF (or our own
+    /// shutdown) closes the inbox by dropping the sender; the driver sees
+    /// a disconnected channel and reports the typed [`WorkerDead`] if it
+    /// still expected replies.  `Pong`s are counted into `pongs` and
+    /// dropped — heartbeat answers never reach the driver's accounting.
+    #[allow(clippy::type_complexity)]
+    fn spawn_reader(
+        i: usize,
+        mut reader: BufReader<TcpStream>,
+        telemetry: &Arc<Telemetry>,
+        metrics: &NetMetrics,
+    ) -> (JoinHandle<()>, Receiver<WorkerReply>, Arc<AtomicU64>) {
+        let (tx, rx) = channel();
+        let pongs = Arc::new(AtomicU64::new(0));
+        let t = telemetry.clone();
+        let m = metrics.clone();
+        let p = pongs.clone();
+        let handle = thread::Builder::new()
+            .name(format!("hotdog-tcp-reader-{i}"))
+            .spawn(move || loop {
+                let Ok(payload) = read_frame(&mut reader) else {
+                    return;
+                };
+                m.frames_received.inc();
+                m.bytes_received.add(payload.len() as u64 + 4);
+                let decode_start = Instant::now();
+                let msg = decode_from_slice::<ToDriver>(&payload);
+                m.decode_micros.record_duration(decode_start.elapsed());
+                match msg {
+                    Ok(ToDriver::Reply(WorkerReply::Pong { .. })) => {
+                        p.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(ToDriver::Reply(rep)) => {
+                        if tx.send(rep).is_err() {
+                            return; // driver gone
+                        }
+                    }
+                    Ok(ToDriver::Hello { .. }) => {
+                        t.event(
+                            "net.protocol_error",
+                            vec![
+                                ("worker", i.into()),
+                                ("error", "unexpected Hello after handshake".into()),
+                            ],
+                        );
+                        return;
+                    }
+                    Err(e) => {
+                        t.event(
+                            "net.protocol_error",
+                            vec![
+                                ("worker", i.into()),
+                                ("error", format!("bad frame: {e}").into()),
+                            ],
+                        );
+                        return;
+                    }
+                }
+            })
+            .expect("failed to spawn reader thread");
+        (handle, rx, pongs)
     }
 
     /// Handshake one accepted connection: read its `Hello` under a bounded
@@ -479,6 +588,235 @@ impl TcpTransport {
         }
         Ok((index, stream, reader))
     }
+
+    /// [`TcpTransport::handshake`] for a respawn: only a `Hello`
+    /// announcing exactly `expected` passes — every live slot is
+    /// occupied, so any other index is bad or a duplicate.
+    fn handshake_one(
+        stream: TcpStream,
+        expected: usize,
+    ) -> io::Result<(TcpStream, BufReader<TcpStream>)> {
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let index = match recv_msg::<ToDriver>(&mut reader)? {
+            ToDriver::Hello { index } => index as usize,
+            ToDriver::Reply(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "protocol error: reply before Hello",
+                ))
+            }
+        };
+        stream.set_read_timeout(None)?;
+        if index != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected respawned worker {expected}, got Hello{{{index}}}"),
+            ));
+        }
+        Ok((stream, reader))
+    }
+
+    /// Mark worker `w` dead and fence it off: close the stream and kill
+    /// the subprocess (if any), so a worker that was merely slow cannot
+    /// come back and race its replacement.  Returns the typed error every
+    /// subsequent operation on the slot fast-fails with.
+    fn declare_dead(&mut self, w: usize, reason: &str) -> WorkerDead {
+        let conn = &mut self.conns[w];
+        if !conn.dead {
+            conn.dead = true;
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            if let Some(child) = conn.child.as_mut() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            self.telemetry.event(
+                "net.worker_dead",
+                vec![("worker", w.into()), ("reason", reason.into())],
+            );
+        }
+        WorkerDead {
+            index: w,
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Fire one kill spec: SIGKILL the subprocess (no cleanup, the
+    /// crash-model fault) and sever the stream (which also fells
+    /// thread-mode workers, whose event loop dies with its socket).
+    fn inject_kill(&mut self, spec: &KillSpec) {
+        self.metrics.fault_injected.inc();
+        self.telemetry.event(
+            "fault.injected",
+            vec![
+                ("worker", spec.worker.into()),
+                ("spec", spec.to_string().into()),
+            ],
+        );
+        self.declare_dead(spec.worker, &format!("fault injected: {spec}"));
+    }
+
+    /// Probe worker `w` with a transport-private `Ping` (bypasses fault
+    /// counting: ping traffic is wall-clock scheduled, so letting kill
+    /// specs fire on it would break the deterministic-kill-point
+    /// contract).
+    fn send_ping(&mut self, w: usize) -> io::Result<()> {
+        self.ping_seq += 1;
+        let payload = encode_to_vec(&ToWorker::Request(WorkerRequest::Ping {
+            id: PING_ID_BASE | self.ping_seq,
+        }));
+        self.metrics.frames_sent.inc();
+        self.metrics.bytes_sent.add(payload.len() as u64 + 4);
+        send_payload(&mut self.conns[w].stream, &payload)
+    }
+
+    /// Replace slot `w`'s endpoint: tear the old connection down, start a
+    /// replacement per the spawn mode (external mode just waits for a
+    /// reconnect), handshake it under the accept deadline, ship the
+    /// retained `Init` and restart the reply pump.  On success the slot
+    /// is live again (with empty worker state — the driver must follow
+    /// with a `Restore`).
+    fn respawn_inner(&mut self, w: usize) -> io::Result<()> {
+        {
+            let conn = &mut self.conns[w];
+            conn.dead = true;
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            if let Some(mut child) = conn.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            if let Some(handle) = conn.reader.take() {
+                let _ = handle.join();
+            }
+            if let Some(handle) = conn.serve_thread.take() {
+                let _ = handle.join();
+            }
+        }
+        let addr = self.listener.local_addr()?;
+        let mut child = None;
+        let mut serve_thread = None;
+        match self.config.spawn {
+            WorkerSpawn::Subprocess => {
+                let bin = worker_binary(&self.config)?;
+                let spawned = Command::new(&bin)
+                    .arg("--connect")
+                    .arg(addr.to_string())
+                    .arg("--index")
+                    .arg(w.to_string())
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::inherit())
+                    .spawn()
+                    .map_err(|e| {
+                        io::Error::new(e.kind(), format!("spawning {}: {e}", bin.display()))
+                    })?;
+                self.telemetry.event(
+                    "worker.spawned",
+                    vec![
+                        ("worker", w.into()),
+                        ("mode", "subprocess".into()),
+                        ("pid", u64::from(spawned.id()).into()),
+                    ],
+                );
+                child = Some(spawned);
+            }
+            WorkerSpawn::Thread => {
+                let addr = addr.to_string();
+                let t = self.telemetry.clone();
+                let handle = thread::Builder::new()
+                    .name(format!("hotdog-tcp-worker-{w}"))
+                    .spawn(move || {
+                        if let Err(e) = crate::worker::run_worker(&addr, w as u32) {
+                            t.event(
+                                "worker.error",
+                                vec![("worker", w.into()), ("error", e.to_string().into())],
+                            );
+                        }
+                    })
+                    .expect("failed to spawn worker thread");
+                self.telemetry.event(
+                    "worker.spawned",
+                    vec![("worker", w.into()), ("mode", "thread".into())],
+                );
+                serve_thread = Some(handle);
+            }
+            WorkerSpawn::External => {
+                self.telemetry.event(
+                    "net.waiting_external",
+                    vec![
+                        ("workers", 1u64.into()),
+                        ("addr", addr.to_string().into()),
+                        (
+                            "hint",
+                            format!("hotdog-worker --connect {addr} --index {w}").into(),
+                        ),
+                    ],
+                );
+            }
+        }
+
+        // Accept until *this* slot reconnects (other peers are rejected,
+        // as during construction), under the same deadline policy.
+        let deadline = Instant::now() + self.config.accept_timeout;
+        let (mut stream, reader) = loop {
+            if let Some(c) = child.as_mut() {
+                if let Some(status) = c.try_wait()? {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        format!("respawned worker {w} exited before connecting: {status}"),
+                    ));
+                }
+            }
+            match self.listener.accept() {
+                Ok((stream, peer)) => match Self::handshake_one(stream, w) {
+                    Ok((stream, reader)) => {
+                        self.telemetry.event(
+                            "worker.connected",
+                            vec![("worker", w.into()), ("peer", peer.to_string().into())],
+                        );
+                        break (stream, reader);
+                    }
+                    Err(e) => {
+                        self.metrics.rejected_connections.inc();
+                        self.telemetry.event(
+                            "net.connection_rejected",
+                            vec![
+                                ("peer", peer.to_string().into()),
+                                ("error", e.to_string().into()),
+                            ],
+                        );
+                    }
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "respawned worker {w} did not reconnect within {:?}",
+                                self.config.accept_timeout
+                            ),
+                        ));
+                    }
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        send_payload(&mut stream, &self.init)?;
+        let (handle, rx, pongs) = Self::spawn_reader(w, reader, &self.telemetry, &self.metrics);
+        self.conns[w] = WorkerConn {
+            stream,
+            inbox: rx,
+            reader: Some(handle),
+            child,
+            serve_thread,
+            pongs,
+            dead: false,
+        };
+        Ok(())
+    }
 }
 
 impl Transport for TcpTransport {
@@ -486,7 +824,23 @@ impl Transport for TcpTransport {
         self.conns.len()
     }
 
-    fn send(&mut self, w: usize, request: WorkerRequest) {
+    fn send(&mut self, w: usize, request: WorkerRequest) -> Result<(), WorkerDead> {
+        if self.conns[w].dead {
+            return Err(self.declare_dead(w, "previously declared dead"));
+        }
+        // The fault schedule counts at this chokepoint: a `before` kill
+        // fells the worker in place of the send (the message is never
+        // written), an `after` kill lets the send land first.
+        let fired = self.faults.on_send(w, &request);
+        if let Some(spec) = &fired {
+            if spec.phase == Phase::Before {
+                self.inject_kill(spec);
+                return Err(WorkerDead {
+                    index: w,
+                    reason: format!("fault injected: {spec}"),
+                });
+            }
+        }
         let encode_start = Instant::now();
         let payload = encode_to_vec(&ToWorker::Request(request));
         self.metrics
@@ -494,19 +848,89 @@ impl Transport for TcpTransport {
             .record_duration(encode_start.elapsed());
         self.metrics.frames_sent.inc();
         self.metrics.bytes_sent.add(payload.len() as u64 + 4);
-        send_payload(&mut self.conns[w].stream, &payload)
-            .unwrap_or_else(|e| panic!("tcp worker {w} died: {e}"));
+        if let Err(e) = send_payload(&mut self.conns[w].stream, &payload) {
+            return Err(self.declare_dead(w, &format!("send failed: {e}")));
+        }
+        if let Some(spec) = &fired {
+            // `after`: the command reached the socket; the crash is
+            // detected at the next interaction with the slot.
+            self.inject_kill(spec);
+        }
+        Ok(())
     }
 
-    fn recv(&mut self, w: usize) -> WorkerReply {
-        self.conns[w]
-            .inbox
-            .recv()
-            .unwrap_or_else(|_| panic!("tcp worker {w} died (connection closed)"))
+    fn recv(&mut self, w: usize) -> Result<WorkerReply, WorkerDead> {
+        if self.conns[w].dead {
+            return Err(self.declare_dead(w, "previously declared dead"));
+        }
+        let interval = self.config.heartbeat_interval;
+        if interval.is_zero() {
+            return match self.conns[w].inbox.recv() {
+                Ok(rep) => Ok(rep),
+                Err(_) => Err(self.declare_dead(w, "connection closed")),
+            };
+        }
+        // Failure detection below the driver's accounting chokepoint: a
+        // silent interval probes the worker with a `Ping`; the reader
+        // thread counts `Pong`s out-of-band.  A silent interval *after* a
+        // probe with no pong progress is a missed heartbeat; any reply or
+        // pong resets the count (the worker is slow, not gone).
+        let mut misses: u32 = 0;
+        let mut pinged = false;
+        let mut pongs_at_probe = 0u64;
+        loop {
+            match self.conns[w].inbox.recv_timeout(interval) {
+                Ok(rep) => return Ok(rep),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(self.declare_dead(w, "connection closed"))
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let pongs = self.conns[w].pongs.load(Ordering::Relaxed);
+                    if pinged && pongs == pongs_at_probe {
+                        misses += 1;
+                        self.metrics.heartbeat_missed.inc();
+                        self.telemetry.event(
+                            "worker.heartbeat_missed",
+                            vec![("worker", w.into()), ("misses", u64::from(misses).into())],
+                        );
+                        if misses >= self.config.heartbeat_misses.max(1) {
+                            return Err(self.declare_dead(
+                                w,
+                                &format!(
+                                    "heartbeat timeout ({misses} probes unanswered over {:?})",
+                                    interval * misses
+                                ),
+                            ));
+                        }
+                    } else if pinged {
+                        misses = 0; // pong progress: alive but busy
+                    }
+                    pongs_at_probe = pongs;
+                    pinged = true;
+                    if self.send_ping(w).is_err() {
+                        return Err(self.declare_dead(w, "connection closed (ping failed)"));
+                    }
+                }
+            }
+        }
     }
 
-    fn try_recv(&mut self, w: usize) -> Option<WorkerReply> {
-        self.conns[w].inbox.try_recv().ok()
+    fn try_recv(&mut self, w: usize) -> Result<Option<WorkerReply>, WorkerDead> {
+        if self.conns[w].dead {
+            return Err(self.declare_dead(w, "previously declared dead"));
+        }
+        match self.conns[w].inbox.try_recv() {
+            Ok(rep) => Ok(Some(rep)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(self.declare_dead(w, "connection closed")),
+        }
+    }
+
+    fn respawn(&mut self, w: usize) -> Result<(), WorkerDead> {
+        self.respawn_inner(w).map_err(|e| WorkerDead {
+            index: w,
+            reason: format!("respawn failed: {e}"),
+        })
     }
 
     fn shutdown(&mut self) {

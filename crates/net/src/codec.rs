@@ -35,7 +35,7 @@ use hotdog_algebra::tuple::Tuple;
 use hotdog_algebra::value::Value;
 use hotdog_distributed::program::{DistStatement, DistStmtKind, StmtMode, Transform};
 use hotdog_distributed::protocol::{WorkerReply, WorkerRequest};
-use hotdog_distributed::{PartitionFn, WorkerStats, WorkerStatsSnapshot};
+use hotdog_distributed::{PartitionFn, WorkerSnapshot, WorkerStats, WorkerStatsSnapshot};
 use hotdog_ivm::StmtOp;
 use hotdog_ivm::{MaintenancePlan, Statement, Strategy, Trigger, ViewDef};
 use std::collections::HashMap;
@@ -866,6 +866,21 @@ impl Wire for WorkerStatsSnapshot {
     }
 }
 
+impl Wire for WorkerSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.views.encode(out);
+        self.temps.encode(out);
+        self.stats.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(WorkerSnapshot {
+            views: Vec::decode(r)?,
+            temps: Vec::decode(r)?,
+            stats: WorkerStats::decode(r)?,
+        })
+    }
+}
+
 impl Wire for WorkerRequest {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -903,6 +918,20 @@ impl Wire for WorkerRequest {
                 out.push(6);
                 id.encode(out);
             }
+            WorkerRequest::Ping { id } => {
+                out.push(7);
+                id.encode(out);
+            }
+            WorkerRequest::Checkpoint { id, ship } => {
+                out.push(8);
+                id.encode(out);
+                ship.encode(out);
+            }
+            WorkerRequest::Restore { id, snapshot } => {
+                out.push(9);
+                id.encode(out);
+                snapshot.encode(out);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -930,6 +959,17 @@ impl Wire for WorkerRequest {
             5 => Ok(WorkerRequest::Shutdown),
             6 => Ok(WorkerRequest::Stats {
                 id: u64::decode(r)?,
+            }),
+            7 => Ok(WorkerRequest::Ping {
+                id: u64::decode(r)?,
+            }),
+            8 => Ok(WorkerRequest::Checkpoint {
+                id: u64::decode(r)?,
+                ship: bool::decode(r)?,
+            }),
+            9 => Ok(WorkerRequest::Restore {
+                id: u64::decode(r)?,
+                snapshot: Box::new(WorkerSnapshot::decode(r)?),
             }),
             tag => Err(DecodeError::BadTag {
                 what: "WorkerRequest",
@@ -961,6 +1001,15 @@ impl Wire for WorkerReply {
                 id.encode(out);
                 snapshot.encode(out);
             }
+            WorkerReply::Pong { id } => {
+                out.push(4);
+                id.encode(out);
+            }
+            WorkerReply::Checkpoint { id, snapshot } => {
+                out.push(5);
+                id.encode(out);
+                snapshot.encode(out);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -979,6 +1028,13 @@ impl Wire for WorkerReply {
             3 => Ok(WorkerReply::Stats {
                 id: u64::decode(r)?,
                 snapshot: WorkerStatsSnapshot::decode(r)?,
+            }),
+            4 => Ok(WorkerReply::Pong {
+                id: u64::decode(r)?,
+            }),
+            5 => Ok(WorkerReply::Checkpoint {
+                id: u64::decode(r)?,
+                snapshot: Box::new(WorkerSnapshot::decode(r)?),
             }),
             tag => Err(DecodeError::BadTag {
                 what: "WorkerReply",

@@ -36,10 +36,12 @@
 
 pub mod cluster;
 pub mod codec;
+pub mod faults;
 pub mod frame;
 pub mod worker;
 
 pub use cluster::{TcpCluster, TcpConfig, TcpTransport, WorkerSpawn};
 pub use codec::{decode_from_slice, encode_to_vec, DecodeError, Reader, Wire};
+pub use faults::{FaultKind, FaultPlan, FaultState, KillSpec, Phase};
 pub use frame::{read_frame, recv_msg, send_msg, write_frame, MAX_FRAME};
 pub use worker::{run_worker, serve};

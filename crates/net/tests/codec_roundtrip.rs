@@ -361,6 +361,169 @@ fn protocol_messages_roundtrip() {
     }
 }
 
+fn rand_snapshot(rng: &mut StdRng) -> hotdog_distributed::WorkerSnapshot {
+    use hotdog_distributed::{WorkerSnapshot, WorkerStats};
+    let names = ["Q", "part_R", "buf0", "Δbuf", "µ-view"];
+    let pick = |rng: &mut StdRng, n: usize| {
+        (0..n)
+            .map(|i| (names[i % names.len()].to_string(), rand_relation(rng)))
+            .collect::<Vec<_>>()
+    };
+    let views = rng.gen_range(0usize..4);
+    let temps = rng.gen_range(0usize..3);
+    WorkerSnapshot {
+        views: pick(rng, views),
+        temps: pick(rng, temps),
+        stats: WorkerStats {
+            blocks_run: rng.next_u64(),
+            statements: rng.next_u64(),
+            instructions: rng.next_u64(),
+            applies: rng.next_u64(),
+            tuples_applied: rng.next_u64(),
+        },
+    }
+}
+
+fn assert_snapshots_bit_equal(
+    a: &hotdog_distributed::WorkerSnapshot,
+    b: &hotdog_distributed::WorkerSnapshot,
+) {
+    for (side, (xs, ys)) in [
+        ("views", (&a.views, &b.views)),
+        ("temps", (&a.temps, &b.temps)),
+    ] {
+        assert_eq!(xs.len(), ys.len(), "{side} count changed");
+        for ((xn, xr), (yn, yr)) in xs.iter().zip(ys) {
+            assert_eq!(xn, yn, "{side} name changed");
+            assert_eq!(xr.checksum(), yr.checksum(), "{side} {xn} bits changed");
+            assert!(xr.schema() == yr.schema(), "{side} {xn} schema changed");
+        }
+    }
+    assert_eq!(a.stats, b.stats);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fault-tolerance messages (`Ping`/`Pong`, `Checkpoint`,
+    /// `Restore`) round-trip bit-exactly — including snapshots whose
+    /// relations carry the adversarial floats — preserving request ids
+    /// across the full u64 range (transport-private ping ids live at
+    /// `1 << 63` and above).
+    #[test]
+    fn fault_tolerance_messages_roundtrip(seed in 1usize..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed as u64);
+        let id: u64 = match rng.gen_range(0usize..3) {
+            0 => rng.next_u64(),
+            1 => (1 << 63) | (rng.next_u64() % (1 << 20)),
+            _ => u64::MAX,
+        };
+
+        match decode_from_slice::<ToWorker>(&encode_to_vec(
+            &ToWorker::Request(WorkerRequest::Ping { id }),
+        )).unwrap() {
+            ToWorker::Request(WorkerRequest::Ping { id: rid }) => prop_assert_eq!(rid, id),
+            _ => panic!("wrong variant for Ping"),
+        }
+        match decode_from_slice::<ToDriver>(&encode_to_vec(
+            &ToDriver::Reply(WorkerReply::Pong { id }),
+        )).unwrap() {
+            ToDriver::Reply(WorkerReply::Pong { id: rid }) => prop_assert_eq!(rid, id),
+            _ => panic!("wrong variant for Pong"),
+        }
+
+        let ship = rng.gen_range(0usize..2) == 1;
+        match decode_from_slice::<ToWorker>(&encode_to_vec(
+            &ToWorker::Request(WorkerRequest::Checkpoint { id, ship }),
+        )).unwrap() {
+            ToWorker::Request(WorkerRequest::Checkpoint { id: rid, ship: rship }) => {
+                prop_assert_eq!(rid, id);
+                prop_assert_eq!(rship, ship);
+            }
+            _ => panic!("wrong variant for Checkpoint"),
+        }
+
+        let snapshot = rand_snapshot(&mut rng);
+        match decode_from_slice::<ToWorker>(&encode_to_vec(
+            &ToWorker::Request(WorkerRequest::Restore {
+                id,
+                snapshot: Box::new(snapshot.clone()),
+            }),
+        )).unwrap() {
+            ToWorker::Request(WorkerRequest::Restore { id: rid, snapshot: s }) => {
+                prop_assert_eq!(rid, id);
+                assert_snapshots_bit_equal(&snapshot, &s);
+            }
+            _ => panic!("wrong variant for Restore"),
+        }
+        match decode_from_slice::<ToDriver>(&encode_to_vec(
+            &ToDriver::Reply(WorkerReply::Checkpoint {
+                id,
+                snapshot: Box::new(snapshot.clone()),
+            }),
+        )).unwrap() {
+            ToDriver::Reply(WorkerReply::Checkpoint { id: rid, snapshot: s }) => {
+                prop_assert_eq!(rid, id);
+                assert_snapshots_bit_equal(&snapshot, &s);
+            }
+            _ => panic!("wrong variant for Checkpoint reply"),
+        }
+
+        // The O(1) byte accounting stays an under-approximation inside
+        // snapshots too: an encoded Restore can only be larger than the
+        // summed relation footprints it carries.
+        let encoded = encode_to_vec(&ToWorker::Request(WorkerRequest::Restore {
+            id,
+            snapshot: Box::new(snapshot.clone()),
+        }));
+        let footprint: usize = snapshot
+            .views
+            .iter()
+            .chain(&snapshot.temps)
+            .map(|(_, r)| r.serialized_size())
+            .sum();
+        prop_assert!(encoded.len() >= footprint);
+    }
+
+    /// Every strict prefix of an encoded `Restore` (the largest
+    /// fault-tolerance message) is rejected with an error — never a
+    /// panic, never a silent partial snapshot.
+    #[test]
+    fn truncated_restore_frames_are_rejected(seed in 1usize..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed as u64);
+        let msg = ToWorker::Request(WorkerRequest::Restore {
+            id: seed as u64,
+            snapshot: Box::new(rand_snapshot(&mut rng)),
+        });
+        let encoded = encode_to_vec(&msg);
+        // Bound the sweep: always the layout-sensitive head and tail,
+        // plus a seeded sample of interior cuts.
+        let cuts: Vec<usize> = (0..encoded.len().min(24))
+            .chain((0..24).map(|_| rng.gen_range(0..encoded.len())))
+            .chain(encoded.len().saturating_sub(8)..encoded.len())
+            .collect();
+        for cut in cuts {
+            prop_assert!(
+                decode_from_slice::<ToWorker>(&encoded[..cut]).is_err(),
+                "prefix of {cut}/{} bytes decoded successfully",
+                encoded.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupt_snapshot_frames_are_rejected() {
+    // An unknown request tag in place of Restore's must fail cleanly.
+    let mut encoded = encode_to_vec(&ToWorker::Request(WorkerRequest::Ping { id: 1 }));
+    let tag_pos = 1; // ToWorker tag byte, then the WorkerRequest tag
+    encoded[tag_pos] = 0xEE;
+    assert!(matches!(
+        decode_from_slice::<ToWorker>(&encoded),
+        Err(DecodeError::BadTag { .. })
+    ));
+}
+
 #[test]
 fn stats_messages_roundtrip() {
     use hotdog_distributed::{WorkerStats, WorkerStatsSnapshot};

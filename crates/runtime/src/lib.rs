@@ -110,14 +110,14 @@ use hotdog_distributed::protocol::{
 };
 use hotdog_distributed::{
     partition_shards, Backend, BatchExecution, ClusterTotals, DistStatement, DistStmtKind,
-    DistributedPlan, LocTag, PartitionFn, StmtMode, Transform, TriggerProgram, WorkerState,
-    WorkerStatsSnapshot,
+    DistributedPlan, LocTag, PartitionFn, StmtMode, Transform, TriggerProgram, WorkerSnapshot,
+    WorkerState, WorkerStatsSnapshot,
 };
 use hotdog_exec::relabel;
 use hotdog_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Telemetry};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -138,8 +138,10 @@ use std::time::{Duration, Instant};
 /// * [`Transport::recv`] blocks until one more reply from worker `w`
 ///   arrives, in arrival order; [`Transport::try_recv`] is its
 ///   non-blocking form;
-/// * a dead worker is a panic, not a silent stall — the differential
-///   suites want loud failures;
+/// * a dead worker is a **typed error**, never a panic and never a
+///   silent stall: `send`/`recv`/`try_recv` surface [`WorkerDead`] and
+///   the driver decides — recover it (when a [`FaultConfig`] is set and
+///   the transport can [`Transport::respawn`]) or propagate it;
 /// * [`Transport::shutdown`] is idempotent and must not hang on workers
 ///   that already exited.
 ///
@@ -149,11 +151,21 @@ pub trait Transport {
     /// Number of workers this transport reaches.
     fn workers(&self) -> usize;
     /// Enqueue one command to worker `w` (per-worker FIFO).
-    fn send(&mut self, w: usize, request: Request);
+    fn send(&mut self, w: usize, request: Request) -> Result<(), WorkerDead>;
     /// Block for the next reply from worker `w`.
-    fn recv(&mut self, w: usize) -> Reply;
+    fn recv(&mut self, w: usize) -> Result<Reply, WorkerDead>;
     /// The next reply from worker `w` if one has already arrived.
-    fn try_recv(&mut self, w: usize) -> Option<Reply>;
+    fn try_recv(&mut self, w: usize) -> Result<Option<Reply>, WorkerDead>;
+    /// Replace a dead worker `w` with a fresh, empty one (new process or
+    /// thread, re-handshaken, plan re-shipped).  The default refuses:
+    /// transports that cannot respawn report the worker as still dead,
+    /// and the driver surfaces the typed error instead of recovering.
+    fn respawn(&mut self, w: usize) -> Result<(), WorkerDead> {
+        Err(WorkerDead {
+            index: w,
+            reason: "transport cannot respawn workers".to_string(),
+        })
+    }
     /// Stop all workers (idempotent).
     fn shutdown(&mut self);
     /// Backend names a [`Driver`] over this transport reports, by mode.
@@ -175,6 +187,111 @@ pub struct TransportNames {
     pub sync: &'static str,
     pub pipelined: &'static str,
     pub fifo: &'static str,
+}
+
+/// A worker failed: its connection closed, its heartbeat deadline
+/// elapsed, or its channel endpoint hung up.  This is the typed form of
+/// every worker-death path — transports return it instead of panicking,
+/// and the driver either recovers (checkpoint restore + replay, see
+/// [`FaultConfig`]) or propagates it through the `try_*` API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerDead {
+    /// The worker slot that died.
+    pub index: usize,
+    /// Human-readable cause (I/O error, heartbeat timeout, hung-up
+    /// channel, refused respawn).
+    pub reason: String,
+}
+
+impl std::fmt::Display for WorkerDead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker {} died: {}", self.index, self.reason)
+    }
+}
+
+impl std::error::Error for WorkerDead {}
+
+/// How the driver rebuilds a consistent cluster state after a worker
+/// death (see [`FaultConfig::mode`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Each checkpoint ships every worker's full [`WorkerSnapshot`]
+    /// (canonical view partitions, exchange buffers, work counters) to
+    /// the driver over the bit-preserving codec; recovery sends each
+    /// worker its own snapshot back in a `Restore`.  Exact, including
+    /// cross-batch exchange-buffer state.
+    Checkpoint,
+    /// Each checkpoint keeps only the workers' counters (`ship: false`)
+    /// and gathers every worker-resident view partition driver-side via
+    /// `Snapshot` fetches; recovery re-scatters those partitions.
+    /// Exchange buffers are *not* checkpointed (restored empty) — valid
+    /// because every trigger program scatters into its buffers before
+    /// reading them, which the differential fault sweep holds.
+    Rescatter,
+}
+
+/// Worker fault tolerance for a [`Driver`]: periodic consistent
+/// checkpoints plus a bounded replay log, so a worker death rolls the
+/// cluster back to the last checkpoint cut and replays the logged
+/// batches — bit-identically (checkpoint epochs canonicalize every
+/// node's storage layout, so a restored pool and a surviving pool agree
+/// on all scan-order-dependent float arithmetic).
+///
+/// Configure it with [`Driver::set_fault_config`] **before the first
+/// batch**.  Runs with the same `FaultConfig` are bit-identical to each
+/// other whether faults fire or not; a run with fault tolerance
+/// *disabled* may differ in float ulps from an enabled run, because the
+/// checkpoint epochs themselves re-canonicalize storage.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Take a checkpoint every this many issued batches.  `0` never
+    /// checkpoints: recovery then restores every node to *empty* and
+    /// replays the entire logged stream.
+    pub checkpoint_every: u64,
+    /// What a checkpoint stores and how restore uses it.
+    pub mode: RecoveryMode,
+    /// Give up — surface the [`WorkerDead`] — after this many recovery
+    /// attempts over the driver's lifetime.
+    pub max_recoveries: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            checkpoint_every: 8,
+            mode: RecoveryMode::Checkpoint,
+            max_recoveries: 8,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Config checkpointing every `n` issued batches.
+    pub fn every(n: u64) -> Self {
+        FaultConfig {
+            checkpoint_every: n,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style recovery mode.
+    pub fn with_mode(mut self, mode: RecoveryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// One consistent cut: everything needed to roll the whole cluster —
+/// driver included — back to `issued` batches.
+struct CheckpointState {
+    /// Value of `Driver::issued` at the cut.
+    issued: u64,
+    /// Driver-resident state at the cut (canonical).
+    driver: WorkerSnapshot,
+    /// Per-worker state at the cut: full snapshots shipped by the
+    /// workers ([`RecoveryMode::Checkpoint`]) or rebuilt driver-side
+    /// from gathered view partitions ([`RecoveryMode::Rescatter`]).
+    workers: Vec<WorkerSnapshot>,
 }
 
 fn worker_loop(mut state: WorkerState, rx: Receiver<Request>, tx: Sender<Reply>) {
@@ -224,21 +341,34 @@ impl ChannelTransport {
     }
 }
 
+impl ChannelTransport {
+    fn dead(w: usize) -> WorkerDead {
+        WorkerDead {
+            index: w,
+            reason: "worker thread hung up its channel".to_string(),
+        }
+    }
+}
+
 impl Transport for ChannelTransport {
     fn workers(&self) -> usize {
         self.requests.len()
     }
 
-    fn send(&mut self, w: usize, request: Request) {
-        self.requests[w].send(request).expect("worker thread died");
+    fn send(&mut self, w: usize, request: Request) -> Result<(), WorkerDead> {
+        self.requests[w].send(request).map_err(|_| Self::dead(w))
     }
 
-    fn recv(&mut self, w: usize) -> Reply {
-        self.replies[w].recv().expect("worker thread died")
+    fn recv(&mut self, w: usize) -> Result<Reply, WorkerDead> {
+        self.replies[w].recv().map_err(|_| Self::dead(w))
     }
 
-    fn try_recv(&mut self, w: usize) -> Option<Reply> {
-        self.replies[w].try_recv().ok()
+    fn try_recv(&mut self, w: usize) -> Result<Option<Reply>, WorkerDead> {
+        match self.replies[w].try_recv() {
+            Ok(reply) => Ok(Some(reply)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(Self::dead(w)),
+        }
     }
 
     fn shutdown(&mut self) {
@@ -451,7 +581,16 @@ struct DriverMetrics {
     requests_snapshot: Arc<Counter>,
     requests_barrier: Arc<Counter>,
     requests_stats: Arc<Counter>,
+    requests_ping: Arc<Counter>,
+    requests_checkpoint: Arc<Counter>,
+    requests_restore: Arc<Counter>,
     replies_total: Arc<Counter>,
+    worker_respawned: Arc<Counter>,
+    worker_declared_dead: Arc<Counter>,
+    recovery_attempts: Arc<Counter>,
+    recovery_checkpoints: Arc<Counter>,
+    recovery_replayed: Arc<Counter>,
+    recovery_restored_workers: Arc<Counter>,
     batches_admitted: Arc<Counter>,
     batches_coalesced: Arc<Counter>,
     batches_executed: Arc<Counter>,
@@ -472,7 +611,23 @@ impl DriverMetrics {
             requests_snapshot: t.counter("driver.requests.snapshot"),
             requests_barrier: t.counter("driver.requests.barrier"),
             requests_stats: t.counter("driver.requests.stats"),
+            requests_ping: t.counter("driver.requests.ping"),
+            requests_checkpoint: t.counter("driver.requests.checkpoint"),
+            requests_restore: t.counter("driver.requests.restore"),
             replies_total: t.counter("driver.replies.total"),
+            // Registered at zero on every backend so the deterministic
+            // snapshot keeps key parity: in a fault-free run all of
+            // these stay zero everywhere, and under a fault plan their
+            // values are a function of the plan, not of the transport.
+            // (`worker.heartbeat_missed`, which *is* wall-clock-driven,
+            // is registered by the TCP transport and excluded from the
+            // deterministic slice by name.)
+            worker_respawned: t.counter("worker.respawned"),
+            worker_declared_dead: t.counter("worker.declared_dead"),
+            recovery_attempts: t.counter("recovery.attempts"),
+            recovery_checkpoints: t.counter("recovery.checkpoints"),
+            recovery_replayed: t.counter("recovery.replayed_batches"),
+            recovery_restored_workers: t.counter("recovery.restored_workers"),
             batches_admitted: t.counter("driver.batches.admitted"),
             batches_coalesced: t.counter("driver.batches.coalesced"),
             batches_executed: t.counter("driver.batches.executed"),
@@ -493,6 +648,13 @@ impl DriverMetrics {
             Request::Snapshot { .. } => self.requests_snapshot.inc(),
             Request::Barrier { .. } => self.requests_barrier.inc(),
             Request::Stats { .. } => self.requests_stats.inc(),
+            // The driver itself never sends Pings — heartbeats are a
+            // transport concern, injected below this chokepoint — so the
+            // counter deterministically stays zero; the arm exists for
+            // protocol completeness.
+            Request::Ping { .. } => self.requests_ping.inc(),
+            Request::Checkpoint { .. } => self.requests_checkpoint.inc(),
+            Request::Restore { .. } => self.requests_restore.inc(),
             // Shutdown travels through `Transport::shutdown`, never here.
             Request::Shutdown => {}
         }
@@ -609,6 +771,18 @@ pub struct Driver<T: Transport> {
     watermark: u64,
     /// First admission since the last `flush` (stream wall-clock origin).
     stream_start: Option<Instant>,
+    /// Worker fault tolerance (`None` disables it: a worker death then
+    /// surfaces as a typed [`WorkerDead`] error / panic).
+    fault: Option<FaultConfig>,
+    /// The last consistent cut (absent until the first checkpoint; an
+    /// absent checkpoint restores to *empty* and replays everything).
+    ckpt: Option<CheckpointState>,
+    /// Canonical-schema deltas issued since the last checkpoint, in
+    /// issue order — what recovery replays.  Empty when `fault` is off.
+    replay_log: Vec<(String, Relation)>,
+    /// Recovery attempts so far (bounded by
+    /// [`FaultConfig::max_recoveries`]).
+    recoveries: usize,
     /// Pipelined-ingestion counters (all zero in epoch-synchronous mode).
     pub stats: PipelineStats,
     /// Accumulated measured totals (same shape as the simulator's).
@@ -697,6 +871,10 @@ impl<T: Transport> Driver<T> {
             issued: 0,
             watermark: 0,
             stream_start: None,
+            fault: None,
+            ckpt: None,
+            replay_log: Vec::new(),
+            recoveries: 0,
             stats: PipelineStats::default(),
             totals: ClusterTotals::default(),
             telemetry,
@@ -755,9 +933,9 @@ impl<T: Transport> Driver<T> {
 
     /// The single driver→worker send chokepoint: counts the message by
     /// kind, then hands it to the transport.
-    fn send_to(&mut self, w: usize, request: Request) {
+    fn send_to(&mut self, w: usize, request: Request) -> Result<(), WorkerDead> {
         self.metrics.count_request(&request);
-        self.transport.send(w, request);
+        self.transport.send(w, request)
     }
 
     /// Stash one received reply in worker `w`'s inbox.  Under the
@@ -778,16 +956,18 @@ impl<T: Transport> Driver<T> {
 
     /// Move every already-arrived reply from worker `w`'s channel into its
     /// inbox without blocking.
-    fn pump(&mut self, w: usize) {
-        while let Some(reply) = self.transport.try_recv(w) {
+    fn pump(&mut self, w: usize) -> Result<(), WorkerDead> {
+        while let Some(reply) = self.transport.try_recv(w)? {
             self.stash_reply(w, reply);
         }
+        Ok(())
     }
 
     /// Block for one more reply from worker `w` and stash it.
-    fn recv_one(&mut self, w: usize) {
-        let reply = self.transport.recv(w);
+    fn recv_one(&mut self, w: usize) -> Result<(), WorkerDead> {
+        let reply = self.transport.recv(w)?;
         self.stash_reply(w, reply);
+        Ok(())
     }
 
     /// Settle every block completion currently in worker `w`'s inbox
@@ -817,36 +997,39 @@ impl<T: Transport> Driver<T> {
 
     /// Opportunistically settle whatever completions have already arrived
     /// from worker `w` (non-blocking).
-    fn settle_ready(&mut self, w: usize) {
-        self.pump(w);
+    fn settle_ready(&mut self, w: usize) -> Result<(), WorkerDead> {
+        self.pump(w)?;
         self.settle_completions(w);
+        Ok(())
     }
 
     /// Block until at least one of worker `w`'s pending block ids settles.
-    fn await_one_completion(&mut self, w: usize) {
+    fn await_one_completion(&mut self, w: usize) -> Result<(), WorkerDead> {
         let before = self.pending_blocks[w].len();
         debug_assert!(before > 0, "no pending block to await");
-        self.settle_ready(w);
+        self.settle_ready(w)?;
         while self.pending_blocks[w].len() >= before {
-            self.recv_one(w);
+            self.recv_one(w)?;
             self.settle_completions(w);
         }
+        Ok(())
     }
 
     /// Settle every pending block completion (all workers) — the full
     /// ledger drain used by watermark commits and the FIFO-compat
     /// schedule.
-    fn drain_pending_blocks(&mut self) {
+    fn drain_pending_blocks(&mut self) -> Result<(), WorkerDead> {
         for w in 0..self.workers {
             while !self.pending_blocks[w].is_empty() {
-                self.await_one_completion(w);
+                self.await_one_completion(w)?;
             }
         }
+        Ok(())
     }
 
     /// Wait for the relation reply tagged `id` from worker `w`, settling
     /// any block completions that arrive (or were shuffled) ahead of it.
-    fn await_rel(&mut self, w: usize, id: u64) -> Relation {
+    fn await_rel(&mut self, w: usize, id: u64) -> Result<Relation, WorkerDead> {
         loop {
             self.settle_completions(w);
             if let Some(pos) = self.inbox[w]
@@ -856,14 +1039,14 @@ impl<T: Transport> Driver<T> {
                 let Reply::Rel { rel, .. } = self.inbox[w].swap_remove(pos) else {
                     unreachable!()
                 };
-                return rel;
+                return Ok(rel);
             }
-            self.recv_one(w);
+            self.recv_one(w)?;
         }
     }
 
     /// Wait for the barrier acknowledgement tagged `id` from worker `w`.
-    fn await_ack(&mut self, w: usize, id: u64) {
+    fn await_ack(&mut self, w: usize, id: u64) -> Result<(), WorkerDead> {
         loop {
             self.settle_completions(w);
             if let Some(pos) = self.inbox[w]
@@ -871,18 +1054,35 @@ impl<T: Transport> Driver<T> {
                 .position(|r| matches!(r, Reply::Ack { id: rid } if *rid == id))
             {
                 self.inbox[w].swap_remove(pos);
-                return;
+                return Ok(());
             }
-            self.recv_one(w);
+            self.recv_one(w)?;
+        }
+    }
+
+    /// Wait for the checkpoint snapshot tagged `id` from worker `w`.
+    fn await_checkpoint(&mut self, w: usize, id: u64) -> Result<WorkerSnapshot, WorkerDead> {
+        loop {
+            self.settle_completions(w);
+            if let Some(pos) = self.inbox[w]
+                .iter()
+                .position(|r| matches!(r, Reply::Checkpoint { id: rid, .. } if *rid == id))
+            {
+                let Reply::Checkpoint { snapshot, .. } = self.inbox[w].swap_remove(pos) else {
+                    unreachable!()
+                };
+                return Ok(*snapshot);
+            }
+            self.recv_one(w)?;
         }
     }
 
     /// Ship worker `w`'s buffered scatter shards as one `ApplyMany`
     /// message.  Must run before any other command is sent to `w`, so the
     /// worker installs the shards first (command channels are FIFO).
-    fn ship_applies(&mut self, w: usize) {
+    fn ship_applies(&mut self, w: usize) -> Result<(), WorkerDead> {
         if self.pending_applies[w].is_empty() {
-            return;
+            return Ok(());
         }
         let applies = std::mem::take(&mut self.pending_applies[w]);
         self.stats.scatter_messages_sent += 1;
@@ -903,44 +1103,47 @@ impl<T: Transport> Driver<T> {
             ],
         );
         let id = self.fresh_request_id();
-        self.send_to(w, Request::ApplyMany { id, applies });
+        self.send_to(w, Request::ApplyMany { id, applies })?;
         self.applies_in_flight = true;
+        Ok(())
     }
 
     /// Ship every worker's buffered scatter shards.
-    fn ship_all_applies(&mut self) {
+    fn ship_all_applies(&mut self) -> Result<(), WorkerDead> {
         for w in 0..self.workers {
-            self.ship_applies(w);
+            self.ship_applies(w)?;
         }
+        Ok(())
     }
 
     /// Barrier every worker (drains trailing `ApplyMany`s), waiting on the
     /// tagged acknowledgements.
-    fn barrier_applies(&mut self) {
-        let ids: Vec<u64> = (0..self.workers)
-            .map(|w| {
-                let id = self.fresh_request_id();
-                self.send_to(w, Request::Barrier { id });
-                id
-            })
-            .collect();
+    fn barrier_applies(&mut self) -> Result<(), WorkerDead> {
+        let mut ids = Vec::with_capacity(self.workers);
+        for w in 0..self.workers {
+            let id = self.fresh_request_id();
+            self.send_to(w, Request::Barrier { id })?;
+            ids.push(id);
+        }
         for (w, id) in ids.into_iter().enumerate() {
-            self.await_ack(w, id);
+            self.await_ack(w, id)?;
         }
         self.applies_in_flight = false;
+        Ok(())
     }
 
     /// Commit the watermark: after this, every issued batch is fully
     /// applied on every node and safe to read.  Ships any buffered
     /// scatters, settles the whole request-id ledger and barriers trailing
     /// applies.
-    fn commit_watermark(&mut self) {
-        self.ship_all_applies();
-        self.drain_pending_blocks();
+    fn commit_watermark(&mut self) -> Result<(), WorkerDead> {
+        self.ship_all_applies()?;
+        self.drain_pending_blocks()?;
         if self.applies_in_flight {
-            self.barrier_applies();
+            self.barrier_applies()?;
         }
         self.watermark = self.issued;
+        Ok(())
     }
 
     /// The coalescing bound currently in force: the adaptive controller's
@@ -958,9 +1161,9 @@ impl<T: Transport> Driver<T> {
     /// read, so neither the queue nor a reader can outwait the staleness
     /// budget — but there is no background timer, so a fully quiescent
     /// stream holds its queue until the next admission, read or flush.
-    fn enforce_latency_target(&mut self) {
+    fn enforce_latency_target(&mut self) -> Result<(), WorkerDead> {
         let Some(target) = self.pipeline.as_ref().and_then(|c| c.latency_target) else {
-            return;
+            return Ok(());
         };
         // `>=` so a zero budget forces unconditionally, independent of
         // clock resolution (a coarse monotonic clock can report elapsed()
@@ -980,19 +1183,22 @@ impl<T: Transport> Driver<T> {
                     ),
                 ],
             );
-            self.execute_queue_front();
+            self.execute_queue_front()?;
             self.stats.executions_forced_by_latency += 1;
         }
+        Ok(())
     }
 
     /// Pop and execute the queue front, feeding the measured trigger back
-    /// to the adaptive controller.
-    fn execute_queue_front(&mut self) {
+    /// to the adaptive controller.  A worker death mid-execution leaves
+    /// the entry popped: it was logged before any message was issued, so
+    /// recovery replays it to completion rather than re-queueing it.
+    fn execute_queue_front(&mut self) -> Result<(), WorkerDead> {
         let Some(entry) = self.queue.pop_front() else {
-            return;
+            return Ok(());
         };
         self.queue_bytes -= entry.delta.serialized_size();
-        let stats = self.execute_canonical(&entry.relation, entry.delta, true);
+        let stats = self.execute_canonical(&entry.relation, entry.delta, true)?;
         if let Some(ctl) = self.controller.as_mut() {
             // Fold the worker interpreter work settled since the last
             // observation into the cost signal.  Completions settle
@@ -1018,22 +1224,44 @@ impl<T: Transport> Driver<T> {
                 );
             }
         }
+        Ok(())
     }
 
     /// Execute every queued batch, commit the watermark and fold the stream
     /// wall-clock into the totals.  After `flush`, reads observe the entire
     /// admitted stream.  No-op in epoch-synchronous mode.
+    ///
+    /// Recovers worker deaths per the [`FaultConfig`]; panics with the
+    /// typed [`WorkerDead`] message when recovery is disabled or
+    /// exhausted (use [`Driver::try_flush`] for the fallible form).
     pub fn flush(&mut self) {
-        while !self.queue.is_empty() {
-            self.execute_queue_front();
+        self.try_flush()
+            .unwrap_or_else(|dead| panic!("{dead} (recovery unavailable)"));
+    }
+
+    /// Fallible [`Driver::flush`]: surfaces an unrecovered worker death
+    /// instead of panicking.
+    pub fn try_flush(&mut self) -> Result<(), WorkerDead> {
+        loop {
+            match self.flush_inner() {
+                Ok(()) => return Ok(()),
+                Err(dead) => self.recover(dead)?,
+            }
         }
-        self.commit_watermark();
+    }
+
+    fn flush_inner(&mut self) -> Result<(), WorkerDead> {
+        while !self.queue.is_empty() {
+            self.execute_queue_front()?;
+        }
+        self.commit_watermark()?;
         if let Some(start) = self.stream_start.take() {
             // Pipelined latency accounting is stream-scoped: the admitted
             // stream's wall-clock (first admission to flush), not a sum of
             // per-batch latencies.
             self.totals.latency_secs += start.elapsed().as_secs_f64();
         }
+        Ok(())
     }
 
     /// Whether gathers run fully asynchronously (the default tagged
@@ -1058,27 +1286,25 @@ impl<T: Transport> Driver<T> {
     /// in-flight blocks straight into the fetch with the request already
     /// queued.  FIFO-compat schedule (`async_gather = false`): drain the
     /// entire window first, as the positional protocol had to.
-    fn fetch_all(&mut self, make: impl Fn(u64) -> Request) -> Vec<Relation> {
+    fn fetch_all(&mut self, make: impl Fn(u64) -> Request) -> Result<Vec<Relation>, WorkerDead> {
         let outstanding: usize = self.pending_blocks.iter().map(|p| p.len()).sum();
         if !self.async_gather() {
-            self.drain_pending_blocks();
+            self.drain_pending_blocks()?;
         } else if outstanding > 0 {
             self.stats.gathers_overlapped += 1;
         }
-        let ids: Vec<u64> = (0..self.workers)
-            .map(|w| {
-                self.ship_applies(w);
-                let id = self.fresh_request_id();
-                self.send_to(w, make(id));
-                id
-            })
-            .collect();
+        let mut ids = Vec::with_capacity(self.workers);
+        for w in 0..self.workers {
+            self.ship_applies(w)?;
+            let id = self.fresh_request_id();
+            self.send_to(w, make(id))?;
+            ids.push(id);
+        }
         let gather_start = Instant::now();
-        let rels: Vec<Relation> = ids
-            .into_iter()
-            .enumerate()
-            .map(|(w, id)| self.await_rel(w, id))
-            .collect();
+        let mut rels = Vec::with_capacity(self.workers);
+        for (w, id) in ids.into_iter().enumerate() {
+            rels.push(self.await_rel(w, id)?);
+        }
         let micros = gather_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         self.metrics.gather_micros.record(micros);
         self.telemetry.event(
@@ -1089,7 +1315,7 @@ impl<T: Transport> Driver<T> {
                 ("micros", micros.into()),
             ],
         );
-        rels
+        Ok(rels)
     }
 
     /// Full contents of a view, merged across all nodes holding a piece.
@@ -1103,11 +1329,29 @@ impl<T: Transport> Driver<T> {
     /// docs).  Admitted-but-queued batches require a
     /// [`ThreadedCluster::flush`] to become visible.
     pub fn view_contents(&mut self, name: &str) -> Relation {
+        self.try_view_contents(name)
+            .unwrap_or_else(|dead| panic!("{dead} (recovery unavailable)"))
+    }
+
+    /// Fallible [`ThreadedCluster::view_contents`]: recovers worker
+    /// deaths per the [`FaultConfig`] (reads are idempotent, so the read
+    /// is simply retried after recovery) and surfaces the typed error
+    /// when recovery is disabled or exhausted.
+    pub fn try_view_contents(&mut self, name: &str) -> Result<Relation, WorkerDead> {
+        loop {
+            match self.view_contents_inner(name) {
+                Ok(rel) => return Ok(rel),
+                Err(dead) => self.recover(dead)?,
+            }
+        }
+    }
+
+    fn view_contents_inner(&mut self, name: &str) -> Result<Relation, WorkerDead> {
         self.telemetry.poll_dump();
         // Under a latency target, overdue queued deltas are forced through
         // first: a read never observes data staler than the target.
-        self.enforce_latency_target();
-        self.commit_watermark();
+        self.enforce_latency_target()?;
+        self.commit_watermark()?;
         let schema = self.dplan.schema_of(name).unwrap_or_default();
         let mut out = Relation::new(schema);
         match self.dplan.location(name) {
@@ -1122,8 +1366,8 @@ impl<T: Transport> Driver<T> {
                             id,
                             view: name.to_string(),
                         },
-                    );
-                    let r = self.await_rel(0, id);
+                    )?;
+                    let r = self.await_rel(0, id)?;
                     out.merge(&r);
                 }
             }
@@ -1131,18 +1375,23 @@ impl<T: Transport> Driver<T> {
                 for part in self.fetch_all(|id| Request::Snapshot {
                     id,
                     view: name.to_string(),
-                }) {
+                })? {
                     out.merge(&part);
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Current contents of the top-level query view (watermark-consistent
     /// in pipelined mode, see [`ThreadedCluster::view_contents`]).
     pub fn query_result(&mut self) -> Relation {
         self.view_contents(&self.dplan.plan.top_view.clone())
+    }
+
+    /// Fallible [`ThreadedCluster::query_result`].
+    pub fn try_query_result(&mut self) -> Result<Relation, WorkerDead> {
+        self.try_view_contents(&self.dplan.plan.top_view.clone())
     }
 
     /// Process one batch of updates to `relation`.
@@ -1154,15 +1403,50 @@ impl<T: Transport> Driver<T> {
     /// admissions and is forced by [`ThreadedCluster::flush`] or any view
     /// read.
     pub fn apply_batch(&mut self, relation: &str, batch: &Relation) -> BatchExecution {
+        self.try_apply_batch(relation, batch)
+            .unwrap_or_else(|dead| panic!("{dead} (recovery unavailable)"))
+    }
+
+    /// Fallible [`ThreadedCluster::apply_batch`]: recovers worker deaths
+    /// per the [`FaultConfig`] and surfaces the typed [`WorkerDead`]
+    /// when recovery is disabled or exhausted.  An interrupted batch is
+    /// logged *before* any message is issued, so a successful recovery
+    /// replays it to completion — the returned stats for a recovered
+    /// batch carry only its input size, not measured execution numbers.
+    pub fn try_apply_batch(
+        &mut self,
+        relation: &str,
+        batch: &Relation,
+    ) -> Result<BatchExecution, WorkerDead> {
         match self.pipeline {
-            None => self.execute_program(relation, batch),
-            Some(_) => self.admit(relation, batch),
+            None => match self.execute_program(relation, batch) {
+                Ok(stats) => Ok(stats),
+                Err(dead) => {
+                    self.recover(dead)?;
+                    Ok(BatchExecution {
+                        input_tuples: batch.len(),
+                        ..Default::default()
+                    })
+                }
+            },
+            Some(_) => {
+                let stats = self.admit(relation, batch);
+                loop {
+                    match self.drain_admission_bounds() {
+                        Ok(()) => return Ok(stats),
+                        Err(dead) => self.recover(dead)?,
+                    }
+                }
+            }
         }
     }
 
-    /// Pipelined admission: coalesce into the queue tail or enqueue, then
-    /// drive execution while the queue exceeds the admission capacity, the
-    /// byte bound, or the latency target's staleness budget.
+    /// Pipelined admission: coalesce into the queue tail or enqueue.
+    /// Driver-only (infallible); [`Driver::drain_admission_bounds`] then
+    /// drives execution while the queue exceeds the admission capacity,
+    /// the byte bound, or the latency target's staleness budget —
+    /// keeping the fallible worker traffic out of the enqueue step so an
+    /// admission is never double-counted across a recovery retry.
     ///
     /// Queued deltas are kept in the trigger's canonical schema (`relabel`
     /// is positional, so canonicalizing is one `add` per tuple), which
@@ -1188,12 +1472,10 @@ impl<T: Transport> Driver<T> {
             input_tuples: batch.len(),
             ..Default::default()
         };
-        // Staleness first: even an admission that turns out to be a no-op
-        // (relation without a trigger) must not let already-queued deltas
-        // outlive the latency budget.
-        self.enforce_latency_target();
         // Batches to relations the plan has no trigger for are no-ops; do
-        // not let them split a coalescing run.
+        // not let them split a coalescing run.  (The bounds drain still
+        // runs after a no-op admission, so already-queued deltas cannot
+        // outlive the latency budget.)
         let Some(program) = self.programs.get(relation) else {
             return stats;
         };
@@ -1254,7 +1536,24 @@ impl<T: Transport> Driver<T> {
         self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.queue_bytes);
         self.metrics.queue_depth.set(self.queue.len() as u64);
         self.metrics.queue_bytes.set(self.queue_bytes as u64);
+        stats
+    }
 
+    /// Enforce the admission bounds after an [`Driver::admit`]: byte
+    /// budget, latency target and count capacity, oldest first.  This is
+    /// the fallible half of pipelined admission (it issues worker
+    /// traffic); retrying it after a recovery is safe because every bound
+    /// is re-checked from current queue state.
+    ///
+    /// The staleness budget is enforced *after* enqueue (the synchronous
+    /// order was before); equivalent because the coalescing guard already
+    /// vetoes merging into any delta past half its budget, so an overdue
+    /// delta can only have been enqueued — and FIFO execution order is
+    /// unchanged.
+    fn drain_admission_bounds(&mut self) -> Result<(), WorkerDead> {
+        let Some(config) = self.pipeline.clone() else {
+            return Ok(());
+        };
         // Backpressure, oldest first.  Byte bound: shed queued work until
         // the footprint fits (a single oversized delta executes
         // immediately, emptying the queue).
@@ -1266,29 +1565,33 @@ impl<T: Transport> Driver<T> {
                     ("bound", config.admit_bytes.into()),
                 ],
             );
-            self.execute_queue_front();
+            self.execute_queue_front()?;
             self.stats.executions_forced_by_bytes += 1;
         }
         // Latency target: any delta older than the staleness budget is
         // overdue — force it (and anything queued ahead of it already ran).
-        self.enforce_latency_target();
+        self.enforce_latency_target()?;
         // Count capacity, as before.
         while self.queue.len() > config.admit_capacity {
-            self.execute_queue_front();
+            self.execute_queue_front()?;
         }
         self.metrics.queue_depth.set(self.queue.len() as u64);
         self.metrics.queue_bytes.set(self.queue_bytes as u64);
-        stats
+        Ok(())
     }
 
     /// Epoch-synchronous execution of one maintenance program over a batch
     /// (canonicalizes the batch's schema, then delegates).
-    fn execute_program(&mut self, relation: &str, batch: &Relation) -> BatchExecution {
+    fn execute_program(
+        &mut self,
+        relation: &str,
+        batch: &Relation,
+    ) -> Result<BatchExecution, WorkerDead> {
         let Some(program) = self.programs.get(relation) else {
-            return BatchExecution {
+            return Ok(BatchExecution {
                 input_tuples: batch.len(),
                 ..Default::default()
-            };
+            });
         };
         let canonical = relabel(batch, &program.relation_schema);
         self.execute_canonical(relation, canonical, false)
@@ -1308,14 +1611,21 @@ impl<T: Transport> Driver<T> {
         relation: &str,
         delta: Relation,
         pipelined: bool,
-    ) -> BatchExecution {
+    ) -> Result<BatchExecution, WorkerDead> {
         let wall_start = Instant::now();
         let mut stats = BatchExecution {
             input_tuples: delta.len(),
             ..Default::default()
         };
         if !self.programs.contains_key(relation) {
-            return stats;
+            return Ok(stats);
+        }
+        // Log *before* issuing any message: if a worker dies mid-batch,
+        // recovery restores the last checkpoint and replays this delta to
+        // completion (the log is in canonical schema, so replay re-enters
+        // here directly).
+        if self.fault.is_some() {
+            self.replay_log.push((relation.to_string(), delta.clone()));
         }
         self.metrics.batches_executed.inc();
         self.metrics.batch_tuples.record(stats.input_tuples as u64);
@@ -1355,7 +1665,7 @@ impl<T: Transport> Driver<T> {
                             }
                             DistStmtKind::Transform { kind, source } => {
                                 let bytes =
-                                    self.run_transform(stmt, kind, source, &delta_name, &deltas);
+                                    self.run_transform(stmt, kind, source, &delta_name, &deltas)?;
                                 stats.bytes_shuffled += bytes;
                             }
                         }
@@ -1368,13 +1678,13 @@ impl<T: Transport> Driver<T> {
                         // window — blocking only when a worker's ledger is
                         // genuinely full.
                         for w in 0..self.workers {
-                            self.settle_ready(w);
+                            self.settle_ready(w)?;
                             while self.pending_blocks[w].len() >= inflight_blocks.max(1) {
-                                self.await_one_completion(w);
+                                self.await_one_completion(w)?;
                             }
                         }
                         for w in 0..self.workers {
-                            self.ship_applies(w);
+                            self.ship_applies(w)?;
                             let id = self.fresh_request_id();
                             self.send_to(
                                 w,
@@ -1383,14 +1693,14 @@ impl<T: Transport> Driver<T> {
                                     statements: statements.clone(),
                                     deltas: block_deltas.clone(),
                                 },
-                            );
+                            )?;
                             self.pending_blocks[w].insert(id);
                         }
                     } else {
                         // One epoch: broadcast the block, barrier on the
                         // tagged completions.
                         for w in 0..self.workers {
-                            self.ship_applies(w);
+                            self.ship_applies(w)?;
                             let id = self.fresh_request_id();
                             self.send_to(
                                 w,
@@ -1399,10 +1709,10 @@ impl<T: Transport> Driver<T> {
                                     statements: statements.clone(),
                                     deltas: block_deltas.clone(),
                                 },
-                            );
+                            )?;
                             self.pending_blocks[w].insert(id);
                         }
-                        self.drain_pending_blocks();
+                        self.drain_pending_blocks()?;
                         stats.max_worker_instructions = stats
                             .max_worker_instructions
                             .max(self.batch_max_instructions);
@@ -1419,9 +1729,9 @@ impl<T: Transport> Driver<T> {
         // latency covers shard installation; the pipelined schedule leaves
         // them in flight (command FIFO protects the next batch) and the
         // watermark commit drains them before any read.
-        self.ship_all_applies();
+        self.ship_all_applies()?;
         if !pipelined && self.applies_in_flight {
-            self.barrier_applies();
+            self.barrier_applies()?;
         }
 
         let program = &self.programs[relation];
@@ -1462,7 +1772,16 @@ impl<T: Transport> Driver<T> {
         self.totals.batches += 1;
         self.totals.bytes_shuffled += stats.bytes_shuffled;
         self.totals.latencies.push(stats.latency_secs);
-        stats
+        // Checkpoint epoch: every `checkpoint_every` issued batches,
+        // canonicalize the whole cluster and store a recovery cut.  Taken
+        // *after* the batch's own accounting so a checkpointed batch never
+        // rides the replay log past its own checkpoint.
+        if self.fault.as_ref().is_some_and(|c| {
+            c.checkpoint_every > 0 && self.issued.is_multiple_of(c.checkpoint_every)
+        }) {
+            self.take_checkpoint()?;
+        }
+        Ok(stats)
     }
 
     /// Execute a transformer statement; returns the bytes moved.
@@ -1473,7 +1792,7 @@ impl<T: Transport> Driver<T> {
         source: &str,
         delta_name: &str,
         deltas: &HashMap<String, Relation>,
-    ) -> usize {
+    ) -> Result<usize, WorkerDead> {
         match kind {
             Transform::Scatter(pf) => {
                 let src: Relation = if source == delta_name {
@@ -1489,24 +1808,24 @@ impl<T: Transport> Driver<T> {
                 for part in self.fetch_all(|id| Request::Fetch {
                     id,
                     name: source.to_string(),
-                }) {
+                })? {
                     collected.merge(&relabel(&part, &stmt.target_schema));
                 }
                 let moved = collected.serialized_size();
-                self.scatter(pf, &collected, stmt);
-                moved + collected.serialized_size()
+                self.scatter(pf, &collected, stmt)?;
+                Ok(moved + collected.serialized_size())
             }
             Transform::Gather => {
                 let mut collected = Relation::new(stmt.target_schema.clone());
                 for part in self.fetch_all(|id| Request::Fetch {
                     id,
                     name: source.to_string(),
-                }) {
+                })? {
                     collected.merge(&relabel(&part, &stmt.target_schema));
                 }
                 let bytes = collected.serialized_size();
                 self.driver.apply(stmt, collected);
-                bytes
+                Ok(bytes)
             }
         }
     }
@@ -1518,16 +1837,217 @@ impl<T: Transport> Driver<T> {
     /// at batch end); with [`PipelineConfig::batch_scatters`] disabled each
     /// scatter statement ships immediately as its own message, reproducing
     /// the positional protocol's traffic.
-    fn scatter(&mut self, pf: &PartitionFn, src: &Relation, stmt: &DistStatement) -> usize {
+    fn scatter(
+        &mut self,
+        pf: &PartitionFn,
+        src: &Relation,
+        stmt: &DistStatement,
+    ) -> Result<usize, WorkerDead> {
         let (shards, bytes) = partition_shards(pf, src, stmt, self.workers);
         let stmt = Arc::new(stmt.clone());
         for (w, shard) in shards.into_iter().enumerate() {
             self.pending_applies[w].push((stmt.clone(), shard));
         }
         if !self.batch_scatters() {
-            self.ship_all_applies();
+            self.ship_all_applies()?;
         }
-        bytes
+        Ok(bytes)
+    }
+
+    /// Install (or clear) the fault-tolerance configuration.  Must be set
+    /// before the first batch: checkpoints are cuts of the issue counter,
+    /// and a config installed mid-stream would have no checkpoint covering
+    /// the batches already issued.
+    pub fn set_fault_config(&mut self, fault: Option<FaultConfig>) {
+        debug_assert_eq!(
+            self.issued, 0,
+            "fault config must be installed before any batch is issued"
+        );
+        self.fault = fault;
+        self.ckpt = None;
+        self.replay_log.clear();
+        self.recoveries = 0;
+    }
+
+    /// The active fault-tolerance configuration, if any.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.fault.as_ref()
+    }
+
+    /// Number of worker-death recoveries performed so far.
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
+    }
+
+    /// Take a recovery checkpoint: drain in-flight work to the watermark,
+    /// canonicalize every node (the epoch barrier that makes a later
+    /// restore bit-identical to the surviving nodes' state — see
+    /// `Database::canonicalize`), and store a full cluster cut.
+    ///
+    /// [`RecoveryMode::Checkpoint`] ships each worker's state back in its
+    /// `Checkpoint` reply; [`RecoveryMode::Rescatter`] keeps the round
+    /// stats-only and instead gathers each distributed view's partitions
+    /// over the read path (temps restore to empty — every program scatters
+    /// into its exchange buffers before reading them, so a post-watermark
+    /// cut never needs them).
+    fn take_checkpoint(&mut self) -> Result<(), WorkerDead> {
+        let ship = matches!(
+            self.fault.as_ref().map(|c| c.mode),
+            Some(RecoveryMode::Checkpoint)
+        );
+        self.commit_watermark()?;
+        self.driver.canonicalize();
+        let mut ids = Vec::with_capacity(self.workers);
+        for w in 0..self.workers {
+            self.ship_applies(w)?;
+            let id = self.fresh_request_id();
+            self.send_to(w, Request::Checkpoint { id, ship })?;
+            ids.push(id);
+        }
+        let mut snaps = Vec::with_capacity(self.workers);
+        for (w, id) in ids.into_iter().enumerate() {
+            snaps.push(self.await_checkpoint(w, id)?);
+        }
+        if !ship {
+            let mut views: Vec<String> = self
+                .dplan
+                .plan
+                .views
+                .iter()
+                .map(|v| v.name.clone())
+                .filter(|v| !matches!(self.dplan.location(v), LocTag::Local))
+                .collect();
+            views.sort();
+            for v in &views {
+                let parts = self.fetch_all(|id| Request::Snapshot {
+                    id,
+                    view: v.clone(),
+                })?;
+                for (w, part) in parts.into_iter().enumerate() {
+                    snaps[w].views.push((v.clone(), part));
+                }
+            }
+        }
+        self.ckpt = Some(CheckpointState {
+            issued: self.issued,
+            driver: self.driver.snapshot_state(),
+            workers: snaps,
+        });
+        self.replay_log.clear();
+        self.metrics.recovery_checkpoints.inc();
+        self.telemetry.event(
+            "checkpoint.taken",
+            vec![
+                ("issued", self.issued.into()),
+                ("ship", u64::from(ship).into()),
+            ],
+        );
+        Ok(())
+    }
+
+    /// Recover from a worker death, or surface it as the typed error when
+    /// recovery is disabled (`fault == None`) or the recovery budget is
+    /// exhausted.  Loops because a recovery attempt can itself hit another
+    /// dead worker (cascading failures): each new death consumes one more
+    /// attempt from [`FaultConfig::max_recoveries`].
+    fn recover(&mut self, dead: WorkerDead) -> Result<(), WorkerDead> {
+        let mut cause = dead;
+        loop {
+            let Some(cfg) = &self.fault else {
+                return Err(cause);
+            };
+            if self.recoveries >= cfg.max_recoveries {
+                return Err(cause);
+            }
+            self.recoveries += 1;
+            self.metrics.recovery_attempts.inc();
+            self.metrics.worker_declared_dead.inc();
+            self.telemetry.event(
+                "worker.dead",
+                vec![
+                    ("worker", cause.index.into()),
+                    ("reason", cause.reason.clone().into()),
+                ],
+            );
+            match self.recover_once(cause.index) {
+                Ok(()) => return Ok(()),
+                Err(next) => cause = next,
+            }
+        }
+    }
+
+    /// One recovery attempt: respawn the dead worker, reset the driver's
+    /// ledgers, restore *every* worker (and the driver node) to the last
+    /// checkpoint cut — restoring only the respawned one would leave the
+    /// survivors ahead of the cut — and replay the logged deltas.  With no
+    /// checkpoint yet, the cut is the empty cluster and the log holds the
+    /// whole stream since `set_fault_config`.
+    fn recover_once(&mut self, dead_worker: usize) -> Result<(), WorkerDead> {
+        self.transport.respawn(dead_worker)?;
+        self.metrics.worker_respawned.inc();
+        self.telemetry
+            .event("worker.respawned", vec![("worker", dead_worker.into())]);
+
+        // Outstanding ids and buffered shards belong to the abandoned
+        // epoch: the restore wipes their effects, and replay re-issues
+        // them under fresh ids.
+        for w in 0..self.workers {
+            self.pending_blocks[w].clear();
+            self.inbox[w].clear();
+            self.pending_applies[w].clear();
+        }
+        self.applies_in_flight = false;
+
+        let (ckpt_issued, driver_snap, worker_snaps) = match &self.ckpt {
+            Some(ckpt) => (ckpt.issued, ckpt.driver.clone(), ckpt.workers.clone()),
+            None => (
+                0,
+                WorkerSnapshot::default(),
+                vec![WorkerSnapshot::default(); self.workers],
+            ),
+        };
+        self.driver.restore_state(&driver_snap);
+        for (w, snap) in worker_snaps.into_iter().enumerate() {
+            let id = self.fresh_request_id();
+            self.send_to(
+                w,
+                Request::Restore {
+                    id,
+                    snapshot: Box::new(snap),
+                },
+            )?;
+            // Drain whatever stale replies the abandoned epoch left on the
+            // wire; command FIFO means the Restore's own Ack is the first
+            // reply that post-dates the reset.
+            loop {
+                match self.transport.recv(w)? {
+                    Reply::Ack { id: rid } if rid == id => break,
+                    _ => {}
+                }
+            }
+        }
+        self.metrics
+            .recovery_restored_workers
+            .add(self.workers as u64);
+        self.issued = ckpt_issued;
+        self.watermark = ckpt_issued;
+
+        let log = std::mem::take(&mut self.replay_log);
+        self.metrics.recovery_replayed.add(log.len() as u64);
+        self.telemetry.event(
+            "recovery.replay",
+            vec![
+                ("worker", dead_worker.into()),
+                ("from_issued", ckpt_issued.into()),
+                ("batches", log.len().into()),
+            ],
+        );
+        for (rel, delta) in log {
+            // Epoch-synchronous replay: re-enters the log (and re-takes
+            // checkpoints) exactly as the original schedule did.
+            self.execute_canonical(&rel, delta, false)?;
+        }
+        Ok(())
     }
 }
 
@@ -1582,7 +2102,7 @@ impl<T: Transport> Driver<T> {
     /// Wait for the `Stats` reply tagged `id` from worker `w`, settling
     /// any block completions that arrive ahead of it (mirrors
     /// [`Driver::await_rel`]).
-    fn await_stats(&mut self, w: usize, id: u64) -> WorkerStatsSnapshot {
+    fn await_stats(&mut self, w: usize, id: u64) -> Result<WorkerStatsSnapshot, WorkerDead> {
         loop {
             self.settle_completions(w);
             if let Some(pos) = self.inbox[w]
@@ -1592,28 +2112,28 @@ impl<T: Transport> Driver<T> {
                 let Reply::Stats { snapshot, .. } = self.inbox[w].swap_remove(pos) else {
                     unreachable!()
                 };
-                return snapshot;
+                return Ok(snapshot);
             }
-            self.recv_one(w);
+            self.recv_one(w)?;
         }
     }
 
     /// Gather every worker's counter snapshot over the protocol's `Stats`
     /// message, in worker order (tagged schedule: all requests issued
     /// first, replies awaited by id).
-    fn fetch_worker_stats(&mut self) -> Vec<WorkerStatsSnapshot> {
-        let ids: Vec<u64> = (0..self.workers)
-            .map(|w| {
-                self.ship_applies(w);
-                let id = self.fresh_request_id();
-                self.send_to(w, Request::Stats { id });
-                id
-            })
-            .collect();
-        ids.into_iter()
-            .enumerate()
-            .map(|(w, id)| self.await_stats(w, id))
-            .collect()
+    fn fetch_worker_stats(&mut self) -> Result<Vec<WorkerStatsSnapshot>, WorkerDead> {
+        let mut ids = Vec::with_capacity(self.workers);
+        for w in 0..self.workers {
+            self.ship_applies(w)?;
+            let id = self.fresh_request_id();
+            self.send_to(w, Request::Stats { id })?;
+            ids.push(id);
+        }
+        let mut snaps = Vec::with_capacity(self.workers);
+        for (w, id) in ids.into_iter().enumerate() {
+            snaps.push(self.await_stats(w, id)?);
+        }
+        Ok(snaps)
     }
 
     /// Flush the pipeline and return the deterministic cross-backend
@@ -1621,13 +2141,30 @@ impl<T: Transport> Driver<T> {
     /// counts captured *before* the stats gather itself, plus every
     /// worker's counters collected over the protocol.
     pub fn telemetry_totals(&mut self) -> TelemetryTotals {
-        self.flush();
+        self.try_telemetry_totals()
+            .unwrap_or_else(|dead| panic!("{dead} (recovery unavailable)"))
+    }
+
+    /// Fallible [`Driver::telemetry_totals`]: recovers worker deaths per
+    /// the [`FaultConfig`], surfacing [`WorkerDead`] when recovery is
+    /// disabled or exhausted.
+    pub fn try_telemetry_totals(&mut self) -> Result<TelemetryTotals, WorkerDead> {
+        loop {
+            match self.telemetry_totals_inner() {
+                Ok(totals) => return Ok(totals),
+                Err(dead) => self.recover(dead)?,
+            }
+        }
+    }
+
+    fn telemetry_totals_inner(&mut self) -> Result<TelemetryTotals, WorkerDead> {
+        self.flush_inner()?;
         // Capture the driver-side counters before the `Stats` round so
         // repeated calls still agree across backends: each call adds
         // exactly `workers` requests and `workers` replies.
         let messages_sent = self.metrics.requests_total.get();
         let replies_received = self.metrics.replies_total.get();
-        let per_worker = self.fetch_worker_stats();
+        let per_worker = self.fetch_worker_stats()?;
         let mut totals = TelemetryTotals {
             messages_sent,
             replies_received,
@@ -1640,7 +2177,7 @@ impl<T: Transport> Driver<T> {
             totals.statements += snap.stats.statements;
             totals.tuples_applied += snap.stats.tuples_applied;
         }
-        totals
+        Ok(totals)
     }
 
     /// Flush, gather worker counters, and return a [`MetricsSnapshot`] of

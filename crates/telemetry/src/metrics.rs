@@ -261,18 +261,30 @@ impl MetricsSnapshot {
         self.counters.insert(name.to_string(), value);
     }
 
+    /// Counters under the deterministic prefixes whose values are
+    /// nevertheless wall-clock dependent, excluded from
+    /// [`MetricsSnapshot::deterministic`] by name:
+    /// `worker.heartbeat_missed` counts silent heartbeat intervals, a pure
+    /// function of timing, not of the admission sequence.
+    const TIMING_DEPENDENT: &'static [&'static str] = &["worker.heartbeat_missed"];
+
     /// The subset of this snapshot that must be **bit-identical across
     /// transports**: the `driver.*` and `worker.*` counters, which depend
     /// only on the admission sequence and the shared driver schedule —
     /// never on wall-clock time or on how bytes move.  Gauges (sampled
-    /// occupancy), `net.*` counters (transport-specific by definition)
-    /// and histograms (latency-valued) are excluded.
+    /// occupancy), `net.*` counters (transport-specific by definition),
+    /// histograms (latency-valued) and the `TIMING_DEPENDENT` denylist
+    /// (wall-clock-valued counters under the deterministic prefixes,
+    /// e.g. `worker.heartbeat_missed`) are excluded.
     pub fn deterministic(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self
                 .counters
                 .iter()
-                .filter(|(k, _)| k.starts_with("driver.") || k.starts_with("worker."))
+                .filter(|(k, _)| {
+                    (k.starts_with("driver.") || k.starts_with("worker."))
+                        && !Self::TIMING_DEPENDENT.contains(&k.as_str())
+                })
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
             gauges: BTreeMap::new(),

@@ -114,6 +114,169 @@ fn tcp_watermark_reads_are_consistent() {
     assert_eq!(stats.batches_abandoned, 0);
 }
 
+/// The same config with any environment-supplied fault plan stripped:
+/// reference runs must stay unfaulted even under the chaos job's
+/// `HOTDOG_FAULT`.
+fn fault_free(mut config: TcpConfig) -> TcpConfig {
+    config.faults = None;
+    config
+}
+
+/// Kill-point sweep (the recovery oracle): for each steady-state message
+/// kind × worker slot × kill phase, murder the worker at that exact
+/// protocol moment, let the driver respawn + restore + replay it, and
+/// demand the final view be **bit-identical** to an unfaulted run under
+/// the same `FaultConfig`.  The kill lands at the transport's send
+/// chokepoint, so each cell is a pure function of the schedule —
+/// a red cell replays exactly.
+#[test]
+fn tcp_kill_point_sweep_recovers_bit_identically() {
+    let workers = workers_under_test();
+    let q = query("Q3").unwrap();
+    let stream = seeded_stream(&q, 150, 0xFA117);
+    let batches = stream.batches(12);
+    let fault_config = FaultConfig::every(1);
+
+    // Unfaulted reference under the same FaultConfig (checkpoint epochs
+    // canonicalize storage, so this is the comparable run).
+    let mut clean = TcpCluster::new(
+        compile_for(&q, OptLevel::O3),
+        &fault_free(tcp_config(workers)),
+    )
+    .expect("tcp cluster");
+    clean.set_fault_config(Some(fault_config.clone()));
+    clean.apply_stream(&batches);
+    let expected = clean.query_result().checksum();
+
+    let kinds = [FaultKind::RunBlock, FaultKind::ApplyMany, FaultKind::Fetch];
+    let mut cell = 0u64;
+    for kind in kinds {
+        for worker in 0..workers {
+            for phase in [Phase::Before, Phase::After] {
+                cell += 1;
+                let nth = 1 + cell % 3; // vary the kill point across cells
+                let plan = FaultPlan::kill(worker, kind, nth, phase);
+                let spec = plan.kills[0].clone();
+                let mut tcp = TcpCluster::new(
+                    compile_for(&q, OptLevel::O3),
+                    &fault_free(tcp_config(workers)).with_faults(plan),
+                )
+                .expect("tcp cluster");
+                tcp.set_fault_config(Some(fault_config.clone()));
+                tcp.apply_stream(&batches);
+                assert_eq!(
+                    tcp.query_result().checksum(),
+                    expected,
+                    "{spec} x{workers}: recovered run != unfaulted run"
+                );
+                assert_eq!(tcp.recoveries(), 1, "{spec}: expected exactly one recovery");
+                let snap = tcp.metrics_snapshot();
+                assert_eq!(
+                    snap.counter("fault.injected"),
+                    1,
+                    "{spec}: kill never fired"
+                );
+                assert_eq!(snap.counter("worker.respawned"), 1, "{spec}");
+            }
+        }
+    }
+}
+
+/// The rescatter recovery mode through the same oracle: checkpoints keep
+/// only worker counters and the driver re-scatters canonical view
+/// partitions on restore.
+#[test]
+fn tcp_rescatter_recovery_matches_unfaulted_run() {
+    let workers = workers_under_test();
+    let q = query("Q7").unwrap();
+    let stream = seeded_stream(&q, 140, 0x5CA77E);
+    let batches = stream.batches(10);
+    let fault_config = FaultConfig::every(2).with_mode(RecoveryMode::Rescatter);
+
+    let mut clean = TcpCluster::new(
+        compile_for(&q, OptLevel::O2),
+        &fault_free(tcp_config(workers)),
+    )
+    .expect("tcp cluster");
+    clean.set_fault_config(Some(fault_config.clone()));
+    clean.apply_stream(&batches);
+    let expected = clean.query_result().checksum();
+
+    for (worker, phase) in (0..workers).zip([Phase::Before, Phase::After].into_iter().cycle()) {
+        let plan = FaultPlan::kill(worker, FaultKind::RunBlock, 2, phase);
+        let spec = plan.kills[0].clone();
+        let mut tcp = TcpCluster::new(
+            compile_for(&q, OptLevel::O2),
+            &fault_free(tcp_config(workers)).with_faults(plan),
+        )
+        .expect("tcp cluster");
+        tcp.set_fault_config(Some(fault_config.clone()));
+        tcp.apply_stream(&batches);
+        assert_eq!(
+            tcp.query_result().checksum(),
+            expected,
+            "{spec} (rescatter): recovered run != unfaulted run"
+        );
+        assert_eq!(tcp.recoveries(), 1, "{spec} (rescatter)");
+    }
+}
+
+/// The CI chaos job's entry point: run one seeded kill (from
+/// `HOTDOG_FAULT`, typically `seed:<run id>`; a fixed default seed when
+/// unset) against the pipelined TCP backend mid-stream and demand the
+/// unfaulted checksum.  `HOTDOG_FAULT=<printed spec>` replays a red run
+/// bit-for-bit.
+#[test]
+fn tcp_chaos_seeded_kill_recovers_bit_identically() {
+    let workers = workers_under_test();
+    let plan = tcp_config(workers)
+        .faults
+        .unwrap_or_else(|| FaultPlan::seeded(0xC405, workers));
+    eprintln!(
+        "chaos plan: {} (x{workers})",
+        plan.kills
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(";")
+    );
+    let q = query("Q3").unwrap();
+    let stream = seeded_stream(&q, 150, 0xC405);
+    let batches = stream.batches(12);
+    let fault_config = FaultConfig::every(1);
+    let config = PipelineConfig {
+        coalesce_tuples: 0,
+        ..Default::default()
+    };
+
+    let mut clean = TcpCluster::pipelined(
+        compile_for(&q, OptLevel::O3),
+        &fault_free(tcp_config(workers)),
+        config.clone(),
+    )
+    .expect("tcp cluster");
+    clean.set_fault_config(Some(fault_config.clone()));
+    clean.apply_stream(&batches);
+    clean.flush();
+    let expected = clean.query_result().checksum();
+
+    let mut tcp = TcpCluster::pipelined(
+        compile_for(&q, OptLevel::O3),
+        &fault_free(tcp_config(workers)).with_faults(plan),
+        config,
+    )
+    .expect("tcp cluster");
+    tcp.set_fault_config(Some(fault_config));
+    tcp.apply_stream(&batches);
+    tcp.flush();
+    assert_eq!(
+        tcp.query_result().checksum(),
+        expected,
+        "chaos run diverged from unfaulted run"
+    );
+    assert_eq!(tcp.outstanding_replies(), 0);
+}
+
 /// Aggressive pipelined configurations over the socket transport: tiny
 /// windows, shuffled reply consumption, FIFO-compat, heavy coalescing —
 /// all bit-for-bit (or 1e-9 when coalescing re-associates floats)

@@ -135,6 +135,98 @@ fn telemetry_totals_agree_pipelined_fixed_coalesce() {
     assert_eq!(tcp.outstanding_replies(), 0);
 }
 
+/// Fault-tolerance arm of the oracle.  Three contracts:
+///
+/// * with a [`FaultConfig`] installed and **no** fault fired, the
+///   deterministic counters stay bit-identical across backends (the
+///   checkpoint machinery itself is part of the shared schedule);
+/// * when a kill fires, the recovery counters record **exactly** what
+///   the [`FaultPlan`] predicts — one injection, one death, one respawn,
+///   one recovery, one replayed batch under `checkpoint_every = 1`;
+/// * the same faulted run repeated is bit-identical to itself, counters
+///   included (kill points are schedule-determined, never wall-clock).
+#[test]
+fn fault_counters_match_the_plan_exactly() {
+    let workers = workers_under_test();
+    let q = query("Q3").unwrap();
+    let stream = seeded_stream(&q, 120, 0xFAB);
+    let batches = stream.batches(12);
+    let fault_config = FaultConfig::every(1);
+    let fault_free = || {
+        let mut config = TcpConfig::from_env(workers);
+        config.faults = None; // reference runs ignore a chaos job's HOTDOG_FAULT
+        config
+    };
+
+    // (a) No fault fired: FaultConfig on both backends.
+    let mut threaded = ThreadedCluster::new(compile_for(&q, OptLevel::O3), workers);
+    threaded.set_fault_config(Some(fault_config.clone()));
+    let mut tcp =
+        TcpCluster::new(compile_for(&q, OptLevel::O3), &fault_free()).expect("tcp cluster");
+    tcp.set_fault_config(Some(fault_config.clone()));
+    threaded.apply_stream(&batches);
+    tcp.apply_stream(&batches);
+    assert_eq!(
+        threaded.telemetry_totals(),
+        tcp.telemetry_totals(),
+        "totals diverged threaded vs TCP with checkpointing enabled"
+    );
+    let threaded_snap = threaded.metrics_snapshot();
+    let tcp_snap = tcp.metrics_snapshot();
+    assert_eq!(
+        threaded_snap.deterministic(),
+        tcp_snap.deterministic(),
+        "deterministic snapshot diverged with checkpointing enabled"
+    );
+    assert_eq!(tcp_snap.counter("worker.respawned"), 0);
+    assert_eq!(tcp_snap.counter("worker.declared_dead"), 0);
+    assert_eq!(tcp_snap.counter("fault.injected"), 0);
+    assert_eq!(
+        threaded_snap.counter("recovery.checkpoints"),
+        tcp_snap.counter("recovery.checkpoints"),
+        "both backends must take the same checkpoint epochs"
+    );
+    assert!(tcp_snap.counter("recovery.checkpoints") > 0);
+
+    // (b) One kill spec: every recovery counter is predicted by the plan.
+    let run_faulted = || {
+        let plan = FaultPlan::kill(workers - 1, FaultKind::RunBlock, 3, Phase::Before);
+        let mut tcp = TcpCluster::new(
+            compile_for(&q, OptLevel::O3),
+            &fault_free().with_faults(plan),
+        )
+        .expect("tcp cluster");
+        tcp.set_fault_config(Some(fault_config.clone()));
+        tcp.apply_stream(&batches);
+        let checksum = tcp.query_result().checksum();
+        (checksum, tcp.metrics_snapshot())
+    };
+    let (checksum, snap) = run_faulted();
+    assert_eq!(snap.counter("fault.injected"), 1);
+    assert_eq!(snap.counter("worker.declared_dead"), 1);
+    assert_eq!(snap.counter("worker.respawned"), 1);
+    assert_eq!(snap.counter("recovery.attempts"), 1);
+    assert_eq!(
+        snap.counter("recovery.replayed_batches"),
+        1,
+        "checkpoint_every=1 leaves exactly the interrupted batch in the log"
+    );
+    assert_eq!(
+        snap.counter("recovery.restored_workers"),
+        workers as u64,
+        "a recovery restores every slot to the checkpoint cut"
+    );
+
+    // (c) Same faulted run again: bit-identical, counters included.
+    let (checksum2, snap2) = run_faulted();
+    assert_eq!(checksum, checksum2, "faulted runs must be deterministic");
+    assert_eq!(
+        snap.deterministic(),
+        snap2.deterministic(),
+        "deterministic counters of identical faulted runs diverged"
+    );
+}
+
 /// The per-worker cardinalities riding in the stats snapshot describe
 /// real partitioned state: summed across workers they match the
 /// cluster-wide view cardinality for distributed views.
