@@ -25,7 +25,7 @@ pub struct Relation {
     data: DetMap<Tuple, Mult>,
     /// Incrementally maintained serialized footprint (see
     /// [`Relation::serialized_size`]): the sum of every resident tuple's
-    /// serialized size plus its 8-byte multiplicity.  Kept in lock-step by
+    /// value bytes plus its 8-byte multiplicity.  Kept in lock-step by
     /// [`Relation::add`] so size queries are O(1) — the pipelined runtime
     /// reads it on every admission for byte-bounded backpressure.
     bytes: usize,
@@ -81,7 +81,7 @@ impl Relation {
         if mult == 0.0 {
             return;
         }
-        let tuple_bytes = tuple.serialized_size() + 8;
+        let tuple_bytes = tuple.values_size() + 8;
         use std::collections::hash_map::Entry;
         match self.data.entry(tuple) {
             Entry::Occupied(mut e) => {
@@ -157,15 +157,17 @@ impl Relation {
         self.get(&Tuple::empty())
     }
 
-    /// Total serialized size in bytes (tuples + 8-byte multiplicities); used
-    /// for shuffle accounting in the distributed runtime and for the
-    /// pipelined runtime's byte-bounded admission queue.  Maintained
-    /// incrementally by [`Relation::add`], so this is O(1) — cheap enough to
-    /// read on every admission.
+    /// Total serialized size in bytes (tuple values + 8-byte
+    /// multiplicities); used for shuffle accounting in the distributed
+    /// runtime and for the pipelined runtime's byte-bounded admission
+    /// queue.  Maintained incrementally by [`Relation::add`], so this is
+    /// O(1) — cheap enough to read on every admission.
     ///
-    /// Relation to the real wire codec (`hotdog-net`): the codec spends one
-    /// extra tag byte per value and a per-relation header (encoded schema +
-    /// 4-byte tuple count), so an encoded relation is exactly
+    /// Relation to the real wire codec (`hotdog-net`): the
+    /// column-contiguous relation encoding carries arity once in the
+    /// schema (no per-row framing) and spends one tag byte per value plus
+    /// a per-relation header (encoded schema + 4-byte tuple count), so an
+    /// encoded relation is exactly
     /// `serialized_size() + Σ tuple arity + header` bytes — the O(1)
     /// accounting undercounts the wire by one byte per value plus the
     /// fixed header, and never overcounts.  A reconciliation test in
@@ -397,18 +399,17 @@ mod tests {
     #[test]
     fn serialized_size_counts_bytes() {
         let r = Relation::from_pairs(Schema::new(["a"]), vec![(tuple![1i64], 1.0)]);
-        assert_eq!(r.serialized_size(), 8 + 2 + 8);
+        // One i64 value (8) + the 8-byte multiplicity; arity is carried by
+        // the schema, not per row.
+        assert_eq!(r.serialized_size(), 8 + 8);
     }
 
     #[test]
     fn serialized_size_tracks_mutation_incrementally() {
         // The O(1) counter must agree with a full recount through inserts,
         // multiplicity updates, cancellation and merges.
-        let recount = |r: &Relation| -> usize {
-            r.iter()
-                .map(|(t, _)| t.serialized_size() + 8)
-                .sum::<usize>()
-        };
+        let recount =
+            |r: &Relation| -> usize { r.iter().map(|(t, _)| t.values_size() + 8).sum::<usize>() };
         let mut r = Relation::new(Schema::new(["a", "b"]));
         assert_eq!(r.serialized_size(), 0);
         r.add(tuple![1, 2], 1.0);

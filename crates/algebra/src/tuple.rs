@@ -51,9 +51,18 @@ impl Tuple {
         &self.0[i]
     }
 
-    /// Approximate serialized size in bytes (for shuffle accounting).
+    /// Sum of the values' encoded payload bytes, with no per-tuple framing.
+    /// This is a tuple's contribution to the column-contiguous relation
+    /// wire format, where arity lives in the schema, not in each row.
+    pub fn values_size(&self) -> usize {
+        self.0.iter().map(Value::serialized_size).sum()
+    }
+
+    /// Approximate serialized size in bytes of a *standalone* tuple (for
+    /// shuffle accounting): the values plus the u16 arity prefix the
+    /// standalone wire encoding carries.
     pub fn serialized_size(&self) -> usize {
-        self.0.iter().map(Value::serialized_size).sum::<usize>() + 2
+        self.values_size() + 2
     }
 }
 

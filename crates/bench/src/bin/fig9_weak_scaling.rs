@@ -169,6 +169,40 @@ fn main() {
     );
     let _ = json::update_bench_json(&path, "net_overhead", &json::jarray(net_json));
 
+    // Columnar-vs-row interpreter head-to-head (the acceptance number for
+    // the vectorized trigger path): the same stream through a single
+    // threaded worker with the `HOTDOG_COLUMNAR` knob off and on.  One
+    // worker so trigger execution dominates; both arms are bit-identical
+    // in output, so the ratio is pure interpreter speed.
+    let mut col_rows = Vec::new();
+    let mut col_json = Vec::new();
+    for id in ["Q3", "Q6"] {
+        let q = query(id).unwrap();
+        let cmp = compare_columnar(&q, 1, 16, 32 * tuples_per_batch);
+        col_rows.push(vec![
+            id.into(),
+            "1".into(),
+            format!("16 x {}", 32 * tuples_per_batch),
+            f(cmp.row.throughput / 1e3),
+            f(cmp.columnar.throughput / 1e3),
+            format!("{:.2}x", cmp.columnar_vs_row()),
+        ]);
+        col_json.push(cmp.to_json());
+    }
+    print_table(
+        "Columnar trigger execution (row interpreter vs vectorized, 1 worker)",
+        &[
+            "query",
+            "workers",
+            "stream",
+            "row (Ktup/s)",
+            "columnar (Ktup/s)",
+            "columnar/row",
+        ],
+        &col_rows,
+    );
+    let _ = json::update_bench_json(&path, "columnar", &json::jarray(col_json));
+
     // Static-vs-adaptive coalescing on a stream whose batch-size
     // distribution shifts mid-run (the adaptive controller's acceptance
     // number: `adaptive_vs_best_static`).  Phase sizes scale with

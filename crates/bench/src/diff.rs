@@ -9,7 +9,7 @@
 //!   within one run (`pipeline_stream[*].speedup`,
 //!   `adaptive_stream[*].adaptive_vs_best_static`,
 //!   `async_gather[*].speedup` / `async_gather_strong[*].speedup`,
-//!   `net_overhead[*].tcp_vs_threaded`).
+//!   `net_overhead[*].tcp_vs_threaded`, `columnar[*].columnar_vs_row`).
 //!   These are the tight gate: a drop means the *relative* win shrank.
 //! * **throughput metrics** — absolute tuples/sec
 //!   (`fig9_weak_scaling.rows[*].throughput_tps`, same for fig10).  These
@@ -183,12 +183,13 @@ fn diff_metric(
 /// Shared by the per-PR gate ([`diff_artifacts`]), and by the
 /// `bench_history` tool that appends one flattened line per main-branch
 /// run to the committed `BENCH_HISTORY.jsonl`.
-pub const RATIO_SECTIONS: [(&str, &str); 5] = [
+pub const RATIO_SECTIONS: [(&str, &str); 6] = [
     ("pipeline_stream", "speedup"),
     ("adaptive_stream", "adaptive_vs_best_static"),
     ("async_gather", "speedup"),
     ("async_gather_strong", "speedup"),
     ("net_overhead", "tcp_vs_threaded"),
+    ("columnar", "columnar_vs_row"),
 ];
 
 /// Per-run telemetry counters tracked across artifacts *without* gating
@@ -207,13 +208,15 @@ pub const TRACKED_TELEMETRY_FIELDS: [&str; 4] = [
 /// carry no telemetry; the head-to-head comparisons always run on a
 /// real backend, so their embedded [`DistRun`](crate::DistRun) objects
 /// are the durable cross-PR record of message/byte/instruction counts.
-pub const TRACKED_TELEMETRY_RUNS: [(&str, &str); 6] = [
+pub const TRACKED_TELEMETRY_RUNS: [(&str, &str); 8] = [
     ("pipeline_stream", "sync"),
     ("pipeline_stream", "pipelined"),
     ("async_gather", "fifo"),
     ("async_gather", "tagged"),
     ("net_overhead", "threaded"),
     ("net_overhead", "tcp"),
+    ("columnar", "row"),
+    ("columnar", "columnar"),
 ];
 
 /// Collect `(key, value)` for one telemetry field over the nested run

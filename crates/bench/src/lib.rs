@@ -945,6 +945,99 @@ pub fn compare_net_overhead(
     }
 }
 
+/// Head-to-head of the row-at-a-time reference interpreter against the
+/// columnar vectorized path (`hotdog-exec`'s `vectorized` module) on the
+/// same stream, same single-worker threaded cluster, same schedule — the
+/// throughput ratio isolates what per-tuple interpretation costs.  Both
+/// arms produce bit-identical results (the differential tests hold them to
+/// that), so this ratio is pure speed.
+#[derive(Clone, Debug)]
+pub struct ColumnarComparison {
+    pub query: String,
+    pub workers: usize,
+    pub n_batches: usize,
+    pub tuples_per_batch: usize,
+    /// The reference interpreter arm (`set_columnar(false)`).
+    pub row: DistRun,
+    /// The vectorized arm (`set_columnar(true)`, the default mode).
+    pub columnar: DistRun,
+}
+
+impl ColumnarComparison {
+    /// Columnar over row throughput (> 1 when vectorization pays).
+    pub fn columnar_vs_row(&self) -> f64 {
+        if self.row.throughput == 0.0 {
+            0.0
+        } else {
+            self.columnar.throughput / self.row.throughput
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        json::JsonObj::new()
+            .str("query", &self.query)
+            .int("workers", self.workers as u64)
+            .int("n_batches", self.n_batches as u64)
+            .int("tuples_per_batch", self.tuples_per_batch as u64)
+            .num("columnar_vs_row", self.columnar_vs_row())
+            .raw("row", self.row.to_json())
+            .raw("columnar", self.columnar.to_json())
+            .render()
+    }
+}
+
+/// Run the columnar-vs-row comparison on a fig9-family stream
+/// (`n_batches`×`tuples_per_batch`, single worker so trigger execution —
+/// not scheduling — dominates).  The interpreter knob is flipped
+/// process-wide per arm via [`hotdog::exec::set_columnar`]; arms alternate
+/// and each is represented by its median-of-3 run, the same treatment as
+/// [`compare_net_overhead`].  The knob is restored to columnar (the
+/// default) before returning.
+pub fn compare_columnar(
+    q: &CatalogQuery,
+    workers: usize,
+    n_batches: usize,
+    tuples_per_batch: usize,
+) -> ColumnarComparison {
+    const REPEATS: usize = 3;
+    let stream = stream_for(q, n_batches * tuples_per_batch, 64);
+    let mut row_runs = Vec::with_capacity(REPEATS);
+    let mut col_runs = Vec::with_capacity(REPEATS);
+    for _ in 0..REPEATS {
+        hotdog::exec::set_columnar(false);
+        row_runs.push(run_distributed_on(
+            q,
+            &stream,
+            workers,
+            tuples_per_batch,
+            OptLevel::O3,
+            BackendKind::Threaded,
+        ));
+        hotdog::exec::set_columnar(true);
+        col_runs.push(run_distributed_on(
+            q,
+            &stream,
+            workers,
+            tuples_per_batch,
+            OptLevel::O3,
+            BackendKind::Threaded,
+        ));
+    }
+    hotdog::exec::set_columnar(true);
+    let median = |mut runs: Vec<DistRun>| -> DistRun {
+        runs.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+        runs.swap_remove(REPEATS / 2)
+    };
+    ColumnarComparison {
+        query: q.id.to_string(),
+        workers,
+        n_batches,
+        tuples_per_batch,
+        row: median(row_runs),
+        columnar: median(col_runs),
+    }
+}
+
 /// Print a plain-text table: header row then rows, columns padded.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -397,7 +397,7 @@ pub fn partition_shards(
     for (t, m) in src.iter() {
         for w in pf.route(&schema, t, workers) {
             shards[w].add(t.clone(), m);
-            bytes += t.serialized_size() + 8;
+            bytes += t.values_size() + 8;
         }
     }
     let shards = shards.into_iter().map(|s| s.canonical()).collect();

@@ -198,11 +198,21 @@ impl WorkerState {
                     temps: &self.temps,
                     deltas,
                 };
-                let mut ev = Evaluator::new(&cat);
-                let r = ev.eval(expr);
+                // Columnar fast path first (bit-identical results and
+                // counters); row interpreter for unsupported shapes.
+                let mut ev_counters = EvalCounters::default();
+                let r = match hotdog_exec::eval_vectorized(expr, &cat, &mut ev_counters) {
+                    Some(r) => r,
+                    None => {
+                        let mut ev = Evaluator::new(&cat);
+                        let r = ev.eval(expr);
+                        ev_counters = ev.counters;
+                        r
+                    }
+                };
                 self.stats.statements += 1;
-                self.stats.instructions += ev.counters.instructions();
-                counters.add(&ev.counters);
+                self.stats.instructions += ev_counters.instructions();
+                counters.add(&ev_counters);
                 r
             };
             self.apply(stmt, result);

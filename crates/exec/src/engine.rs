@@ -236,9 +236,21 @@ impl LocalEngine {
                     db: &self.db,
                     deltas: &deltas,
                 };
-                let mut ev = Evaluator::new(&catalog);
-                let r = ev.eval(&stmt.expr);
-                stats.eval.add(&ev.counters);
+                // Columnar fast path first; row interpreter for shapes the
+                // vectorizer bails on.  Both produce bit-identical results
+                // and counters.
+                let mut counters = EvalCounters::default();
+                let r =
+                    match crate::vectorized::eval_vectorized(&stmt.expr, &catalog, &mut counters) {
+                        Some(r) => r,
+                        None => {
+                            let mut ev = Evaluator::new(&catalog);
+                            let r = ev.eval(&stmt.expr);
+                            counters = ev.counters;
+                            r
+                        }
+                    };
+                stats.eval.add(&counters);
                 r
             };
             match stmt.op {

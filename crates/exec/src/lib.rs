@@ -7,12 +7,24 @@
 //!   access-pattern analysis;
 //! * [`engine::LocalEngine`] — the trigger interpreter, supporting
 //!   single-tuple and batched execution (with optional batch
-//!   pre-aggregation) and metering evaluator/storage operation counts.
+//!   pre-aggregation) and metering evaluator/storage operation counts;
+//! * [`vectorized`] — the columnar fast path: trigger statements compiled
+//!   to slot-addressed [`vectorized::VectorPlan`]s executed one operator per
+//!   batch over column slices, bit-identical to the reference interpreter
+//!   (toggle with `HOTDOG_COLUMNAR`).
+//!
+//! Both the local engine and the distributed `WorkerState` funnel every
+//! trigger statement through [`vectorized::eval_vectorized`] first and fall
+//! back to the row-at-a-time [`Evaluator`](hotdog_algebra::eval::Evaluator)
+//! for shapes the vectorizer does not cover, so the two interpreters can
+//! never diverge observably.
 
 #![forbid(unsafe_code)]
 
 pub mod database;
 pub mod engine;
+pub mod vectorized;
 
 pub use database::{Database, ExecCatalog};
 pub use engine::{relabel, used_delta_columns, BatchStats, EngineTotals, ExecMode, LocalEngine};
+pub use vectorized::{columnar_enabled, eval_vectorized, set_columnar, VectorPlan};

@@ -19,14 +19,19 @@
 //! the two backends can only differ in how bytes move.  The differential
 //! oracle holds `TcpCluster` bit-for-bit against the simulated cluster.
 
-use crate::codec::{decode_from_slice, encode_to_vec, ToDriver, ToWorker};
+use crate::codec::{
+    decode_from_slice, encode_deltas_segment, encode_statements_segment, encode_to_vec, ToDriver,
+    ToWorker,
+};
 use crate::faults::{FaultPlan, FaultState, KillSpec, Phase};
-use crate::frame::{read_frame, recv_msg, send_payload};
+use crate::frame::{read_frame, recv_msg, send_payload, send_payload_parts};
 use hotdog_algebra::relation::Relation;
+use hotdog_distributed::program::DistStatement;
 use hotdog_distributed::protocol::{WorkerReply, WorkerRequest};
 use hotdog_distributed::{Backend, BatchExecution, ClusterTotals, DistributedPlan, PipelineStats};
 use hotdog_runtime::{Driver, PipelineConfig, Transport, TransportNames, WorkerDead};
 use hotdog_telemetry::{Counter, Histogram, Telemetry};
+use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::ops::{Deref, DerefMut};
@@ -215,6 +220,12 @@ struct NetMetrics {
     fault_injected: Arc<Counter>,
     encode_micros: Arc<Histogram>,
     decode_micros: Arc<Histogram>,
+    /// Broadcast body segments served from the encode cache (no
+    /// re-encoding) vs. encoded fresh.  Wall-clock-free but wire-only,
+    /// so `net.*`-prefixed and excluded from the deterministic snapshot
+    /// like the rest of this registry.
+    broadcast_cache_hits: Arc<Counter>,
+    broadcast_cache_misses: Arc<Counter>,
 }
 
 impl NetMetrics {
@@ -229,6 +240,8 @@ impl NetMetrics {
             fault_injected: t.counter("fault.injected"),
             encode_micros: t.histogram("net.encode_micros"),
             decode_micros: t.histogram("net.decode_micros"),
+            broadcast_cache_hits: t.counter("net.broadcast.cache_hits"),
+            broadcast_cache_misses: t.counter("net.broadcast.cache_misses"),
         }
     }
 }
@@ -256,6 +269,11 @@ struct WorkerConn {
     dead: bool,
 }
 
+/// An encoded broadcast segment paired with the `Arc` that keys it — the
+/// held `Arc` pins the allocation, so the cache's pointer key can never be
+/// reused for different content.
+type CachedSegment<T> = (Arc<T>, Arc<Vec<u8>>);
+
 /// [`Transport`] implementation over per-worker TCP connections.
 pub struct TcpTransport {
     conns: Vec<WorkerConn>,
@@ -274,6 +292,19 @@ pub struct TcpTransport {
     /// counters land in one registry.
     telemetry: Arc<Telemetry>,
     metrics: NetMetrics,
+    /// Zero-copy broadcast cache for `RunBlock` statement segments, keyed
+    /// by `Arc` identity of the program's statement list.  The driver
+    /// shares one `Arc<Vec<DistStatement>>` per block per *cluster*
+    /// (`SharedBlock`), so each program encodes once here and the bytes
+    /// are reused for every worker of every batch thereafter.  Holding
+    /// the keying `Arc` in the value pins the allocation, so a pointer
+    /// key can never be reused for a different program.
+    program_cache: HashMap<usize, CachedSegment<Vec<DistStatement>>>,
+    /// Single-slot cache for the deltas segment of the in-flight
+    /// broadcast: the driver hands every worker of one batch the same
+    /// `Arc`'d deltas map, so the segment encodes once per batch instead
+    /// of once per worker.
+    deltas_cache: Option<CachedSegment<HashMap<String, Relation>>>,
 }
 
 /// Request ids for transport-injected `Ping`s live in their own half of
@@ -489,6 +520,8 @@ impl TcpTransport {
             ping_seq: 0,
             telemetry: telemetry.clone(),
             metrics: metrics.clone(),
+            program_cache: HashMap::new(),
+            deltas_cache: None,
         })
     }
 
@@ -817,6 +850,46 @@ impl TcpTransport {
         };
         Ok(())
     }
+
+    /// Encoded statements segment for a broadcast, served from the
+    /// per-cluster cache when this exact `Arc` was seen before.
+    fn cached_statements(&mut self, statements: &Arc<Vec<DistStatement>>) -> Arc<Vec<u8>> {
+        let key = Arc::as_ptr(statements) as usize;
+        if let Some((held, bytes)) = self.program_cache.get(&key) {
+            if Arc::ptr_eq(held, statements) {
+                self.metrics.broadcast_cache_hits.inc();
+                return bytes.clone();
+            }
+        }
+        let encode_start = Instant::now();
+        let bytes = Arc::new(encode_statements_segment(statements));
+        self.metrics
+            .encode_micros
+            .record_duration(encode_start.elapsed());
+        self.metrics.broadcast_cache_misses.inc();
+        self.program_cache
+            .insert(key, (statements.clone(), bytes.clone()));
+        bytes
+    }
+
+    /// Encoded deltas segment for a broadcast, served from the
+    /// single-slot per-batch cache when this exact `Arc` was seen last.
+    fn cached_deltas(&mut self, deltas: &Arc<HashMap<String, Relation>>) -> Arc<Vec<u8>> {
+        if let Some((held, bytes)) = &self.deltas_cache {
+            if Arc::ptr_eq(held, deltas) {
+                self.metrics.broadcast_cache_hits.inc();
+                return bytes.clone();
+            }
+        }
+        let encode_start = Instant::now();
+        let bytes = Arc::new(encode_deltas_segment(deltas));
+        self.metrics
+            .encode_micros
+            .record_duration(encode_start.elapsed());
+        self.metrics.broadcast_cache_misses.inc();
+        self.deltas_cache = Some((deltas.clone(), bytes.clone()));
+        bytes
+    }
 }
 
 impl Transport for TcpTransport {
@@ -841,14 +914,43 @@ impl Transport for TcpTransport {
                 });
             }
         }
-        let encode_start = Instant::now();
-        let payload = encode_to_vec(&ToWorker::Request(request));
-        self.metrics
-            .encode_micros
-            .record_duration(encode_start.elapsed());
-        self.metrics.frames_sent.inc();
-        self.metrics.bytes_sent.add(payload.len() as u64 + 4);
-        if let Err(e) = send_payload(&mut self.conns[w].stream, &payload) {
+        let sent = match request {
+            // Broadcast fast path: `RunBlock` frames share their body
+            // across workers — `[0x41][0x00][id]` is the only per-worker
+            // part; the statements segment is cached per cluster and the
+            // deltas segment per batch, so neither re-encodes per worker.
+            // Byte-identical on the wire to the generic path below.
+            WorkerRequest::RunBlock {
+                id,
+                statements,
+                deltas,
+            } => {
+                let mut header = [0u8; 10];
+                header[0] = 0x41; // ToWorker::Request
+                header[1] = 0x00; // WorkerRequest::RunBlock
+                header[2..].copy_from_slice(&id.to_le_bytes());
+                let stmt_bytes = self.cached_statements(&statements);
+                let delta_bytes = self.cached_deltas(&deltas);
+                let total = header.len() + stmt_bytes.len() + delta_bytes.len();
+                self.metrics.frames_sent.inc();
+                self.metrics.bytes_sent.add(total as u64 + 4);
+                send_payload_parts(
+                    &mut self.conns[w].stream,
+                    &[&header[..], &stmt_bytes[..], &delta_bytes[..]],
+                )
+            }
+            other => {
+                let encode_start = Instant::now();
+                let payload = encode_to_vec(&ToWorker::Request(other));
+                self.metrics
+                    .encode_micros
+                    .record_duration(encode_start.elapsed());
+                self.metrics.frames_sent.inc();
+                self.metrics.bytes_sent.add(payload.len() as u64 + 4);
+                send_payload(&mut self.conns[w].stream, &payload)
+            }
+        };
+        if let Err(e) = sent {
             return Err(self.declare_dead(w, &format!("send failed: {e}")));
         }
         if let Some(spec) = &fired {

@@ -348,30 +348,55 @@ impl Wire for Schema {
     }
 }
 
-/// Encoded as the **sorted** pair list; decoding replays that order into
-/// an empty map, so `decode(encode(r))` is exactly [`Relation::canonical`]
-/// of `r` — content-equal bit-for-bit, and layout-equal to what every
-/// in-process backend holds after its own canonicalization.
+/// Encoded **column-contiguous** in sorted row order: after the schema and
+/// the row count come all of column 0's values, then column 1's, …, then
+/// the raw `f64` multiplicity bits, one contiguous run per column — the
+/// shuffle buffer is written as column slices, with no per-row framing
+/// (arity lives in the schema).  Decoding rebuilds the rows in that sorted
+/// order and replays them into an empty map, so `decode(encode(r))` is
+/// exactly [`Relation::canonical`] of `r` — content-equal bit-for-bit, and
+/// layout-equal to what every in-process backend holds after its own
+/// canonicalization.
 impl Wire for Relation {
     fn encode(&self, out: &mut Vec<u8>) {
         self.schema().encode(out);
         (self.len() as u32).encode(out);
-        for (t, m) in self.sorted() {
-            t.encode(out);
+        let rows = self.sorted();
+        for j in 0..self.schema().len() {
+            for (t, _) in &rows {
+                t.get(j).encode(out);
+            }
+        }
+        for (_, m) in &rows {
             m.encode(out);
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let schema = Schema::decode(r)?;
         let len = u32::decode(r)? as usize;
+        let arity = schema.len();
+        let mut cols: Vec<Vec<Value>> = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let mut col = Vec::with_capacity(len.min(r.remaining()));
+            for _ in 0..len {
+                col.push(Value::decode(r)?);
+            }
+            cols.push(col);
+        }
         let mut rel = Relation::new(schema);
-        for _ in 0..len {
-            let t = Tuple::decode(r)?;
+        for i in 0..len {
+            let t = Tuple(cols.iter_mut().map(|c| take_value(c, i)).collect());
             let m = f64::decode(r)?;
             rel.add(t, m);
         }
         Ok(rel)
     }
+}
+
+/// Move column `c`'s row-`i` value out without cloning (the slot is never
+/// read again — rows are rebuilt in ascending `i`).
+fn take_value(c: &mut [Value], i: usize) -> Value {
+    std::mem::replace(&mut c[i], Value::Long(0))
 }
 
 // ---------------------------------------------------------------------------
@@ -821,6 +846,30 @@ fn encode_deltas(deltas: &HashMap<String, Relation>, out: &mut Vec<u8>) {
         name.encode(out);
         rel.encode(out);
     }
+}
+
+/// Encode the statements segment of a `RunBlock` broadcast on its own.
+///
+/// `ToWorker::Request(RunBlock { id, statements, deltas })` encodes as
+/// `[0x41][0x00][id: 8B LE]` followed by this segment and then
+/// [`encode_deltas_segment`] — the transport exploits that split to encode
+/// each segment once per cluster (keyed by `Arc` identity) and share the
+/// immutable bytes across all workers of a broadcast.
+pub fn encode_statements_segment(statements: &[DistStatement]) -> Vec<u8> {
+    let mut out = Vec::new();
+    (statements.len() as u32).encode(&mut out);
+    for stmt in statements {
+        stmt.encode(&mut out);
+    }
+    out
+}
+
+/// Encode the deltas segment of a `RunBlock` broadcast on its own (see
+/// [`encode_statements_segment`]).
+pub fn encode_deltas_segment(deltas: &HashMap<String, Relation>) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_deltas(deltas, &mut out);
+    out
 }
 
 fn decode_deltas(r: &mut Reader<'_>) -> Result<HashMap<String, Relation>, DecodeError> {

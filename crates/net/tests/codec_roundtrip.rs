@@ -11,7 +11,7 @@ use hotdog_algebra::tuple::Tuple;
 use hotdog_algebra::value::Value;
 use hotdog_distributed::protocol::{WorkerReply, WorkerRequest};
 use hotdog_ivm::{compile_recursive, MaintenancePlan};
-use hotdog_net::codec::{ToDriver, ToWorker};
+use hotdog_net::codec::{encode_deltas_segment, encode_statements_segment, ToDriver, ToWorker};
 use hotdog_net::{decode_from_slice, encode_to_vec, read_frame, write_frame, DecodeError};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -358,6 +358,103 @@ fn protocol_messages_roundtrip() {
             assert_eq!(r.checksum(), rel.checksum());
         }
         _ => panic!("wrong variant"),
+    }
+}
+
+/// A seeded random distributed trigger program (statements the driver
+/// would broadcast) plus a seeded delta map — the two cacheable segments
+/// of a `RunBlock` broadcast.
+fn rand_run_block(
+    rng: &mut StdRng,
+) -> (
+    Vec<hotdog_distributed::program::DistStatement>,
+    std::collections::HashMap<String, Relation>,
+) {
+    use hotdog_algebra::expr::{join, rel, sum, sum_total};
+    let queries = [
+        sum(["B"], join(rel("R", ["A", "B"]), rel("S", ["B", "C"]))),
+        sum_total(join(rel("R", ["A", "B"]), rel("S", ["B", "C"]))),
+        sum(["A"], rel("R", ["A", "B"])),
+    ];
+    let q = &queries[rng.gen_range(0usize..queries.len())];
+    let plan = compile_recursive("Q", q);
+    let spec = hotdog_distributed::PartitioningSpec::heuristic(&plan, &["A"]);
+    let opt = [
+        hotdog_distributed::OptLevel::O0,
+        hotdog_distributed::OptLevel::O3,
+    ][rng.gen_range(0usize..2)];
+    let dplan = hotdog_distributed::compile_distributed(&plan, &spec, opt);
+    let statements: Vec<_> = dplan.programs[0]
+        .blocks
+        .iter()
+        .flat_map(|b| b.statements.clone())
+        .collect();
+    let mut deltas = std::collections::HashMap::new();
+    for name in ["R", "S"] {
+        if rng.gen_range(0usize..3) > 0 {
+            deltas.insert(name.to_string(), rand_relation(rng));
+        }
+    }
+    (statements, deltas)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The zero-copy broadcast path's contract: a `RunBlock` request wire
+    /// message is **exactly** the 10-byte per-worker header
+    /// (`[0x41][0x00][id: 8B LE]`) followed by the statements segment and
+    /// the deltas segment.  The TCP transport encodes the two segments
+    /// once per cluster and writes the shared bytes to every socket, so
+    /// this byte-level equality is what guarantees a cached broadcast is
+    /// indistinguishable from a freshly encoded one.
+    #[test]
+    fn shared_broadcast_segments_match_full_encoding(seed in 1usize..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed as u64);
+        let (statements, deltas) = rand_run_block(&mut rng);
+        let id: u64 = match rng.gen_range(0usize..3) {
+            0 => rng.next_u64(),
+            1 => 0,
+            _ => u64::MAX,
+        };
+
+        let stmt_segment = encode_statements_segment(&statements);
+        let delta_segment = encode_deltas_segment(&deltas);
+        let mut assembled = Vec::with_capacity(10 + stmt_segment.len() + delta_segment.len());
+        assembled.push(0x41); // ToWorker::Request
+        assembled.push(0x00); // WorkerRequest::RunBlock
+        assembled.extend_from_slice(&id.to_le_bytes());
+        assembled.extend_from_slice(&stmt_segment);
+        assembled.extend_from_slice(&delta_segment);
+
+        let full = encode_to_vec(&ToWorker::Request(WorkerRequest::RunBlock {
+            id,
+            statements: Arc::new(statements.clone()),
+            deltas: Arc::new(deltas.clone()),
+        }));
+        // Byte equality with the monolithic encoder is the whole contract.
+        prop_assert_eq!(&assembled, &full);
+
+        // And the assembled bytes decode back to the same request —
+        // a worker cannot tell a cached broadcast from a fresh one.
+        match decode_from_slice::<ToWorker>(&assembled)
+            .map_err(|e| format!("assembled broadcast failed to decode: {e}"))? {
+            ToWorker::Request(WorkerRequest::RunBlock { id: rid, statements: st, deltas: d }) => {
+                prop_assert_eq!(rid, id);
+                prop_assert_eq!(st.len(), statements.len());
+                prop_assert_eq!(d.len(), deltas.len());
+                for (name, rel) in deltas.iter() {
+                    prop_assert_eq!(d[name].checksum(), rel.checksum());
+                }
+            }
+            _ => panic!("wrong variant"),
+        }
+
+        // Segment encoders are pure: identical input, identical bytes —
+        // the property that makes Arc-identity caching sound (a cache hit
+        // returns bytes no re-encode could differ from).
+        prop_assert_eq!(&encode_statements_segment(&statements), &stmt_segment);
+        prop_assert_eq!(&encode_deltas_segment(&deltas), &delta_segment);
     }
 }
 

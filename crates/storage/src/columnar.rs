@@ -1,4 +1,4 @@
-//! Column-oriented batches (Section 5.2.2).
+//! Column-oriented batches and vectorized selection kernels (Section 5.2.2).
 //!
 //! Input update batches and shuffle buffers are kept in a columnar layout:
 //! filtering on simple static predicates touches only the referenced columns
@@ -7,6 +7,15 @@
 //! the query's static conditions, then *pre-aggregates* it onto the columns
 //! actually used by the maintenance code (Section 3.3, "Preprocessing
 //! batches"), and only then runs the maintenance statements.
+//!
+//! The free functions at the bottom ([`compact_column`], [`compact_mults`],
+//! [`gather_column`]) are the *kernels* of the vectorized trigger
+//! interpreter (`hotdog-exec`'s `vectorized` module): a filter predicate is
+//! evaluated once over a column slice into a keep-mask and every live column
+//! is compacted through it in one pass; a join probe produces a gather index
+//! (which input row each output row fans out from) and every live column is
+//! gathered through it in one pass.  One dispatch per operator per batch,
+//! instead of one environment walk per tuple.
 
 use hotdog_algebra::relation::Relation;
 use hotdog_algebra::ring::Mult;
@@ -17,6 +26,27 @@ use std::collections::HashMap;
 
 /// A batch of updates in columnar layout: one `Vec<Value>` per column plus a
 /// multiplicity column (positive = insert, negative = delete).
+///
+/// ```
+/// use hotdog_algebra::schema::Schema;
+/// use hotdog_algebra::tuple::Tuple;
+/// use hotdog_algebra::value::Value;
+/// use hotdog_storage::columnar::ColumnarBatch;
+///
+/// let batch = ColumnarBatch::from_rows(
+///     Schema::new(["a", "b"]),
+///     vec![
+///         (Tuple(vec![Value::Long(1), Value::Long(10)]), 1.0),
+///         (Tuple(vec![Value::Long(2), Value::Long(10)]), -1.0),
+///     ],
+/// );
+/// assert_eq!(batch.len(), 2);
+/// // Columns are contiguous: predicates touch only the referenced column.
+/// assert_eq!(batch.column("b").unwrap(), &[Value::Long(10), Value::Long(10)]);
+/// let kept = batch.filter_column("a", |v| v == &Value::Long(1));
+/// assert_eq!(kept.len(), 1);
+/// assert_eq!(kept.multiplicities(), &[1.0]);
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct ColumnarBatch {
     schema: Schema,
@@ -184,6 +214,72 @@ impl ColumnarBatch {
         }
         out
     }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized selection kernels
+// ---------------------------------------------------------------------------
+
+/// Keep the values of `src` whose position is `true` in `keep`, in order —
+/// the column-at-a-time half of a vectorized filter.  The predicate is
+/// evaluated once into a mask, then every live column is compacted through
+/// the same mask in one tight pass.
+///
+/// ```
+/// use hotdog_algebra::value::Value;
+/// use hotdog_storage::columnar::compact_column;
+///
+/// let col = vec![Value::Long(1), Value::Long(2), Value::Long(3)];
+/// let keep = [true, false, true];
+/// assert_eq!(
+///     compact_column(&col, &keep),
+///     vec![Value::Long(1), Value::Long(3)]
+/// );
+/// ```
+pub fn compact_column(src: &[Value], keep: &[bool]) -> Vec<Value> {
+    debug_assert_eq!(src.len(), keep.len());
+    src.iter()
+        .zip(keep)
+        .filter(|(_, &k)| k)
+        .map(|(v, _)| v.clone())
+        .collect()
+}
+
+/// [`compact_column`] for the multiplicity column (plain `f64`s).
+///
+/// ```
+/// use hotdog_storage::columnar::compact_mults;
+///
+/// assert_eq!(compact_mults(&[1.0, -2.0, 3.0], &[true, false, true]), vec![1.0, 3.0]);
+/// ```
+pub fn compact_mults(src: &[Mult], keep: &[bool]) -> Vec<Mult> {
+    debug_assert_eq!(src.len(), keep.len());
+    src.iter()
+        .zip(keep)
+        .filter(|(_, &k)| k)
+        .map(|(m, _)| *m)
+        .collect()
+}
+
+/// Gather `src[idx[j]]` for each output row `j` — the column-at-a-time half
+/// of a join probe's fan-out.  The probe loop records, per output row, which
+/// input row it fans out from; every previously bound column is then gathered
+/// through that index vector in one pass instead of being re-materialized
+/// tuple by tuple.
+///
+/// ```
+/// use hotdog_algebra::value::Value;
+/// use hotdog_storage::columnar::gather_column;
+///
+/// let col = vec![Value::Long(10), Value::Long(20)];
+/// // Row 0 matched twice, row 1 once.
+/// assert_eq!(
+///     gather_column(&col, &[0, 0, 1]),
+///     vec![Value::Long(10), Value::Long(10), Value::Long(20)]
+/// );
+/// ```
+pub fn gather_column(src: &[Value], idx: &[u32]) -> Vec<Value> {
+    idx.iter().map(|&i| src[i as usize].clone()).collect()
 }
 
 #[cfg(test)]

@@ -8,6 +8,19 @@
 //!   non-unique hash indexes for `slice` access patterns;
 //! * [`columnar::ColumnarBatch`] — column-oriented update batches supporting
 //!   static-predicate filtering and batch pre-aggregation.
+//!
+//! The [`columnar`] module also exports the **vectorized kernels**
+//! ([`columnar::compact_column`], [`columnar::compact_mults`],
+//! [`columnar::gather_column`]) that the trigger interpreter's columnar
+//! fast path (`hotdog_exec::vectorized`) applies to whole column slices —
+//! one dispatch per operator per batch instead of one per tuple.  They are
+//! plain functions over `&[Value]` so both the batch admission path and
+//! the trigger executor share one implementation.
+//!
+//! Everything here is layout, not policy: which index a plan probes, or
+//! whether a statement runs row-at-a-time or vectorized, is decided in
+//! `hotdog-exec`; this crate guarantees the two access paths observe the
+//! same bytes in the same order.
 
 #![forbid(unsafe_code)]
 

@@ -26,6 +26,11 @@
 //! * **full recomputation** — from-scratch evaluation of the query over the
 //!   accumulated base relations (the ground truth).
 //!
+//! A separate arm flips the **columnar interpreter knob** per run
+//! (`set_columnar`): the vectorized trigger path and the row `Evaluator`
+//! must agree bit-for-bit on every catalog query (see
+//! `columnar_vs_row_differential`).
+//!
 //! Backends that execute the *same trigger sequence* perform identical
 //! per-node statement sequences over deterministically-hashed containers,
 //! so they are compared **bit-for-bit** via sorted-order [`ViewChecksum`]s
@@ -337,6 +342,58 @@ fn batch_size_extremes_agree() {
             )
             .unwrap_or_else(|msg| panic!("{msg}"));
         }
+    }
+}
+
+/// Columnar-vs-row interpreter differential: the vectorized trigger path
+/// (`hotdog_exec::vectorized`, on by default) must be *invisible* — for
+/// every catalog query, the same stream through the same backend with the
+/// `HOTDOG_COLUMNAR` knob flipped per arm must produce **bit-for-bit**
+/// identical results (integer and float workloads alike: the vectorized
+/// path reproduces the row interpreter's emission order and float
+/// operation order exactly), and coalesced pipelined runs — whose trigger
+/// sequence differs from the synchronous schedule but is identical
+/// *between the two arms* — are additionally held to the `1e-9` relative
+/// tolerance the coalescing contract uses.
+///
+/// The knob is process-global, so both arms run sequentially inside one
+/// test; the knob is restored to columnar (the default) afterwards.
+/// Concurrent tests observing the flipped knob still pass — that equality
+/// is exactly what this test asserts.
+#[test]
+fn columnar_vs_row_differential() {
+    let workers_list = workers_under_test();
+    for (i, q) in all_queries().iter().enumerate() {
+        let workers = workers_list[i % workers_list.len()];
+        let opt = OPT_LEVELS[i % OPT_LEVELS.len()];
+        let stream = mixed_stream(q, 200, 0xC01A + i as u64, 0.25);
+        let batches = stream.batches(32);
+        let coalesce = PipelineConfig::with_coalesce(256);
+
+        set_columnar(false);
+        let row_sync = run_backend(ThreadedCluster::new(compile_for(q, opt), workers), &batches);
+        let row_coalesced = run_backend(
+            ThreadedCluster::pipelined(compile_for(q, opt), workers, coalesce.clone()),
+            &batches,
+        );
+        set_columnar(true);
+        let col_sync = run_backend(ThreadedCluster::new(compile_for(q, opt), workers), &batches);
+        let col_coalesced = run_backend(
+            ThreadedCluster::pipelined(compile_for(q, opt), workers, coalesce),
+            &batches,
+        );
+
+        let (cs_row, cs_col) = (row_sync.checksum(), col_sync.checksum());
+        assert_eq!(
+            cs_row, cs_col,
+            "{} {opt:?} x{workers}: columnar != row bit-for-bit ({cs_col} vs {cs_row})",
+            q.id
+        );
+        assert!(
+            col_coalesced.approx_eq_eps(&row_coalesced, 1e-9),
+            "{} {opt:?} x{workers}: coalesced columnar diverged from coalesced row\nrow {row_coalesced:?}\ncol {col_coalesced:?}",
+            q.id
+        );
     }
 }
 
