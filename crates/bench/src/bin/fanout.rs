@@ -1,0 +1,216 @@
+//! Fan-out bench: the serving layer's shared-plan claim, measured.
+//!
+//! N synthetic subscribers (default 10 000, `HOTDOG_FANOUT_SUBS`) register
+//! parameter bindings over one TPC-H standing-query shape; the hub
+//! maintains **one** trigger program and fans each committed batch's
+//! captured delta out through the per-subscriber filters.  The
+//! counterfactual arm runs a sample of *independent* trigger programs —
+//! what N subscribers would cost without plan sharing — and extrapolates
+//! to N.
+//!
+//! Reported per `(query, workers)` entry in the `fanout` section of
+//! `BENCH_runtime.json` (gated by `bench_diff`, recorded by
+//! `bench_history`):
+//!
+//! * `subscribers_per_sec` — registration throughput (subscribe loop);
+//! * `push_p50_ms` / `push_p99_ms` — per-round fan-out latency (commit +
+//!   capture drain + N delta-splits);
+//! * `deltas_per_sec` — pushed delta throughput across the stream;
+//! * `shared_vs_per_subscriber` — extrapolated cost of N independent
+//!   programs over the shared-plan cost (the acceptance gate: ≥ 5x at
+//!   10k subscribers).
+
+use hotdog::prelude::*;
+use hotdog_bench::{f, json, num_cpus_capped, print_table, stream_for};
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct FanoutRun {
+    query: String,
+    workers: usize,
+    subscribers: usize,
+    rounds: usize,
+    deltas_pushed: u64,
+    subscribers_per_sec: f64,
+    push_p50_ms: f64,
+    push_p99_ms: f64,
+    deltas_per_sec: f64,
+    shared_secs: f64,
+    per_program_secs: f64,
+    shared_vs_per_subscriber: f64,
+}
+
+fn run_fanout(
+    q: &CatalogQuery,
+    workers: usize,
+    subscribers: usize,
+    tuples: usize,
+    batch_tuples: usize,
+    sample_programs: usize,
+) -> FanoutRun {
+    let shape = QueryShape::new(q.id, q.expr.clone(), q.partition_keys.iter().copied());
+    let stream = stream_for(q, tuples, 0xFA9);
+    let batches = stream.batches(batch_tuples);
+
+    // -- shared-plan arm: one program, N filtered subscribers ------------
+    let mut hub = SubscriptionHub::new(|_s: &QueryShape, dplan: DistributedPlan| {
+        ThreadedCluster::new(dplan, workers)
+    });
+    let start = Instant::now();
+    let (first_id, _) = hub.subscribe(&shape, ParamFilter::all());
+    let schema = hub.schema_of(first_id).expect("live").clone();
+    // Scalar views (e.g. Q6's total) have no columns to bind — every
+    // subscriber then takes the whole view, which only makes the
+    // fan-out split *more* expensive per subscriber, not less.
+    let column = schema.columns().first().cloned();
+    for i in 1..subscribers {
+        let filter = match &column {
+            Some(col) => ParamFilter::equals(col.clone(), Value::Long(i as i64 % 1000)),
+            None => ParamFilter::all(),
+        };
+        hub.subscribe(&shape, filter);
+    }
+    let subscribe_secs = start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(hub.active_programs(), 1);
+    assert_eq!(hub.subscriber_count(), subscribers);
+
+    let mut push_secs: Vec<f64> = Vec::with_capacity(batches.len());
+    let mut deltas_pushed = 0u64;
+    let shared_start = Instant::now();
+    for round in &batches {
+        for (rel, batch) in round {
+            hub.apply_batch(rel, batch);
+        }
+        let pump_start = Instant::now();
+        deltas_pushed += hub.pump().len() as u64;
+        push_secs.push(pump_start.elapsed().as_secs_f64());
+    }
+    let shared_secs = shared_start.elapsed().as_secs_f64().max(1e-9);
+
+    // -- counterfactual arm: independent programs, extrapolated to N -----
+    // Each subscriber without plan sharing runs its own trigger program
+    // over the same stream (its parameter filter only narrows the *read*;
+    // maintenance work is the full view's).  A small sample is measured
+    // and scaled.
+    let per_start = Instant::now();
+    for _ in 0..sample_programs {
+        let mut solo = ThreadedCluster::new(shape.compile(), workers);
+        for round in &batches {
+            for (rel, batch) in round {
+                solo.apply_batch(rel, batch);
+            }
+            // The per-round push a dedicated program would serve.
+            let _ = solo.query_result();
+        }
+    }
+    let per_program_secs =
+        per_start.elapsed().as_secs_f64().max(1e-9) / sample_programs.max(1) as f64;
+    let extrapolated = per_program_secs * subscribers as f64;
+
+    let mut sorted = push_secs.clone();
+    sorted.sort_by(f64::total_cmp);
+    let total_push: f64 = push_secs.iter().sum();
+    FanoutRun {
+        query: q.id.to_string(),
+        workers,
+        subscribers,
+        rounds: batches.len(),
+        deltas_pushed,
+        subscribers_per_sec: subscribers as f64 / subscribe_secs,
+        push_p50_ms: percentile(&sorted, 0.50) * 1e3,
+        push_p99_ms: percentile(&sorted, 0.99) * 1e3,
+        deltas_per_sec: deltas_pushed as f64 / total_push.max(1e-9),
+        shared_secs,
+        per_program_secs,
+        shared_vs_per_subscriber: extrapolated / shared_secs,
+    }
+}
+
+fn to_json(r: &FanoutRun) -> String {
+    json::JsonObj::new()
+        .str("query", &r.query)
+        .int("workers", r.workers as u64)
+        .int("subscribers", r.subscribers as u64)
+        .int("rounds", r.rounds as u64)
+        .int("deltas_pushed", r.deltas_pushed)
+        .num("subscribers_per_sec", r.subscribers_per_sec)
+        .num("push_p50_ms", r.push_p50_ms)
+        .num("push_p99_ms", r.push_p99_ms)
+        .num("deltas_per_sec", r.deltas_per_sec)
+        .num("shared_secs", r.shared_secs)
+        .num("per_program_secs", r.per_program_secs)
+        .num("shared_vs_per_subscriber", r.shared_vs_per_subscriber)
+        .render()
+}
+
+fn main() {
+    let subscribers = env_usize("HOTDOG_FANOUT_SUBS", 10_000);
+    let tuples = env_usize("HOTDOG_FANOUT_TUPLES", 4_000);
+    let batch_tuples = env_usize("HOTDOG_FANOUT_BATCH", 250);
+    let sample_programs = env_usize("HOTDOG_FANOUT_SAMPLE", 4);
+    // Same pinning knob as the other measured stream comparisons: CI fixes
+    // the worker count so entry keys match the committed baseline's.
+    let workers = std::env::var("HOTDOG_STREAM_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| num_cpus_capped(4));
+
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for id in ["Q3", "Q6"] {
+        let q = query(id).unwrap();
+        let run = run_fanout(
+            &q,
+            workers,
+            subscribers,
+            tuples,
+            batch_tuples,
+            sample_programs,
+        );
+        rows.push(vec![
+            run.query.clone(),
+            run.workers.to_string(),
+            run.subscribers.to_string(),
+            f(run.subscribers_per_sec / 1e3),
+            f(run.push_p50_ms),
+            f(run.push_p99_ms),
+            f(run.deltas_per_sec / 1e3),
+            f(run.shared_vs_per_subscriber),
+        ]);
+        entries.push(to_json(&run));
+    }
+    print_table(
+        &format!("Fan-out — shared-plan subscriptions ({subscribers} subscribers, x{workers})"),
+        &[
+            "query",
+            "workers",
+            "subs",
+            "sub/s (K)",
+            "push p50 (ms)",
+            "push p99 (ms)",
+            "deltas/s (K)",
+            "shared vs per-sub",
+        ],
+        &rows,
+    );
+
+    let path = json::bench_json_path();
+    match json::update_bench_json(&path, "fanout", &json::jarray(entries)) {
+        Ok(()) => eprintln!("wrote section \"fanout\" (2 entries) to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

@@ -183,13 +183,14 @@ fn diff_metric(
 /// Shared by the per-PR gate ([`diff_artifacts`]), and by the
 /// `bench_history` tool that appends one flattened line per main-branch
 /// run to the committed `BENCH_HISTORY.jsonl`.
-pub const RATIO_SECTIONS: [(&str, &str); 6] = [
+pub const RATIO_SECTIONS: [(&str, &str); 7] = [
     ("pipeline_stream", "speedup"),
     ("adaptive_stream", "adaptive_vs_best_static"),
     ("async_gather", "speedup"),
     ("async_gather_strong", "speedup"),
     ("net_overhead", "tcp_vs_threaded"),
     ("columnar", "columnar_vs_row"),
+    ("fanout", "shared_vs_per_subscriber"),
 ];
 
 /// Per-run telemetry counters tracked across artifacts *without* gating

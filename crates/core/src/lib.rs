@@ -15,6 +15,7 @@
 //! | distributed compiler & runtime | [`distributed`] | location tags, transformers, block fusion, the simulated cluster |
 //! | threaded runtime | [`runtime`] | the transport-generic driver and the thread-per-worker backend (`ThreadedCluster`) |
 //! | socket transport | [`net`] | length-prefixed binary codec and the multi-process TCP backend (`TcpCluster`) |
+//! | subscriptions | [`serve`] | multi-tenant standing-query hub: shared-plan fan-out, pushed [`serve::ViewDelta`]s, TCP subscribe protocol |
 //! | telemetry | [`telemetry`] | dependency-free metrics registry and the bounded flight recorder shared by every backend |
 //! | workloads | [`workload`] | TPC-H / TPC-DS style generators, streams and the query catalog |
 //!
@@ -44,6 +45,7 @@ pub use hotdog_exec as exec;
 pub use hotdog_ivm as ivm;
 pub use hotdog_net as net;
 pub use hotdog_runtime as runtime;
+pub use hotdog_serve as serve;
 pub use hotdog_storage as storage;
 pub use hotdog_telemetry as telemetry;
 pub use hotdog_workload as workload;
@@ -56,9 +58,9 @@ pub mod prelude {
         MapCatalog, Mult, RelKind, Relation, Schema, Tuple, ValExpr, Value, ViewChecksum,
     };
     pub use hotdog_distributed::{
-        compile_distributed, Backend, Cluster, ClusterConfig, DistributedPlan, LocTag, OptLevel,
-        PartitionFn, PartitioningSpec, WorkerSnapshot, WorkerState, WorkerStats,
-        WorkerStatsSnapshot,
+        compile_distributed, Backend, CaptureBatch, CapturedView, Cluster, ClusterConfig,
+        DeltaCapture, DistributedPlan, LocTag, OptLevel, PartitionFn, PartitioningSpec,
+        ViewAccumulator, WorkerSnapshot, WorkerState, WorkerStats, WorkerStatsSnapshot,
     };
     pub use hotdog_exec::{
         columnar_enabled, set_columnar, BatchStats, Database, ExecMode, LocalEngine,
@@ -73,6 +75,10 @@ pub mod prelude {
     pub use hotdog_runtime::{
         AdaptiveConfig, ChannelTransport, CoalesceController, Driver, FaultConfig, PipelineConfig,
         PipelineStats, RecoveryMode, TelemetryTotals, ThreadedCluster, Transport, WorkerDead,
+    };
+    pub use hotdog_serve::{
+        ParamFilter, QueryShape, SubscribeClient, SubscriberView, SubscriptionHub, SubscriptionId,
+        ViewDelta,
     };
     pub use hotdog_storage::{ColumnarBatch, RecordPool};
     pub use hotdog_telemetry::{FlightRecorder, MetricsSnapshot, Registry, Telemetry};

@@ -133,11 +133,13 @@ impl ClusterTotals {
 /// The simulated cluster running one distributed plan.
 pub struct Cluster {
     pub config: ClusterConfig,
-    dplan: DistributedPlan,
-    driver: WorkerState,
-    workers: Vec<WorkerState>,
+    pub(crate) dplan: DistributedPlan,
+    pub(crate) driver: WorkerState,
+    pub(crate) workers: Vec<WorkerState>,
     rng: StdRng,
     pub totals: ClusterTotals,
+    /// Views with delta capture enabled (see `crate::capture`).
+    pub(crate) capture_views: Vec<String>,
 }
 
 impl Cluster {
@@ -156,6 +158,7 @@ impl Cluster {
             workers,
             rng,
             totals: ClusterTotals::default(),
+            capture_views: Vec::new(),
         }
     }
 

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod backend;
+pub mod capture;
 pub mod cluster;
 pub mod partition;
 pub mod program;
@@ -37,6 +38,7 @@ pub mod protocol;
 pub mod worker;
 
 pub use backend::{Backend, PipelineStats};
+pub use capture::{assemble_views, CaptureBatch, CapturedView, DeltaCapture, ViewAccumulator};
 pub use cluster::{partition_shards, BatchExecution, Cluster, ClusterConfig, ClusterTotals};
 pub use partition::{LocTag, PartitionFn, PartitioningSpec};
 pub use program::{

@@ -28,6 +28,7 @@ use crate::program::DistStatement;
 use crate::worker::{WorkerSnapshot, WorkerState, WorkerStatsSnapshot};
 use hotdog_algebra::eval::EvalCounters;
 use hotdog_algebra::relation::Relation;
+use hotdog_ivm::StmtOp;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -84,6 +85,17 @@ pub enum WorkerRequest {
         id: u64,
         snapshot: Box<WorkerSnapshot>,
     },
+    /// Enable statement capture for the named views on this node (replacing
+    /// any previous capture set and discarding its log); answered with an
+    /// `Ack`.  An empty list disables capture.  The subscription layer's
+    /// delta-capture switch (see [`WorkerState::set_capture`]).
+    SetCapture { id: u64, views: Vec<String> },
+    /// Drain this node's capture log; answered with a `Captured` carrying
+    /// the `(view, op, relation)` entries in exact application order.
+    /// Command FIFO means the log covers every previously enqueued
+    /// `RunBlock`/`ApplyMany`, which is what makes a post-commit drain
+    /// watermark-consistent.
+    TakeCaptured { id: u64 },
     /// Exit the worker loop.
     Shutdown,
 }
@@ -113,6 +125,10 @@ pub enum WorkerReply {
     Checkpoint {
         id: u64,
         snapshot: Box<WorkerSnapshot>,
+    },
+    Captured {
+        id: u64,
+        ops: Vec<(String, StmtOp, Relation)>,
     },
 }
 
@@ -178,6 +194,14 @@ pub fn handle_request(state: &mut WorkerState, request: WorkerRequest) -> Option
             state.restore_state(&snapshot);
             Some(WorkerReply::Ack { id })
         }
+        WorkerRequest::SetCapture { id, views } => {
+            state.set_capture(views);
+            Some(WorkerReply::Ack { id })
+        }
+        WorkerRequest::TakeCaptured { id } => Some(WorkerReply::Captured {
+            id,
+            ops: state.take_captured(),
+        }),
         WorkerRequest::Shutdown => None,
     }
 }

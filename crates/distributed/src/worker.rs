@@ -91,6 +91,16 @@ pub struct WorkerState {
     /// Names of the plan's real (persistent) views; everything else written
     /// by a statement is an exchange buffer.
     views: HashSet<String>,
+    /// Views whose applied statements should be recorded for subscription
+    /// fan-out (empty = capture disabled, the default).
+    capture: HashSet<String>,
+    /// Application-order log of `(view, op, result)` for captured views.
+    /// Recording the *statement stream* rather than a merged buffer is what
+    /// keeps client-side reconstruction bit-for-bit: a client replaying the
+    /// log performs the same per-key float additions in the same order the
+    /// node's pool did, so exact cancellations and `SetTo` overwrites land
+    /// identically (a pre-merged delta would re-associate the additions).
+    captured: Vec<(String, StmtOp, Relation)>,
 }
 
 impl WorkerState {
@@ -101,7 +111,23 @@ impl WorkerState {
             temps: Temps::new(),
             stats: WorkerStats::default(),
             views: plan.views.iter().map(|v| v.name.clone()).collect(),
+            capture: HashSet::new(),
+            captured: Vec::new(),
         }
+    }
+
+    /// Enable statement capture for `views` (replacing any previous capture
+    /// set) and discard whatever the old set had logged.  The handler of a
+    /// `SetCapture` protocol request; an empty list disables capture.
+    pub fn set_capture(&mut self, views: impl IntoIterator<Item = String>) {
+        self.capture = views.into_iter().collect();
+        self.captured.clear();
+    }
+
+    /// Drain this node's capture log (the handler of a `TakeCaptured`
+    /// protocol request).  Entries are in exact application order.
+    pub fn take_captured(&mut self) -> Vec<(String, StmtOp, Relation)> {
+        std::mem::take(&mut self.captured)
     }
 
     /// Freeze this node's counters and view-partition cardinalities (the
@@ -179,6 +205,9 @@ impl WorkerState {
             .map(|(k, r)| (k.clone(), r.canonical()))
             .collect();
         self.stats = snapshot.stats;
+        // A restored node's views no longer correspond to what the capture
+        // log recorded; subscribers resynchronize from a snapshot instead.
+        self.captured.clear();
     }
 
     /// Execute one `Compute` statement against this node's state and apply
@@ -224,6 +253,10 @@ impl WorkerState {
     /// exchange buffer.
     pub fn apply(&mut self, stmt: &DistStatement, result: Relation) {
         if self.views.contains(&stmt.target) {
+            if self.capture.contains(&stmt.target) {
+                self.captured
+                    .push((stmt.target.clone(), stmt.op, result.clone()));
+            }
             match stmt.op {
                 StmtOp::AddTo => self.db.merge(&stmt.target, &result),
                 StmtOp::SetTo => self.db.replace(&stmt.target, &result),

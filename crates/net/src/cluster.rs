@@ -28,7 +28,10 @@ use crate::frame::{read_frame, recv_msg, send_payload, send_payload_parts};
 use hotdog_algebra::relation::Relation;
 use hotdog_distributed::program::DistStatement;
 use hotdog_distributed::protocol::{WorkerReply, WorkerRequest};
-use hotdog_distributed::{Backend, BatchExecution, ClusterTotals, DistributedPlan, PipelineStats};
+use hotdog_distributed::{
+    Backend, BatchExecution, CaptureBatch, ClusterTotals, DeltaCapture, DistributedPlan,
+    PipelineStats,
+};
 use hotdog_runtime::{Driver, PipelineConfig, Transport, TransportNames, WorkerDead};
 use hotdog_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::HashMap;
@@ -1185,5 +1188,15 @@ impl Backend for TcpCluster {
 
     fn pipeline_stats(&self) -> Option<PipelineStats> {
         Backend::pipeline_stats(&self.inner)
+    }
+}
+
+impl DeltaCapture for TcpCluster {
+    fn enable_capture(&mut self, views: &[String]) {
+        self.inner.enable_capture(views);
+    }
+
+    fn take_captured(&mut self) -> CaptureBatch {
+        DeltaCapture::take_captured(&mut self.inner)
     }
 }

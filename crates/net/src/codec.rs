@@ -237,6 +237,17 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
 }
 
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
 impl<T: Wire> Wire for Arc<T> {
     fn encode(&self, out: &mut Vec<u8>) {
         (**self).encode(out);
@@ -981,6 +992,15 @@ impl Wire for WorkerRequest {
                 id.encode(out);
                 snapshot.encode(out);
             }
+            WorkerRequest::SetCapture { id, views } => {
+                out.push(10);
+                id.encode(out);
+                views.encode(out);
+            }
+            WorkerRequest::TakeCaptured { id } => {
+                out.push(11);
+                id.encode(out);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -1019,6 +1039,13 @@ impl Wire for WorkerRequest {
             9 => Ok(WorkerRequest::Restore {
                 id: u64::decode(r)?,
                 snapshot: Box::new(WorkerSnapshot::decode(r)?),
+            }),
+            10 => Ok(WorkerRequest::SetCapture {
+                id: u64::decode(r)?,
+                views: Vec::decode(r)?,
+            }),
+            11 => Ok(WorkerRequest::TakeCaptured {
+                id: u64::decode(r)?,
             }),
             tag => Err(DecodeError::BadTag {
                 what: "WorkerRequest",
@@ -1059,6 +1086,11 @@ impl Wire for WorkerReply {
                 id.encode(out);
                 snapshot.encode(out);
             }
+            WorkerReply::Captured { id, ops } => {
+                out.push(6);
+                id.encode(out);
+                ops.encode(out);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -1084,6 +1116,10 @@ impl Wire for WorkerReply {
             5 => Ok(WorkerReply::Checkpoint {
                 id: u64::decode(r)?,
                 snapshot: Box::new(WorkerSnapshot::decode(r)?),
+            }),
+            6 => Ok(WorkerReply::Captured {
+                id: u64::decode(r)?,
+                ops: Vec::decode(r)?,
             }),
             tag => Err(DecodeError::BadTag {
                 what: "WorkerReply",

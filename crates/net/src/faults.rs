@@ -36,6 +36,8 @@ pub enum FaultKind {
     Ping,
     Checkpoint,
     Restore,
+    SetCapture,
+    TakeCaptured,
     Shutdown,
 }
 
@@ -52,6 +54,8 @@ impl FaultKind {
             WorkerRequest::Ping { .. } => FaultKind::Ping,
             WorkerRequest::Checkpoint { .. } => FaultKind::Checkpoint,
             WorkerRequest::Restore { .. } => FaultKind::Restore,
+            WorkerRequest::SetCapture { .. } => FaultKind::SetCapture,
+            WorkerRequest::TakeCaptured { .. } => FaultKind::TakeCaptured,
             WorkerRequest::Shutdown => FaultKind::Shutdown,
         }
     }
@@ -68,6 +72,8 @@ impl FaultKind {
             FaultKind::Ping => "ping",
             FaultKind::Checkpoint => "checkpoint",
             FaultKind::Restore => "restore",
+            FaultKind::SetCapture => "set_capture",
+            FaultKind::TakeCaptured => "take_captured",
             FaultKind::Shutdown => "shutdown",
         }
     }
@@ -83,6 +89,8 @@ impl FaultKind {
             "ping" => FaultKind::Ping,
             "checkpoint" => FaultKind::Checkpoint,
             "restore" => FaultKind::Restore,
+            "set_capture" => FaultKind::SetCapture,
+            "take_captured" => FaultKind::TakeCaptured,
             "shutdown" => FaultKind::Shutdown,
             _ => return None,
         })

@@ -109,11 +109,12 @@ use hotdog_distributed::protocol::{
     handle_request, WorkerReply as Reply, WorkerRequest as Request,
 };
 use hotdog_distributed::{
-    partition_shards, Backend, BatchExecution, ClusterTotals, DistStatement, DistStmtKind,
-    DistributedPlan, LocTag, PartitionFn, StmtMode, Transform, TriggerProgram, WorkerSnapshot,
-    WorkerState, WorkerStatsSnapshot,
+    assemble_views, partition_shards, Backend, BatchExecution, CaptureBatch, CapturedView,
+    ClusterTotals, DeltaCapture, DistStatement, DistStmtKind, DistributedPlan, LocTag, PartitionFn,
+    StmtMode, Transform, TriggerProgram, WorkerSnapshot, WorkerState, WorkerStatsSnapshot,
 };
 use hotdog_exec::relabel;
+use hotdog_ivm::StmtOp;
 use hotdog_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Telemetry};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -584,6 +585,8 @@ struct DriverMetrics {
     requests_ping: Arc<Counter>,
     requests_checkpoint: Arc<Counter>,
     requests_restore: Arc<Counter>,
+    requests_set_capture: Arc<Counter>,
+    requests_take_captured: Arc<Counter>,
     replies_total: Arc<Counter>,
     worker_respawned: Arc<Counter>,
     worker_declared_dead: Arc<Counter>,
@@ -614,6 +617,8 @@ impl DriverMetrics {
             requests_ping: t.counter("driver.requests.ping"),
             requests_checkpoint: t.counter("driver.requests.checkpoint"),
             requests_restore: t.counter("driver.requests.restore"),
+            requests_set_capture: t.counter("driver.requests.set_capture"),
+            requests_take_captured: t.counter("driver.requests.take_captured"),
             replies_total: t.counter("driver.replies.total"),
             // Registered at zero on every backend so the deterministic
             // snapshot keeps key parity: in a fault-free run all of
@@ -655,6 +660,8 @@ impl DriverMetrics {
             Request::Ping { .. } => self.requests_ping.inc(),
             Request::Checkpoint { .. } => self.requests_checkpoint.inc(),
             Request::Restore { .. } => self.requests_restore.inc(),
+            Request::SetCapture { .. } => self.requests_set_capture.inc(),
+            Request::TakeCaptured { .. } => self.requests_take_captured.inc(),
             // Shutdown travels through `Transport::shutdown`, never here.
             Request::Shutdown => {}
         }
@@ -783,6 +790,13 @@ pub struct Driver<T: Transport> {
     /// Recovery attempts so far (bounded by
     /// [`FaultConfig::max_recoveries`]).
     recoveries: usize,
+    /// Views with delta capture enabled (see
+    /// [`hotdog_distributed::capture`]); empty = capture off.
+    capture_views: Vec<String>,
+    /// `recoveries` as of the last capture drain: when they diverge, a
+    /// recovery cycle replayed the stream since the subscriber's last
+    /// delta, so the next drain must resynchronize from snapshots.
+    capture_epoch: usize,
     /// Pipelined-ingestion counters (all zero in epoch-synchronous mode).
     pub stats: PipelineStats,
     /// Accumulated measured totals (same shape as the simulator's).
@@ -875,6 +889,8 @@ impl<T: Transport> Driver<T> {
             ckpt: None,
             replay_log: Vec::new(),
             recoveries: 0,
+            capture_views: Vec::new(),
+            capture_epoch: 0,
             stats: PipelineStats::default(),
             totals: ClusterTotals::default(),
             telemetry,
@@ -2048,6 +2064,171 @@ impl<T: Transport> Driver<T> {
             self.execute_canonical(&rel, delta, false)?;
         }
         Ok(())
+    }
+}
+
+/// Delta capture (the subscription layer's backend hook): enabling capture
+/// broadcasts a `SetCapture` to every worker and arms the driver node's own
+/// log; draining commits the watermark first, so a capture batch never
+/// precedes its batches' watermark commit, then collects every node's
+/// statement log over the `TakeCaptured` protocol round.  Part order
+/// mirrors `view_contents` exactly (driver for `Local`, worker 0 for
+/// `Replicated`, workers 0..N for distributed views), which is what makes
+/// client-side replay bit-identical to a snapshot read.
+impl<T: Transport> Driver<T> {
+    /// Wait for the `Captured` reply tagged `id` from worker `w` (mirrors
+    /// [`Driver::await_checkpoint`]).
+    fn await_captured(
+        &mut self,
+        w: usize,
+        id: u64,
+    ) -> Result<Vec<(String, StmtOp, Relation)>, WorkerDead> {
+        loop {
+            self.settle_completions(w);
+            if let Some(pos) = self.inbox[w]
+                .iter()
+                .position(|r| matches!(r, Reply::Captured { id: rid, .. } if *rid == id))
+            {
+                let Reply::Captured { ops, .. } = self.inbox[w].swap_remove(pos) else {
+                    unreachable!()
+                };
+                return Ok(ops);
+            }
+            self.recv_one(w)?;
+        }
+    }
+
+    /// Arm (or re-arm) capture on every node for the current capture set,
+    /// discarding any pending logs.
+    fn broadcast_set_capture(&mut self) -> Result<(), WorkerDead> {
+        let views = self.capture_views.clone();
+        self.driver.set_capture(views.iter().cloned());
+        let mut ids = Vec::with_capacity(self.workers);
+        for w in 0..self.workers {
+            self.ship_applies(w)?;
+            let id = self.fresh_request_id();
+            self.send_to(
+                w,
+                Request::SetCapture {
+                    id,
+                    views: views.clone(),
+                },
+            )?;
+            ids.push(id);
+        }
+        for (w, id) in ids.into_iter().enumerate() {
+            self.await_ack(w, id)?;
+        }
+        Ok(())
+    }
+
+    fn take_captured_inner(&mut self) -> Result<CaptureBatch, WorkerDead> {
+        // Watermark consistency: every queued delta executes and every
+        // in-flight apply settles before the logs are drained, so the
+        // batch covers exactly the committed prefix.
+        while !self.queue.is_empty() {
+            self.execute_queue_front()?;
+        }
+        self.commit_watermark()?;
+        let views = self.capture_views.clone();
+        if self.capture_epoch != self.recoveries {
+            // A recovery cycle replayed the stream since the last drain:
+            // the logs hold replayed (duplicate) entries and a respawned
+            // worker's log may be missing entirely.  Discard the logs,
+            // re-arm capture, and hand subscribers a full-snapshot resync
+            // (one `SetTo` per part) — no gaps, no duplicates.
+            self.capture_epoch = self.recoveries;
+            self.broadcast_set_capture()?;
+            let mut assembled = Vec::with_capacity(views.len());
+            for name in &views {
+                let parts: Vec<Vec<(StmtOp, Relation)>> = match self.dplan.location(name) {
+                    LocTag::Local => vec![vec![(StmtOp::SetTo, self.driver.snapshot(name))]],
+                    LocTag::Replicated => {
+                        let id = self.fresh_request_id();
+                        self.send_to(
+                            0,
+                            Request::Snapshot {
+                                id,
+                                view: name.clone(),
+                            },
+                        )?;
+                        vec![vec![(StmtOp::SetTo, self.await_rel(0, id)?)]]
+                    }
+                    _ => self
+                        .fetch_all(|id| Request::Snapshot {
+                            id,
+                            view: name.clone(),
+                        })?
+                        .into_iter()
+                        .map(|part| vec![(StmtOp::SetTo, part)])
+                        .collect(),
+                };
+                assembled.push(CapturedView {
+                    name: name.clone(),
+                    parts,
+                });
+            }
+            return Ok(CaptureBatch {
+                watermark: self.watermark,
+                resync: true,
+                views: assembled,
+            });
+        }
+        let driver_log = self.driver.take_captured();
+        let mut ids = Vec::with_capacity(self.workers);
+        for w in 0..self.workers {
+            let id = self.fresh_request_id();
+            self.send_to(w, Request::TakeCaptured { id })?;
+            ids.push(id);
+        }
+        let mut worker_logs = Vec::with_capacity(self.workers);
+        for (w, id) in ids.into_iter().enumerate() {
+            worker_logs.push(self.await_captured(w, id)?);
+        }
+        let assembled = assemble_views(
+            &views,
+            |name| self.dplan.location(name),
+            driver_log,
+            worker_logs,
+        );
+        Ok(CaptureBatch {
+            watermark: self.watermark,
+            resync: false,
+            views: assembled,
+        })
+    }
+
+    /// Fallible [`DeltaCapture::take_captured`]: surfaces an unrecovered
+    /// worker death instead of panicking.
+    pub fn try_take_captured(&mut self) -> Result<CaptureBatch, WorkerDead> {
+        loop {
+            match self.take_captured_inner() {
+                Ok(batch) => return Ok(batch),
+                Err(dead) => self.recover(dead)?,
+            }
+        }
+    }
+}
+
+impl<T: Transport> DeltaCapture for Driver<T> {
+    fn enable_capture(&mut self, views: &[String]) {
+        self.capture_views = views.to_vec();
+        self.capture_epoch = self.recoveries;
+        loop {
+            match self.broadcast_set_capture() {
+                Ok(()) => return,
+                Err(dead) => {
+                    if let Err(dead) = self.recover(dead) {
+                        panic!("{dead} (recovery unavailable)");
+                    }
+                }
+            }
+        }
+    }
+
+    fn take_captured(&mut self) -> CaptureBatch {
+        self.try_take_captured()
+            .unwrap_or_else(|dead| panic!("{dead} (recovery unavailable)"))
     }
 }
 
