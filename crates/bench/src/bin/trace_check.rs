@@ -1,0 +1,97 @@
+//! CI validator for the `HOTDOG_TRACE` Chrome trace-event export.
+//!
+//! Usage: `trace_check <trace.json> [--min-batches=N]`
+//!
+//! Parses the artifact with the in-repo JSON reader and asserts the
+//! invariants the exporter promises:
+//!
+//! * the document is valid JSON with a `traceEvents` array;
+//! * every event is either a complete span (`ph == "X"`, with `name`,
+//!   `ts`, `dur`, `pid`, `tid`) or track metadata (`ph == "M"`) — begin/
+//!   end pairs never appear, so an unclosed span is structurally
+//!   impossible and any other phase letter means the exporter regressed;
+//! * at least `--min-batches` (default 1) root spans named `batch` are
+//!   present, i.e. the traced run actually stitched complete trees.
+//!
+//! Exits nonzero with a diagnostic on the first violation, so the CI
+//! `telemetry-smoke` job fails loudly instead of shipping a trace that
+//! Perfetto cannot load.
+
+use hotdog_bench::json::JsonValue;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_check: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut path = None;
+    let mut min_batches = 1usize;
+    for arg in std::env::args().skip(1) {
+        if let Some(n) = arg.strip_prefix("--min-batches=") {
+            match n.parse() {
+                Ok(n) => min_batches = n,
+                Err(_) => return fail(&format!("bad --min-batches value {n:?}")),
+            }
+        } else {
+            path = Some(arg);
+        }
+    }
+    let Some(path) = path else {
+        return fail("usage: trace_check <trace.json> [--min-batches=N]");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let Some(doc) = JsonValue::parse(&text) else {
+        return fail(&format!("{path} is not valid JSON"));
+    };
+    let Some(events) = doc.get("traceEvents").and_then(|v| v.as_array()) else {
+        return fail(&format!("{path} has no traceEvents array"));
+    };
+
+    let mut complete = 0usize;
+    let mut metadata = 0usize;
+    let mut batches = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let Some(ph) = ev.get("ph").and_then(|v| v.as_str()) else {
+            return fail(&format!("event {i} has no ph field"));
+        };
+        match ph {
+            "X" => {
+                for field in ["name", "ts", "dur", "pid", "tid"] {
+                    if ev.get(field).is_none() {
+                        return fail(&format!("complete event {i} is missing {field:?}"));
+                    }
+                }
+                complete += 1;
+                if ev.get("name").and_then(|v| v.as_str()) == Some("batch") {
+                    batches += 1;
+                }
+            }
+            "M" => metadata += 1,
+            // "B"/"E" would mean the exporter emitted an *unclosed* span
+            // (or any span as a begin/end pair at all) — a regression.
+            other => {
+                return fail(&format!(
+                    "event {i} has phase {other:?}; only complete (X) and \
+                     metadata (M) events are allowed"
+                ))
+            }
+        }
+    }
+    if batches < min_batches {
+        return fail(&format!(
+            "only {batches} root span(s) named \"batch\" (need >= {min_batches}); \
+             {complete} complete event(s) total"
+        ));
+    }
+    println!(
+        "trace_check: OK: {path}: {complete} complete span(s) across \
+         {batches} batch trace(s), {metadata} track metadata event(s), \
+         no unclosed spans"
+    );
+    ExitCode::SUCCESS
+}

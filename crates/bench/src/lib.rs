@@ -266,6 +266,10 @@ pub struct TelemetryRun {
     pub net_bytes_sent: u64,
     pub net_frames_received: u64,
     pub net_bytes_received: u64,
+    /// Critical-path analysis of the last traced batch (`None` when no
+    /// batch ran): which stage the batch was actually waiting on, from
+    /// the stitched span tree.
+    pub critical_path: Option<CriticalPath>,
 }
 
 /// Gather a driver's telemetry for a bench row (flushes the pipeline and
@@ -284,6 +288,7 @@ fn collect_telemetry<T: Transport>(d: &mut Driver<T>) -> TelemetryRun {
         net_bytes_sent: snap.counter("net.bytes.sent"),
         net_frames_received: snap.counter("net.frames.received"),
         net_bytes_received: snap.counter("net.bytes.received"),
+        critical_path: d.critical_path(),
     }
 }
 
@@ -362,6 +367,26 @@ impl DistRun {
                 .int("telemetry_net_bytes_sent", t.net_bytes_sent)
                 .int("telemetry_net_frames_received", t.net_frames_received)
                 .int("telemetry_net_bytes_received", t.net_bytes_received);
+            if let Some(cp) = &t.critical_path {
+                // Nested object (durations are wall-clock, so `bench_diff`
+                // must not track them field-by-field like the flat
+                // `telemetry_*` counters above).
+                obj =
+                    obj.raw(
+                        "critical_path",
+                        json::JsonObj::new()
+                            .int("trace", cp.trace)
+                            .int("total_micros", cp.total_micros)
+                            .num("attributed_fraction", cp.attributed_fraction())
+                            .raw(
+                                "stages",
+                                json::jarray(cp.stages.iter().map(|(name, micros)| {
+                                    format!("[{}, {micros}]", json::jstr(name))
+                                })),
+                            )
+                            .render(),
+                    );
+            }
         }
         obj.render()
     }

@@ -81,7 +81,10 @@ pub mod prelude {
         ViewDelta,
     };
     pub use hotdog_storage::{ColumnarBatch, RecordPool};
-    pub use hotdog_telemetry::{FlightRecorder, MetricsSnapshot, Registry, Telemetry};
+    pub use hotdog_telemetry::{
+        chrome_trace_json, critical_path, trace_structure, CriticalPath, FlightRecorder,
+        MetricsSnapshot, Registry, SpanContext, SpanRecord, SpanStructure, Telemetry,
+    };
     pub use hotdog_workload::{
         all_queries, generate_tpcds, generate_tpch, query, tpcds_queries, tpch_queries,
         CatalogQuery, UpdateStream,

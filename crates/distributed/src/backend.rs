@@ -18,6 +18,8 @@
 use crate::cluster::{BatchExecution, Cluster, ClusterTotals};
 use crate::program::DistributedPlan;
 use hotdog_algebra::relation::Relation;
+use hotdog_telemetry::{SpanContext, Telemetry};
+use std::sync::Arc;
 
 /// Counters of a pipelined ingestion path (admission queue, delta
 /// coalescing, adaptive tuning, backpressure).  Defined here — not in the
@@ -119,6 +121,21 @@ pub trait Backend {
         None
     }
 
+    /// This backend's telemetry handle (metrics, flight ring, span
+    /// tracer), when it has one.  Layers above the backend — e.g. the
+    /// subscription hub's fan-out path — record their metrics and spans
+    /// here so a batch's tree stays stitched across layers.
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        None
+    }
+
+    /// Context of the most recently executed batch's root span, the
+    /// parent for post-execution stages (subscription fan-out push).
+    /// `NONE` for backends without tracing.
+    fn trace_scope(&self) -> SpanContext {
+        SpanContext::NONE
+    }
+
     /// Stream-apply: admit a pre-batched update stream in order, then flush.
     fn apply_stream<S: AsRef<str>>(&mut self, batches: &[Vec<(S, Relation)>]) {
         for batch in batches {
@@ -149,6 +166,14 @@ impl Backend for Cluster {
 
     fn totals(&self) -> &ClusterTotals {
         &self.totals
+    }
+
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        Some(Cluster::telemetry(self))
+    }
+
+    fn trace_scope(&self) -> SpanContext {
+        Cluster::trace_scope(self)
     }
 }
 

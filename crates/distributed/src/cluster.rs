@@ -18,9 +18,11 @@ use crate::worker::WorkerState;
 use hotdog_algebra::eval::EvalCounters;
 use hotdog_algebra::relation::Relation;
 use hotdog_exec::relabel;
+use hotdog_telemetry::{SpanContext, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Cluster and cost-model configuration.
@@ -140,6 +142,14 @@ pub struct Cluster {
     pub totals: ClusterTotals,
     /// Views with delta capture enabled (see `crate::capture`).
     pub(crate) capture_views: Vec<String>,
+    /// Span store: the simulated cluster executes every node inline, so
+    /// per-worker trigger spans are recorded driver-side on the worker's
+    /// display track instead of crossing a wire.
+    telemetry: Arc<Telemetry>,
+    /// Context of the most recently executed batch's root span — what
+    /// post-execution stages (watermark reads, subscription fan-out)
+    /// parent their spans under.
+    trace_scope: SpanContext,
 }
 
 impl Cluster {
@@ -159,12 +169,24 @@ impl Cluster {
             rng,
             totals: ClusterTotals::default(),
             capture_views: Vec::new(),
+            telemetry: Telemetry::shared(),
+            trace_scope: SpanContext::NONE,
         }
     }
 
     /// The compiled distributed plan this cluster runs.
     pub fn plan(&self) -> &DistributedPlan {
         &self.dplan
+    }
+
+    /// This cluster's telemetry handle (metrics, flight ring, tracer).
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// Context of the most recently executed batch's root span.
+    pub fn trace_scope(&self) -> SpanContext {
+        self.trace_scope
     }
 
     /// Full contents of a view, merged across all nodes that hold a piece of
@@ -207,6 +229,10 @@ impl Cluster {
             Some(p) => p.clone(),
             None => return stats,
         };
+        // One stitched span tree per batch, same as the real backends: a
+        // root span on track 0 with the trigger stages as children.
+        let root = self.telemetry.begin_batch_root();
+        self.trace_scope = root.context();
 
         // The batch arrives at the driver; optionally pre-aggregate it onto
         // the columns the trigger actually needs before any scatter.
@@ -236,6 +262,7 @@ impl Cluster {
 
         let mut latency = 0.0f64;
         self.run_program(&program, &delta_name, &deltas, &mut stats, &mut latency);
+        self.telemetry.finish_span(Some(root));
 
         stats.latency_secs = latency;
         stats.stages = program.stages();
@@ -281,10 +308,16 @@ impl Cluster {
                     // its partitions.
                     let mut max_instr = 0u64;
                     for w in 0..self.config.workers {
+                        let span = self.telemetry.begin_span_on(
+                            self.trace_scope,
+                            "worker.run_block",
+                            w as u32 + 1,
+                        );
                         let mut counters = EvalCounters::default();
                         for stmt in &block.statements {
                             self.workers[w].run_compute(stmt, deltas, &mut counters);
                         }
+                        self.telemetry.finish_span(span);
                         max_instr = max_instr.max(counters.instructions());
                     }
                     stats.max_worker_instructions = stats.max_worker_instructions.max(max_instr);
@@ -343,21 +376,25 @@ impl Cluster {
             }
             Transform::Repart(pf) => {
                 // Collect from all workers, then redistribute.
+                let span = self.telemetry.begin_span(self.trace_scope, "gather");
                 let mut collected = Relation::new(stmt.target_schema.clone());
                 for w in 0..self.config.workers {
                     collected.merge(&relabel(&self.workers[w].read(source), &stmt.target_schema));
                 }
+                self.telemetry.finish_span(span);
                 let moved = collected.serialized_size();
                 self.scatter(pf, &collected, stmt);
                 moved + collected.serialized_size()
             }
             Transform::Gather => {
+                let span = self.telemetry.begin_span(self.trace_scope, "gather");
                 let mut collected = Relation::new(stmt.target_schema.clone());
                 for w in 0..self.config.workers {
                     collected.merge(&relabel(&self.workers[w].read(source), &stmt.target_schema));
                 }
                 let bytes = collected.serialized_size();
                 self.driver.apply(stmt, collected);
+                self.telemetry.finish_span(span);
                 bytes
             }
         }
@@ -367,12 +404,23 @@ impl Cluster {
     /// partition function, writing them into each worker's copy of the
     /// target.  Returns the bytes moved.
     fn scatter(&mut self, pf: &PartitionFn, src: &Relation, stmt: &DistStatement) -> usize {
+        let span = self
+            .telemetry
+            .begin_span(self.trace_scope, "scatter.encode");
         let (shards, bytes) = partition_shards(pf, src, stmt, self.config.workers);
+        self.telemetry.finish_span(span);
         for (w, shard) in shards.into_iter().enumerate() {
             // Scatter targets are exchange buffers refreshed per batch.
             self.workers[w].apply(stmt, shard);
         }
         bytes
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // `HOTDOG_TRACE=path`: one complete Chrome trace file per run.
+        self.telemetry.flush_trace_on_drop();
     }
 }
 

@@ -29,15 +29,24 @@ use crate::worker::{WorkerSnapshot, WorkerState, WorkerStatsSnapshot};
 use hotdog_algebra::eval::EvalCounters;
 use hotdog_algebra::relation::Relation;
 use hotdog_ivm::StmtOp;
+use hotdog_telemetry::trace::{SpanContext, SpanRecord};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Commands the driver sends to a worker (thread or process).
+///
+/// The batch-path commands (`RunBlock`/`ApplyMany`/`Fetch`) carry a
+/// wire-propagated [`SpanContext`] — `(trace_id, parent_span)` of the
+/// batch they belong to — under which the worker opens its own spans.
+/// The finished [`SpanRecord`]s ship back piggybacked on the next tagged
+/// `Stats` reply, so one batch yields one stitched span tree whether the
+/// transport is an in-process channel or TCP.
 pub enum WorkerRequest {
     /// Execute one distributed block over this worker's shard and report
     /// the interpreter work performed.
     RunBlock {
         id: u64,
+        ctx: SpanContext,
         statements: Arc<Vec<DistStatement>>,
         deltas: Arc<HashMap<String, Relation>>,
     },
@@ -50,10 +59,15 @@ pub enum WorkerRequest {
         /// Ids are uniform across the protocol; only replies are matched
         /// against the ledger, so this one is never awaited.
         id: u64,
+        ctx: SpanContext,
         applies: Vec<(Arc<DistStatement>, Relation)>,
     },
     /// Send back an exchange buffer (or this worker's view partition).
-    Fetch { id: u64, name: String },
+    Fetch {
+        id: u64,
+        ctx: SpanContext,
+        name: String,
+    },
     /// Send back this worker's partition of a materialized view.
     Snapshot { id: u64, view: String },
     /// Acknowledge that everything enqueued so far has been processed
@@ -118,6 +132,12 @@ pub enum WorkerReply {
     Stats {
         id: u64,
         snapshot: WorkerStatsSnapshot,
+        /// This node's finished spans since the previous `Stats` round,
+        /// drained for the driver to stitch into its trace trees.  Rides
+        /// *next to* the snapshot, not inside it: the snapshot is part of
+        /// the deterministic `TelemetryTotals` equality the oracle
+        /// compares, while span durations are wall-clock by definition.
+        spans: Vec<SpanRecord>,
     },
     Pong {
         id: u64,
@@ -144,27 +164,34 @@ pub fn handle_request(state: &mut WorkerState, request: WorkerRequest) -> Option
     match request {
         WorkerRequest::RunBlock {
             id,
+            ctx,
             statements,
             deltas,
         } => {
+            let span = state.tracer.begin(ctx, "worker.run_block");
             state.stats.blocks_run += 1;
             let mut counters = EvalCounters::default();
             for stmt in statements.iter() {
                 state.run_compute(stmt, &deltas, &mut counters);
             }
+            state.tracer.finish(span);
             Some(WorkerReply::Ran {
                 id,
                 instructions: counters.instructions(),
             })
         }
-        WorkerRequest::ApplyMany { applies, .. } => {
+        WorkerRequest::ApplyMany { ctx, applies, .. } => {
+            let span = state.tracer.begin(ctx, "worker.apply");
             state.apply_all(applies);
+            state.tracer.finish(span);
             None
         }
-        WorkerRequest::Fetch { id, name } => Some(WorkerReply::Rel {
-            id,
-            rel: state.read(&name),
-        }),
+        WorkerRequest::Fetch { id, ctx, name } => {
+            let span = state.tracer.begin(ctx, "worker.fetch");
+            let rel = state.read(&name);
+            state.tracer.finish(span);
+            Some(WorkerReply::Rel { id, rel })
+        }
         WorkerRequest::Snapshot { id, view } => Some(WorkerReply::Rel {
             id,
             rel: state.snapshot(&view),
@@ -173,6 +200,7 @@ pub fn handle_request(state: &mut WorkerState, request: WorkerRequest) -> Option
         WorkerRequest::Stats { id } => Some(WorkerReply::Stats {
             id,
             snapshot: state.stats_snapshot(),
+            spans: state.tracer.take(),
         }),
         WorkerRequest::Ping { id } => Some(WorkerReply::Pong { id }),
         WorkerRequest::Checkpoint { id, ship } => {
@@ -266,6 +294,7 @@ mod tests {
             &mut st,
             WorkerRequest::ApplyMany {
                 id: 1,
+                ctx: SpanContext::NONE,
                 applies: vec![(stmt(StmtOp::AddTo), a), (stmt(StmtOp::SetTo), b.clone())],
             },
         );

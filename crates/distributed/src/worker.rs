@@ -21,6 +21,7 @@ use hotdog_algebra::tuple::Tuple;
 use hotdog_algebra::value::Value;
 use hotdog_exec::Database;
 use hotdog_ivm::{MaintenancePlan, StmtOp};
+use hotdog_telemetry::trace::WorkerTracer;
 use std::collections::{HashMap, HashSet};
 
 /// One node's transient exchange buffers (scattered batches, repartitioned
@@ -101,6 +102,10 @@ pub struct WorkerState {
     /// node's pool did, so exact cancellations and `SetTo` overwrites land
     /// identically (a pre-merged delta would re-associate the additions).
     captured: Vec<(String, StmtOp, Relation)>,
+    /// This node's span buffer: spans opened under wire-propagated trace
+    /// contexts, drained by the `Stats` protocol round.  Set the display
+    /// track via [`WorkerState::set_trace_track`] (worker `w` → `w + 1`).
+    pub tracer: WorkerTracer,
 }
 
 impl WorkerState {
@@ -113,7 +118,15 @@ impl WorkerState {
             views: plan.views.iter().map(|v| v.name.clone()).collect(),
             capture: HashSet::new(),
             captured: Vec::new(),
+            tracer: WorkerTracer::default(),
         }
+    }
+
+    /// Set this node's span display track (worker `w` uses `w + 1`; track
+    /// 0 is the driver's).  Span ids are namespaced by the track, so this
+    /// must be set before the node opens its first span.
+    pub fn set_trace_track(&mut self, track: u32) {
+        self.tracer.set_track(track);
     }
 
     /// Enable statement capture for `views` (replacing any previous capture
@@ -208,6 +221,10 @@ impl WorkerState {
         // A restored node's views no longer correspond to what the capture
         // log recorded; subscribers resynchronize from a snapshot instead.
         self.captured.clear();
+        // Same for buffered spans: the batches that produced them are being
+        // replayed and will open fresh spans (the id counter is *not*
+        // reset, so replayed spans never collide with pre-fault ids).
+        self.tracer.clear_buffer();
     }
 
     /// Execute one `Compute` statement against this node's state and apply

@@ -33,7 +33,7 @@ use hotdog_distributed::{
     PipelineStats,
 };
 use hotdog_runtime::{Driver, PipelineConfig, Transport, TransportNames, WorkerDead};
-use hotdog_telemetry::{Counter, Histogram, Telemetry};
+use hotdog_telemetry::{Counter, Histogram, SpanContext, Telemetry};
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -919,19 +919,25 @@ impl Transport for TcpTransport {
         }
         let sent = match request {
             // Broadcast fast path: `RunBlock` frames share their body
-            // across workers — `[0x41][0x00][id]` is the only per-worker
-            // part; the statements segment is cached per cluster and the
-            // deltas segment per batch, so neither re-encodes per worker.
-            // Byte-identical on the wire to the generic path below.
+            // across workers — `[0x41][0x00][id][trace][parent]` is the
+            // only per-worker part; the statements segment is cached per
+            // cluster and the deltas segment per batch, so neither
+            // re-encodes per worker.  The trace header lives in this
+            // prefix precisely so the cached segments stay batch- and
+            // trace-independent.  Byte-identical on the wire to the
+            // generic path below.
             WorkerRequest::RunBlock {
                 id,
+                ctx,
                 statements,
                 deltas,
             } => {
-                let mut header = [0u8; 10];
+                let mut header = [0u8; 26];
                 header[0] = 0x41; // ToWorker::Request
                 header[1] = 0x00; // WorkerRequest::RunBlock
-                header[2..].copy_from_slice(&id.to_le_bytes());
+                header[2..10].copy_from_slice(&id.to_le_bytes());
+                header[10..18].copy_from_slice(&ctx.trace.to_le_bytes());
+                header[18..26].copy_from_slice(&ctx.parent.to_le_bytes());
                 let stmt_bytes = self.cached_statements(&statements);
                 let delta_bytes = self.cached_deltas(&deltas);
                 let total = header.len() + stmt_bytes.len() + delta_bytes.len();
@@ -1188,6 +1194,14 @@ impl Backend for TcpCluster {
 
     fn pipeline_stats(&self) -> Option<PipelineStats> {
         Backend::pipeline_stats(&self.inner)
+    }
+
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        Backend::telemetry(&self.inner)
+    }
+
+    fn trace_scope(&self) -> SpanContext {
+        Backend::trace_scope(&self.inner)
     }
 }
 

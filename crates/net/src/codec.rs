@@ -38,6 +38,7 @@ use hotdog_distributed::protocol::{WorkerReply, WorkerRequest};
 use hotdog_distributed::{PartitionFn, WorkerSnapshot, WorkerStats, WorkerStatsSnapshot};
 use hotdog_ivm::StmtOp;
 use hotdog_ivm::{MaintenancePlan, Statement, Strategy, Trigger, ViewDef};
+use hotdog_telemetry::trace::{SpanContext, SpanRecord};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -861,11 +862,12 @@ fn encode_deltas(deltas: &HashMap<String, Relation>, out: &mut Vec<u8>) {
 
 /// Encode the statements segment of a `RunBlock` broadcast on its own.
 ///
-/// `ToWorker::Request(RunBlock { id, statements, deltas })` encodes as
-/// `[0x41][0x00][id: 8B LE]` followed by this segment and then
-/// [`encode_deltas_segment`] — the transport exploits that split to encode
-/// each segment once per cluster (keyed by `Arc` identity) and share the
-/// immutable bytes across all workers of a broadcast.
+/// `ToWorker::Request(RunBlock { id, ctx, statements, deltas })` encodes as
+/// `[0x41][0x00][id: 8B LE][trace: 8B LE][parent: 8B LE]` followed by this
+/// segment and then [`encode_deltas_segment`] — the transport exploits that
+/// split to encode each segment once per cluster (keyed by `Arc` identity)
+/// and share the immutable bytes across all workers of a broadcast.  The
+/// trace header rides in the per-worker prefix, never the shared segments.
 pub fn encode_statements_segment(statements: &[DistStatement]) -> Vec<u8> {
     let mut out = Vec::new();
     (statements.len() as u32).encode(&mut out);
@@ -892,6 +894,47 @@ fn decode_deltas(r: &mut Reader<'_>) -> Result<HashMap<String, Relation>, Decode
         map.insert(name, rel);
     }
     Ok(map)
+}
+
+/// The wire-propagated trace header: 16 fixed bytes, `(trace, parent)` —
+/// `(0, 0)` when the carrying command is outside any batch trace.
+impl Wire for SpanContext {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.trace.encode(out);
+        self.parent.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SpanContext {
+            trace: u64::decode(r)?,
+            parent: u64::decode(r)?,
+        })
+    }
+}
+
+/// Finished spans piggybacked on the `Stats` reply.  Durations ride as
+/// plain micros off the sending process's epoch; the driver only compares
+/// the structural fields across transports, never the clocks.
+impl Wire for SpanRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.trace.encode(out);
+        self.id.encode(out);
+        self.parent.encode(out);
+        self.track.encode(out);
+        self.start_micros.encode(out);
+        self.end_micros.encode(out);
+        self.name.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SpanRecord {
+            trace: u64::decode(r)?,
+            id: u64::decode(r)?,
+            parent: u64::decode(r)?,
+            track: u32::decode(r)?,
+            start_micros: u64::decode(r)?,
+            end_micros: u64::decode(r)?,
+            name: String::decode(r)?,
+        })
+    }
 }
 
 impl Wire for WorkerStats {
@@ -946,22 +989,26 @@ impl Wire for WorkerRequest {
         match self {
             WorkerRequest::RunBlock {
                 id,
+                ctx,
                 statements,
                 deltas,
             } => {
                 out.push(0);
                 id.encode(out);
+                ctx.encode(out);
                 statements.encode(out);
                 encode_deltas(deltas, out);
             }
-            WorkerRequest::ApplyMany { id, applies } => {
+            WorkerRequest::ApplyMany { id, ctx, applies } => {
                 out.push(1);
                 id.encode(out);
+                ctx.encode(out);
                 applies.encode(out);
             }
-            WorkerRequest::Fetch { id, name } => {
+            WorkerRequest::Fetch { id, ctx, name } => {
                 out.push(2);
                 id.encode(out);
+                ctx.encode(out);
                 name.encode(out);
             }
             WorkerRequest::Snapshot { id, view } => {
@@ -1007,15 +1054,18 @@ impl Wire for WorkerRequest {
         match r.u8()? {
             0 => Ok(WorkerRequest::RunBlock {
                 id: u64::decode(r)?,
+                ctx: SpanContext::decode(r)?,
                 statements: Arc::decode(r)?,
                 deltas: Arc::new(decode_deltas(r)?),
             }),
             1 => Ok(WorkerRequest::ApplyMany {
                 id: u64::decode(r)?,
+                ctx: SpanContext::decode(r)?,
                 applies: Vec::decode(r)?,
             }),
             2 => Ok(WorkerRequest::Fetch {
                 id: u64::decode(r)?,
+                ctx: SpanContext::decode(r)?,
                 name: String::decode(r)?,
             }),
             3 => Ok(WorkerRequest::Snapshot {
@@ -1072,10 +1122,15 @@ impl Wire for WorkerReply {
                 out.push(2);
                 id.encode(out);
             }
-            WorkerReply::Stats { id, snapshot } => {
+            WorkerReply::Stats {
+                id,
+                snapshot,
+                spans,
+            } => {
                 out.push(3);
                 id.encode(out);
                 snapshot.encode(out);
+                spans.encode(out);
             }
             WorkerReply::Pong { id } => {
                 out.push(4);
@@ -1109,6 +1164,7 @@ impl Wire for WorkerReply {
             3 => Ok(WorkerReply::Stats {
                 id: u64::decode(r)?,
                 snapshot: WorkerStatsSnapshot::decode(r)?,
+                spans: Vec::decode(r)?,
             }),
             4 => Ok(WorkerReply::Pong {
                 id: u64::decode(r)?,

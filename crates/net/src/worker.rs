@@ -44,6 +44,9 @@ pub fn serve(stream: TcpStream, index: u32) -> io::Result<()> {
         }
     };
     let mut state = WorkerState::for_plan(&plan);
+    // Same track numbering as the thread-channel transport (driver is
+    // track 0), so a trace stitched over TCP is structurally identical.
+    state.set_trace_track(index + 1);
 
     loop {
         let msg = match recv_msg::<ToWorker>(&mut reader) {

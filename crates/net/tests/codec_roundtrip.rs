@@ -330,6 +330,10 @@ fn protocol_messages_roundtrip() {
 
     let req = ToWorker::Request(WorkerRequest::RunBlock {
         id: 99,
+        ctx: hotdog_telemetry::SpanContext {
+            trace: 3,
+            parent: 0xABCD,
+        },
         statements: Arc::new(statements.clone()),
         deltas: Arc::new(deltas),
     });
@@ -337,10 +341,13 @@ fn protocol_messages_roundtrip() {
     match decoded {
         ToWorker::Request(WorkerRequest::RunBlock {
             id,
+            ctx,
             statements: st,
             deltas: d,
         }) => {
             assert_eq!(id, 99);
+            assert_eq!(ctx.trace, 3);
+            assert_eq!(ctx.parent, 0xABCD);
             assert_eq!(st.len(), statements.len());
             assert_eq!(d["R"].checksum(), rel.checksum());
         }
@@ -402,12 +409,14 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The zero-copy broadcast path's contract: a `RunBlock` request wire
-    /// message is **exactly** the 10-byte per-worker header
-    /// (`[0x41][0x00][id: 8B LE]`) followed by the statements segment and
-    /// the deltas segment.  The TCP transport encodes the two segments
-    /// once per cluster and writes the shared bytes to every socket, so
-    /// this byte-level equality is what guarantees a cached broadcast is
-    /// indistinguishable from a freshly encoded one.
+    /// message is **exactly** the 26-byte per-worker header
+    /// (`[0x41][0x00][id: 8B LE][trace: 8B LE][parent: 8B LE]`) followed
+    /// by the statements segment and the deltas segment.  The TCP
+    /// transport encodes the two segments once per cluster and writes the
+    /// shared bytes to every socket, so this byte-level equality is what
+    /// guarantees a cached broadcast is indistinguishable from a freshly
+    /// encoded one — and that the trace header never leaks into the
+    /// cached segments.
     #[test]
     fn shared_broadcast_segments_match_full_encoding(seed in 1usize..1_000_000) {
         let mut rng = StdRng::seed_from_u64(seed as u64);
@@ -417,18 +426,25 @@ proptest! {
             1 => 0,
             _ => u64::MAX,
         };
+        let ctx = hotdog_telemetry::SpanContext {
+            trace: rng.next_u64() % 3,
+            parent: rng.next_u64(),
+        };
 
         let stmt_segment = encode_statements_segment(&statements);
         let delta_segment = encode_deltas_segment(&deltas);
-        let mut assembled = Vec::with_capacity(10 + stmt_segment.len() + delta_segment.len());
+        let mut assembled = Vec::with_capacity(26 + stmt_segment.len() + delta_segment.len());
         assembled.push(0x41); // ToWorker::Request
         assembled.push(0x00); // WorkerRequest::RunBlock
         assembled.extend_from_slice(&id.to_le_bytes());
+        assembled.extend_from_slice(&ctx.trace.to_le_bytes());
+        assembled.extend_from_slice(&ctx.parent.to_le_bytes());
         assembled.extend_from_slice(&stmt_segment);
         assembled.extend_from_slice(&delta_segment);
 
         let full = encode_to_vec(&ToWorker::Request(WorkerRequest::RunBlock {
             id,
+            ctx,
             statements: Arc::new(statements.clone()),
             deltas: Arc::new(deltas.clone()),
         }));
@@ -439,8 +455,9 @@ proptest! {
         // a worker cannot tell a cached broadcast from a fresh one.
         match decode_from_slice::<ToWorker>(&assembled)
             .map_err(|e| format!("assembled broadcast failed to decode: {e}"))? {
-            ToWorker::Request(WorkerRequest::RunBlock { id: rid, statements: st, deltas: d }) => {
+            ToWorker::Request(WorkerRequest::RunBlock { id: rid, ctx: c, statements: st, deltas: d }) => {
                 prop_assert_eq!(rid, id);
+                prop_assert_eq!(c, ctx);
                 prop_assert_eq!(st.len(), statements.len());
                 prop_assert_eq!(d.len(), deltas.len());
                 for (name, rel) in deltas.iter() {
@@ -641,14 +658,43 @@ fn stats_messages_roundtrip() {
         },
         cardinalities: vec![("Q".to_string(), 12), ("part_R".to_string(), 0)],
     };
+    // Piggybacked spans must survive the wire field-for-field, including
+    // the structural ids the oracle compares and the raw micros it
+    // ignores.
+    let spans = vec![
+        hotdog_telemetry::SpanRecord {
+            trace: 1,
+            id: (2u64 << 32) | 1,
+            parent: 1,
+            name: "worker.run_block".to_string(),
+            track: 2,
+            start_micros: 10,
+            end_micros: u64::MAX,
+        },
+        hotdog_telemetry::SpanRecord {
+            trace: 1,
+            id: (2u64 << 32) | 2,
+            parent: 1,
+            name: "worker.apply".to_string(),
+            track: 2,
+            start_micros: 0,
+            end_micros: 0,
+        },
+    ];
     let rep = ToDriver::Reply(WorkerReply::Stats {
         id: 42,
         snapshot: snapshot.clone(),
+        spans: spans.clone(),
     });
     match decode_from_slice::<ToDriver>(&encode_to_vec(&rep)).unwrap() {
-        ToDriver::Reply(WorkerReply::Stats { id, snapshot: s }) => {
+        ToDriver::Reply(WorkerReply::Stats {
+            id,
+            snapshot: s,
+            spans: sp,
+        }) => {
             assert_eq!(id, 42);
             assert_eq!(s, snapshot);
+            assert_eq!(sp, spans);
         }
         _ => panic!("wrong variant"),
     }

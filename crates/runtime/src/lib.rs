@@ -115,7 +115,10 @@ use hotdog_distributed::{
 };
 use hotdog_exec::relabel;
 use hotdog_ivm::StmtOp;
-use hotdog_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Telemetry};
+use hotdog_telemetry::{
+    ActiveSpan, Counter, CriticalPath, Gauge, Histogram, MetricsSnapshot, SpanContext, SpanRecord,
+    Telemetry,
+};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
@@ -323,7 +326,8 @@ impl ChannelTransport {
         let mut replies = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
-            let state = WorkerState::for_plan(&dplan.plan);
+            let mut state = WorkerState::for_plan(&dplan.plan);
+            state.set_trace_track(i as u32 + 1);
             let (req_tx, req_rx) = channel();
             let (rep_tx, rep_rx) = channel();
             let handle = thread::Builder::new()
@@ -707,6 +711,10 @@ struct QueuedDelta {
     /// When the *oldest* event folded into this delta was admitted: the
     /// staleness clock the latency target is enforced against.
     admitted_at: Instant,
+    /// This batch's root span, opened at admission so queue dwell time is
+    /// inside the root window; coalesced admissions record their
+    /// `coalesce` child under it, and execution closes it.
+    root: ActiveSpan,
 }
 
 /// One driver + N workers executing a distributed plan for real, generic
@@ -807,6 +815,10 @@ pub struct Driver<T: Transport> {
     telemetry: Arc<Telemetry>,
     /// Cached metric handles for the driver hot paths.
     metrics: DriverMetrics,
+    /// Context of the batch currently executing (during
+    /// `execute_canonical`) or most recently executed: the parent for
+    /// wire-propagated worker spans, gathers and watermark commits.
+    trace_scope: SpanContext,
 }
 
 /// The in-process thread-per-worker backend: the transport-generic
@@ -895,6 +907,7 @@ impl<T: Transport> Driver<T> {
             totals: ClusterTotals::default(),
             telemetry,
             metrics,
+            trace_scope: SpanContext::NONE,
         };
         cluster.stats.coalesce_bound = cluster.effective_coalesce_bound();
         cluster
@@ -1119,7 +1132,8 @@ impl<T: Transport> Driver<T> {
             ],
         );
         let id = self.fresh_request_id();
-        self.send_to(w, Request::ApplyMany { id, applies })?;
+        let ctx = self.trace_scope;
+        self.send_to(w, Request::ApplyMany { id, ctx, applies })?;
         self.applies_in_flight = true;
         Ok(())
     }
@@ -1153,13 +1167,29 @@ impl<T: Transport> Driver<T> {
     /// scatters, settles the whole request-id ledger and barriers trailing
     /// applies.
     fn commit_watermark(&mut self) -> Result<(), WorkerDead> {
-        self.ship_all_applies()?;
-        self.drain_pending_blocks()?;
-        if self.applies_in_flight {
-            self.barrier_applies()?;
+        // No-op commits (watermark already current, nothing buffered) are
+        // spanless, so read-heavy workloads do not flood the trace with
+        // empty "watermark.commit" entries.
+        if self.watermark == self.issued && !self.applies_in_flight {
+            let trivial = (0..self.workers).all(|w| self.pending_applies[w].is_empty());
+            if trivial {
+                return Ok(());
+            }
         }
-        self.watermark = self.issued;
-        Ok(())
+        let span = self
+            .telemetry
+            .begin_span(self.trace_scope, "watermark.commit");
+        let result: Result<(), WorkerDead> = (|| {
+            self.ship_all_applies()?;
+            self.drain_pending_blocks()?;
+            if self.applies_in_flight {
+                self.barrier_applies()?;
+            }
+            self.watermark = self.issued;
+            Ok(())
+        })();
+        self.telemetry.finish_span(span);
+        result
     }
 
     /// The coalescing bound currently in force: the adaptive controller's
@@ -1214,7 +1244,7 @@ impl<T: Transport> Driver<T> {
             return Ok(());
         };
         self.queue_bytes -= entry.delta.serialized_size();
-        let stats = self.execute_canonical(&entry.relation, entry.delta, true)?;
+        let stats = self.execute_canonical(&entry.relation, entry.delta, true, Some(entry.root))?;
         if let Some(ctl) = self.controller.as_mut() {
             // Fold the worker interpreter work settled since the last
             // observation into the cost signal.  Completions settle
@@ -1519,9 +1549,13 @@ impl<T: Transport> Driver<T> {
                     // unconditionally, independent of clock resolution.
                     && stale_cutoff.is_none_or(|cut| q.admitted_at.elapsed() < cut) =>
             {
+                // The merged-into delta's root is still open (it closes at
+                // execution), so the coalesce lands inside its window.
+                let span = self.telemetry.begin_span(q.root.context(), "coalesce");
                 let before = q.delta.serialized_size();
                 q.delta.merge(batch);
                 self.queue_bytes = self.queue_bytes - before + q.delta.serialized_size();
+                self.telemetry.finish_span(span);
                 true
             }
             _ => false,
@@ -1539,13 +1573,19 @@ impl<T: Transport> Driver<T> {
             );
         } else {
             // Same canonicalization as the synchronous path, so a
-            // non-coalesced pipelined run is bit-identical to it.
+            // non-coalesced pipelined run is bit-identical to it.  The
+            // batch root opens here, not at execution, so queue dwell time
+            // is part of the batch's wall-clock window.
+            let root = self.telemetry.begin_batch_root();
+            let admit_span = self.telemetry.begin_span(root.context(), "admit");
             let canonical = relabel(batch, &canonical_schema);
+            self.telemetry.finish_span(admit_span);
             self.queue_bytes += canonical.serialized_size();
             self.queue.push_back(QueuedDelta {
                 relation: relation.to_string(),
                 delta: canonical,
                 admitted_at: Instant::now(),
+                root,
             });
         }
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
@@ -1609,8 +1649,11 @@ impl<T: Transport> Driver<T> {
                 ..Default::default()
             });
         };
+        let root = self.telemetry.begin_batch_root();
+        let admit_span = self.telemetry.begin_span(root.context(), "admit");
         let canonical = relabel(batch, &program.relation_schema);
-        self.execute_canonical(relation, canonical, false)
+        self.telemetry.finish_span(admit_span);
+        self.execute_canonical(relation, canonical, false, Some(root))
     }
 
     /// Run one maintenance program over an owned, canonical-schema delta.
@@ -1627,6 +1670,7 @@ impl<T: Transport> Driver<T> {
         relation: &str,
         delta: Relation,
         pipelined: bool,
+        root: Option<ActiveSpan>,
     ) -> Result<BatchExecution, WorkerDead> {
         let wall_start = Instant::now();
         let mut stats = BatchExecution {
@@ -1634,8 +1678,14 @@ impl<T: Transport> Driver<T> {
             ..Default::default()
         };
         if !self.programs.contains_key(relation) {
+            self.telemetry.finish_span(root);
             return Ok(stats);
         }
+        // Replayed batches (recovery) arrive rootless: open a fresh root so
+        // the replay gets its own tree rather than grafting onto the
+        // interrupted one.
+        let root = root.unwrap_or_else(|| self.telemetry.begin_batch_root());
+        self.trace_scope = root.context();
         // Log *before* issuing any message: if a worker dies mid-batch,
         // recovery restores the last checkpoint and replays this delta to
         // completion (the log is in canonical schema, so replay re-enters
@@ -1706,6 +1756,7 @@ impl<T: Transport> Driver<T> {
                                 w,
                                 Request::RunBlock {
                                     id,
+                                    ctx: self.trace_scope,
                                     statements: statements.clone(),
                                     deltas: block_deltas.clone(),
                                 },
@@ -1722,6 +1773,7 @@ impl<T: Transport> Driver<T> {
                                 w,
                                 Request::RunBlock {
                                     id,
+                                    ctx: self.trace_scope,
                                     statements: statements.clone(),
                                     deltas: block_deltas.clone(),
                                 },
@@ -1761,6 +1813,11 @@ impl<T: Transport> Driver<T> {
         // `flush`).
         stats.wall_secs = wall_start.elapsed().as_secs_f64();
         stats.latency_secs = stats.wall_secs;
+        // The root closes here even in pipelined mode (where trailing
+        // applies are still in flight): the window is the driver's issue
+        // span, and post-close stages (watermark commit, fan-out) record
+        // under `trace_scope` as clipped children.
+        self.telemetry.finish_span(Some(root));
 
         self.issued += 1;
         self.metrics
@@ -1820,25 +1877,33 @@ impl<T: Transport> Driver<T> {
                 self.scatter(pf, &src, stmt)
             }
             Transform::Repart(pf) => {
+                let ctx = self.trace_scope;
+                let span = self.telemetry.begin_span(ctx, "gather");
                 let mut collected = Relation::new(stmt.target_schema.clone());
                 for part in self.fetch_all(|id| Request::Fetch {
                     id,
+                    ctx,
                     name: source.to_string(),
                 })? {
                     collected.merge(&relabel(&part, &stmt.target_schema));
                 }
+                self.telemetry.finish_span(span);
                 let moved = collected.serialized_size();
                 self.scatter(pf, &collected, stmt)?;
                 Ok(moved + collected.serialized_size())
             }
             Transform::Gather => {
+                let ctx = self.trace_scope;
+                let span = self.telemetry.begin_span(ctx, "gather");
                 let mut collected = Relation::new(stmt.target_schema.clone());
                 for part in self.fetch_all(|id| Request::Fetch {
                     id,
+                    ctx,
                     name: source.to_string(),
                 })? {
                     collected.merge(&relabel(&part, &stmt.target_schema));
                 }
+                self.telemetry.finish_span(span);
                 let bytes = collected.serialized_size();
                 self.driver.apply(stmt, collected);
                 Ok(bytes)
@@ -1859,7 +1924,11 @@ impl<T: Transport> Driver<T> {
         src: &Relation,
         stmt: &DistStatement,
     ) -> Result<usize, WorkerDead> {
+        let span = self
+            .telemetry
+            .begin_span(self.trace_scope, "scatter.encode");
         let (shards, bytes) = partition_shards(pf, src, stmt, self.workers);
+        self.telemetry.finish_span(span);
         let stmt = Arc::new(stmt.clone());
         for (w, shard) in shards.into_iter().enumerate() {
             self.pending_applies[w].push((stmt.clone(), shard));
@@ -2060,8 +2129,9 @@ impl<T: Transport> Driver<T> {
         );
         for (rel, delta) in log {
             // Epoch-synchronous replay: re-enters the log (and re-takes
-            // checkpoints) exactly as the original schedule did.
-            self.execute_canonical(&rel, delta, false)?;
+            // checkpoints) exactly as the original schedule did, under a
+            // fresh root span per replayed batch.
+            self.execute_canonical(&rel, delta, false, None)?;
         }
         Ok(())
     }
@@ -2269,6 +2339,14 @@ impl<T: Transport> Backend for Driver<T> {
             None
         }
     }
+
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        Some(self.telemetry.clone())
+    }
+
+    fn trace_scope(&self) -> SpanContext {
+        self.trace_scope
+    }
 }
 
 impl<T: Transport> Driver<T> {
@@ -2290,9 +2368,15 @@ impl<T: Transport> Driver<T> {
                 .iter()
                 .position(|r| matches!(r, Reply::Stats { id: rid, .. } if *rid == id))
             {
-                let Reply::Stats { snapshot, .. } = self.inbox[w].swap_remove(pos) else {
+                let Reply::Stats {
+                    snapshot, spans, ..
+                } = self.inbox[w].swap_remove(pos)
+                else {
                     unreachable!()
                 };
+                // Worker spans ride the Stats round; stitch them into the
+                // driver's trace store (and stage histograms) on arrival.
+                self.telemetry.ingest_spans(spans);
                 return Ok(snapshot);
             }
             self.recv_one(w)?;
@@ -2375,6 +2459,30 @@ impl<T: Transport> Driver<T> {
         snap
     }
 
+    /// Flush, drain every worker's finished spans over the `Stats` round,
+    /// and return the complete span store: one stitched tree per executed
+    /// batch (driver track 0, workers on tracks 1..=N).  Structure —
+    /// `(trace, track, id, parent, name)` — is a deterministic function of
+    /// the admission sequence and identical across transports; durations
+    /// are wall-clock.
+    pub fn trace_spans(&mut self) -> Vec<SpanRecord> {
+        self.telemetry_totals();
+        self.telemetry.trace_spans()
+    }
+
+    /// Critical-path attribution for the most recent batch's trace (see
+    /// [`hotdog_telemetry::critical_path`]): walks the longest dependency
+    /// chain through the stitched tree and attributes the root's
+    /// wall-clock to stages.  `None` before the first executed batch.
+    pub fn critical_path(&mut self) -> Option<CriticalPath> {
+        let spans = self.trace_spans();
+        let trace = self.telemetry.tracer().latest_trace();
+        if trace == 0 {
+            return None;
+        }
+        hotdog_telemetry::critical_path(&spans, trace)
+    }
+
     /// Abandon every admitted-but-unissued batch *without executing it*,
     /// shut the worker threads down, and return the final pipeline stats
     /// (with [`PipelineStats::batches_abandoned`] counting the dropped
@@ -2408,9 +2516,16 @@ impl<T: Transport> Drop for Driver<T> {
         // never execute from a destructor (a drop during unwinding must not
         // run maintenance programs or block on workers beyond joining).
         self.abandon_queue();
+        // Workers may still hold finished spans from batches whose Stats
+        // round never ran; drain them (best-effort — a dead worker just
+        // loses its spans) so the exported trace file is complete.
+        if Telemetry::trace_export_enabled() {
+            let _ = self.fetch_worker_stats();
+        }
         self.shutdown_workers();
         // After shutdown, so worker-teardown flight events make the flush.
         self.telemetry.flush_on_drop();
+        self.telemetry.flush_trace_on_drop();
     }
 }
 

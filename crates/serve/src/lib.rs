@@ -346,6 +346,10 @@ where
         };
         entry.subscribers.insert(id, filter);
         self.routes.insert(id, shape.name.clone());
+        if let Some(t) = entry.backend.telemetry() {
+            t.gauge("serve.subscribers")
+                .set(entry.subscribers.len() as u64);
+        }
         (id, initial)
     }
 
@@ -360,6 +364,10 @@ where
             return false;
         };
         entry.subscribers.remove(&id);
+        if let Some(t) = entry.backend.telemetry() {
+            t.gauge("serve.subscribers")
+                .set(entry.subscribers.len() as u64);
+        }
         if entry.subscribers.is_empty() {
             self.shapes.remove(&shape);
         }
@@ -393,12 +401,24 @@ where
             entry.backend.flush();
             let captured: CaptureBatch = entry.backend.take_captured();
             entry.watermark = captured.watermark;
+            let telemetry = entry.backend.telemetry();
+            if let Some(t) = &telemetry {
+                t.counter("serve.pump_rounds").inc();
+            }
             let Some(view) = captured.views.iter().find(|v| v.name == entry.view) else {
                 continue;
             };
             entry.acc.apply(view, captured.resync);
             let mut ids: Vec<SubscriptionId> = entry.subscribers.keys().copied().collect();
             ids.sort_unstable();
+            // The per-subscriber split is the serving layer's contribution
+            // to the batch's span tree: a "fanout.split" child under the
+            // most recent batch root (absent for backends without tracing,
+            // or before the first batch).
+            let span = telemetry
+                .as_ref()
+                .and_then(|t| t.begin_span(entry.backend.trace_scope(), "fanout.split"));
+            let mut pushed = 0u64;
             for id in ids {
                 let filter = &entry.subscribers[&id];
                 let parts: Vec<Vec<(StmtOp, Relation)>> = view
@@ -411,6 +431,7 @@ where
                 if !captured.resync && parts.iter().all(Vec::is_empty) {
                     continue;
                 }
+                pushed += 1;
                 out.push(ViewDelta {
                     subscription: id,
                     view: entry.view.clone(),
@@ -418,6 +439,10 @@ where
                     resync: captured.resync,
                     parts,
                 });
+            }
+            if let Some(t) = &telemetry {
+                t.finish_span(span);
+                t.counter("serve.deltas_pushed").add(pushed);
             }
         }
         out

@@ -30,11 +30,16 @@
 pub mod flight;
 pub mod metrics;
 pub mod signal;
+pub mod trace;
 
 pub use flight::{Event, FieldValue, FlightRecorder};
 pub use metrics::{
     bucket_floor, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
     Registry, HISTOGRAM_BUCKETS,
+};
+pub use trace::{
+    chrome_trace_json, critical_path, structure as trace_structure, ActiveSpan, CriticalPath,
+    SpanContext, SpanRecord, SpanStructure, Tracer, WorkerTracer, TRACE_ENV,
 };
 
 use std::io::Write as _;
@@ -52,6 +57,7 @@ pub const TELEMETRY_ENV: &str = "HOTDOG_TELEMETRY";
 pub struct Telemetry {
     registry: Registry,
     flight: FlightRecorder,
+    tracer: Tracer,
 }
 
 impl Telemetry {
@@ -73,6 +79,56 @@ impl Telemetry {
     /// The flight recorder.
     pub fn flight(&self) -> &FlightRecorder {
         &self.flight
+    }
+
+    /// The span tracer (driver-side span store; see [`trace`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Open the root span of a new batch trace (track 0).
+    pub fn begin_batch_root(&self) -> ActiveSpan {
+        self.tracer.begin_root("batch")
+    }
+
+    /// Open a driver-side span (track 0) under `ctx`; `None` when the
+    /// context carries no trace.
+    pub fn begin_span(&self, ctx: SpanContext, name: &'static str) -> Option<ActiveSpan> {
+        self.tracer.begin(ctx, name, 0)
+    }
+
+    /// Open a span on an explicit track (the simulated cluster records
+    /// its per-worker trigger spans driver-side).
+    pub fn begin_span_on(
+        &self,
+        ctx: SpanContext,
+        name: &'static str,
+        track: u32,
+    ) -> Option<ActiveSpan> {
+        self.tracer.begin(ctx, name, track)
+    }
+
+    /// Close a driver-side span, folding its duration into the matching
+    /// `trace.*` stage histogram.  No-op for `None` (the untraced case).
+    pub fn finish_span(&self, span: Option<ActiveSpan>) {
+        if let Some(span) = span {
+            let rec = self.tracer.finish(span);
+            trace::fold_span_histogram(&self.registry, &rec);
+        }
+    }
+
+    /// Ingest worker-reported span records (the `Stats` piggyback),
+    /// folding each duration into its `trace.*` stage histogram.
+    pub fn ingest_spans(&self, spans: Vec<SpanRecord>) {
+        for rec in &spans {
+            trace::fold_span_histogram(&self.registry, rec);
+        }
+        self.tracer.record_all(spans);
+    }
+
+    /// Every span recorded so far (driver plus ingested worker records).
+    pub fn trace_spans(&self) -> Vec<SpanRecord> {
+        self.tracer.spans()
     }
 
     /// Get or register a counter (see [`Registry::counter`]).
@@ -149,12 +205,60 @@ impl Telemetry {
         file.write_all(line.as_bytes())
     }
 
-    /// Drop-time hook: flush to `HOTDOG_TELEMETRY`'s path when set
-    /// (best-effort — a broken path must not panic a destructor).
+    /// Drop-time hook: flush to `HOTDOG_TELEMETRY`'s path when set.
+    /// Best-effort — a broken path must not panic a destructor — but
+    /// never silent: a failed flush records one `telemetry.flush_failed`
+    /// flight event and mirrors it to stderr, so an unwritable path shows
+    /// up instead of vanishing with the process.
     pub fn flush_on_drop(&self) {
         if let Ok(path) = std::env::var(TELEMETRY_ENV) {
             if !path.is_empty() {
-                let _ = self.flush_jsonl(&path);
+                if let Err(err) = self.flush_jsonl(&path) {
+                    self.flight.record(
+                        "telemetry.flush_failed",
+                        vec![
+                            ("path", path.as_str().into()),
+                            ("error", err.to_string().into()),
+                        ],
+                    );
+                    if let Some(event) = self.flight.events_of("telemetry.flush_failed").last() {
+                        eprintln!("hotdog: {}", event.to_json());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether `HOTDOG_TRACE` names a trace export path.
+    pub fn trace_export_enabled() -> bool {
+        std::env::var(TRACE_ENV).is_ok_and(|p| !p.is_empty())
+    }
+
+    /// Write every recorded span as one complete Chrome trace-event JSON
+    /// document to `path` (overwriting: one complete file per run).
+    pub fn flush_trace(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, chrome_trace_json(&self.tracer.spans()))
+    }
+
+    /// Drop-time hook: export the trace to `HOTDOG_TRACE`'s path when
+    /// set.  Same failure contract as [`Telemetry::flush_on_drop`].
+    pub fn flush_trace_on_drop(&self) {
+        if let Ok(path) = std::env::var(TRACE_ENV) {
+            if !path.is_empty() {
+                if let Err(err) = self.flush_trace(&path) {
+                    self.flight.record(
+                        "telemetry.trace_flush_failed",
+                        vec![
+                            ("path", path.as_str().into()),
+                            ("error", err.to_string().into()),
+                        ],
+                    );
+                    if let Some(event) =
+                        self.flight.events_of("telemetry.trace_flush_failed").last()
+                    {
+                        eprintln!("hotdog: {}", event.to_json());
+                    }
+                }
             }
         }
     }

@@ -174,6 +174,43 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the log2 bucket
+    /// boundaries: walk the cumulative bucket counts to the bucket holding
+    /// the rank-`ceil(q * count)` value and report that bucket's inclusive
+    /// upper edge (`2^i - 1`), clamped into the exact `[min, max]` range —
+    /// so the estimate is within one power of two of the true value, never
+    /// outside the observed range, and exact for single-bucket histograms.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let upper = if *i as usize >= HISTOGRAM_BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    (1u64 << *i) - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The `(p50, p95, p99)` quantile estimates (see
+    /// [`HistogramSnapshot::quantile`]).
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
 }
 
 /// The named-metric registry.  Registration takes a lock; updates through
@@ -302,9 +339,10 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{k} = {v}");
         }
         for (k, h) in &self.histograms {
+            let (p50, p95, p99) = h.percentiles();
             let _ = writeln!(
                 out,
-                "{k}: count={} sum={} min={} max={} mean={}",
+                "{k}: count={} sum={} min={} max={} mean={} p50~{p50} p95~{p95} p99~{p99}",
                 h.count,
                 h.sum,
                 h.min,
@@ -358,6 +396,40 @@ mod tests {
         // Sum wraps modulo 2^64 by construction (relaxed fetch_add); the
         // exact per-bucket counts and min/max stay faithful.
         assert_eq!(snap.count, 2);
+    }
+
+    #[test]
+    fn quantiles_track_log2_bucket_edges() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().quantile(0.5), 0, "empty histogram");
+        // 90 values in [8, 16) and 10 in [1024, 2048): p50 sits in the
+        // low bucket, p99 in the high one; estimates clamp to [min, max].
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        let snap = h.snapshot();
+        let (p50, p95, p99) = snap.percentiles();
+        assert_eq!(p50, 15, "upper edge of [8, 16)");
+        assert_eq!(p95, 1500, "upper edge 2047 clamped to max");
+        assert_eq!(p99, 1500);
+        assert!(snap.quantile(0.0) >= snap.min);
+        assert_eq!(snap.quantile(1.0), 1500);
+        // A single-bucket histogram is exact.
+        let one = Histogram::default();
+        one.record(0);
+        one.record(0);
+        assert_eq!(one.snapshot().percentiles(), (0, 0, 0));
+    }
+
+    #[test]
+    fn render_text_prints_percentiles() {
+        let reg = Registry::default();
+        reg.histogram("driver.gather_micros").record(10);
+        let text = reg.snapshot().render_text();
+        assert!(text.contains("p50~10 p95~10 p99~10"), "{text}");
     }
 
     #[test]

@@ -227,6 +227,126 @@ fn fault_counters_match_the_plan_exactly() {
     );
 }
 
+/// Trace arm of the oracle.  Span *structure* — the sorted
+/// `(trace, track, id, parent, name)` slice of every recorded span — is a
+/// deterministic function of the admission sequence and the shared driver
+/// schedule, exactly like the counters: for the same update stream the
+/// threaded and TCP backends must stitch **bit-identical** span trees.
+/// (Durations are wall-clock and excluded by construction of the slice.)
+#[test]
+fn trace_oracle_span_structure_agrees_threaded_vs_tcp() {
+    let workers = workers_under_test();
+    for (i, q) in all_queries().iter().enumerate() {
+        let opt = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3][i % 4];
+        let stream = seeded_stream(q, 120, 0x7ACE + i as u64);
+        let batches = stream.batches(24);
+
+        let mut threaded = ThreadedCluster::new(compile_for(q, opt), workers);
+        let mut tcp = TcpCluster::new(compile_for(q, opt), &TcpConfig::from_env(workers))
+            .expect("tcp cluster");
+        threaded.apply_stream(&batches);
+        tcp.apply_stream(&batches);
+
+        let threaded_spans = threaded.trace_spans();
+        let tcp_spans = tcp.trace_spans();
+        let threaded_structure = trace_structure(&threaded_spans);
+        let tcp_structure = trace_structure(&tcp_spans);
+        assert_eq!(
+            threaded_structure, tcp_structure,
+            "{} {opt:?} x{workers}: span-tree structure diverged threaded vs TCP",
+            q.id
+        );
+
+        // One stitched tree per executed batch: every batch opened exactly
+        // one root span, every non-root span's parent is present in its
+        // own trace, and worker execution shows up on worker tracks.
+        let roots: Vec<_> = threaded_spans.iter().filter(|s| s.parent == 0).collect();
+        assert_eq!(
+            roots.len(),
+            threaded.totals().batches,
+            "{}: one root span per executed batch",
+            q.id
+        );
+        assert!(roots.iter().all(|r| r.name == "batch" && r.track == 0));
+        for span in &threaded_spans {
+            if span.parent != 0 {
+                assert!(
+                    threaded_spans
+                        .iter()
+                        .any(|p| p.trace == span.trace && p.id == span.parent),
+                    "{}: span {} of trace {} has a dangling parent {}",
+                    q.id,
+                    span.id,
+                    span.trace,
+                    span.parent
+                );
+            }
+        }
+        assert!(
+            threaded_spans
+                .iter()
+                .any(|s| s.name == "worker.run_block" && s.track > 0),
+            "{}: worker trigger execution must appear on worker tracks",
+            q.id
+        );
+
+        // Critical-path attribution accounts for (at least) 90% of the
+        // latest batch root's wall-clock window.
+        let cp = threaded
+            .critical_path()
+            .expect("critical path of the last batch");
+        assert!(
+            cp.attributed_fraction() >= 0.9,
+            "{}: critical path attributed only {:.1}% of the batch window",
+            q.id,
+            cp.attributed_fraction() * 100.0
+        );
+    }
+}
+
+/// Pipelined trace arm: coalescing folds admissions into fewer trees (a
+/// `coalesce` child instead of a new root), and the structure still
+/// agrees bit-for-bit across transports under a fixed coalescing bound.
+#[test]
+fn trace_oracle_pipelined_fixed_coalesce() {
+    let workers = workers_under_test();
+    let q = query("Q3").unwrap();
+    let stream = seeded_stream(&q, 140, 0x7ACED);
+    let batches = stream.batches(8);
+    let config = PipelineConfig {
+        coalesce_tuples: 4096,
+        admit_capacity: 4,
+        ..Default::default()
+    };
+
+    let mut threaded =
+        ThreadedCluster::pipelined(compile_for(&q, OptLevel::O3), workers, config.clone());
+    let mut tcp = TcpCluster::pipelined(
+        compile_for(&q, OptLevel::O3),
+        &TcpConfig::from_env(workers),
+        config,
+    )
+    .expect("tcp cluster");
+    threaded.apply_stream(&batches);
+    tcp.apply_stream(&batches);
+
+    let threaded_spans = threaded.trace_spans();
+    assert_eq!(
+        trace_structure(&threaded_spans),
+        trace_structure(&tcp.trace_spans()),
+        "pipelined span-tree structure diverged threaded vs TCP"
+    );
+    let coalesces = threaded_spans
+        .iter()
+        .filter(|s| s.name == "coalesce")
+        .count();
+    assert_eq!(
+        coalesces,
+        threaded.pipeline_stats().unwrap().batches_coalesced,
+        "every coalesced admission records one coalesce child"
+    );
+}
+
 /// The per-worker cardinalities riding in the stats snapshot describe
 /// real partitioned state: summed across workers they match the
 /// cluster-wide view cardinality for distributed views.
